@@ -1,0 +1,500 @@
+(* Benchmark / reproduction harness: regenerates every table and figure of
+   the paper's evaluation (Tables 1-4, Figures 2-7), runs the ablations
+   called out in DESIGN.md, and finishes with bechamel micro-benchmarks of
+   each experiment kernel.
+
+   Default scale is the proportionally scaled workload (|T| = 128, 3 ETCs x
+   3 DAGs); pass --full for the paper's |T| = 1024 with 10 x 10 scenarios
+   (hours of compute on one core). See EXPERIMENTS.md for paper-vs-measured
+   commentary on each artefact. *)
+
+open Agrid_exper
+open Agrid_report
+
+type options = {
+  full : bool;
+  seed : int;
+  quick : bool; (* smoke scale, used by CI *)
+  skip_bechamel : bool;
+  skip_figures : bool;
+}
+
+let parse_options () =
+  let opts =
+    ref { full = false; seed = 2004; quick = false; skip_bechamel = false; skip_figures = false }
+  in
+  let rec walk = function
+    | [] -> ()
+    | "--full" :: rest ->
+        opts := { !opts with full = true };
+        walk rest
+    | "--quick" :: rest ->
+        opts := { !opts with quick = true };
+        walk rest
+    | "--skip-bechamel" :: rest ->
+        opts := { !opts with skip_bechamel = true };
+        walk rest
+    | "--skip-figures" :: rest ->
+        opts := { !opts with skip_figures = true };
+        walk rest
+    | "--seed" :: v :: rest ->
+        opts := { !opts with seed = int_of_string v };
+        walk rest
+    | arg :: _ ->
+        Fmt.epr "unknown argument %S@." arg;
+        Fmt.epr "usage: main.exe [--full|--quick] [--seed N] [--skip-bechamel] [--skip-figures]@.";
+        exit 2
+  in
+  walk (List.tl (Array.to_list Sys.argv));
+  !opts
+
+let config_of options =
+  if options.full then Config.full ~seed:options.seed ()
+  else if options.quick then Config.smoke ~seed:options.seed ()
+  else Config.default ~seed:options.seed ()
+
+let section title = Fmt.pr "@.=== %s ===@.@." title
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Fmt.pr "[%s: %.1f s]@." name (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+
+let run_tables config =
+  section "Table 1 (static configuration)";
+  Fmt.pr "%a@." Table.pp (Experiments.table1 ());
+  section "Table 2 (machine parameters)";
+  Fmt.pr "%a@." Table.pp (Experiments.table2 ());
+  section "Table 3 (average minimum relative speed)";
+  timed "table3" (fun () -> Fmt.pr "%a@." Table.pp (Experiments.table3 config));
+  section "Table 4 (upper bound on T100)";
+  timed "table4" (fun () -> Fmt.pr "%a@." Table.pp (Experiments.table4 config))
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+
+let run_figure2 config =
+  section "Figure 2 (impact of delta-T on SLRH-1)";
+  timed "figure2" (fun () ->
+      Fmt.pr "%a@." Series.pp (Experiments.figure2 config))
+
+let run_evaluation_figures config =
+  section "Weight-search evaluation (drives Figures 3-7)";
+  let total =
+    List.length Agrid_platform.Grid.all_cases
+    * List.length Evaluation.all_heuristics
+    * List.length (Config.scenarios config)
+  in
+  Fmt.pr "tuning %d (case x heuristic x scenario) combinations...@." total;
+  let ev =
+    timed "evaluation" (fun () ->
+        Evaluation.run
+          ~on_progress:(fun n ->
+            if n mod 9 = 0 || n = total then Fmt.pr "  tuned %d/%d@?@." n total)
+          config)
+  in
+  section "Figure 3 (optimal weight ranges)";
+  Fmt.pr "%a@." Table.pp (Experiments.figure3 ev);
+  section "Figure 4 (mean T100 per heuristic per case)";
+  let f4 = Experiments.figure4 ev in
+  Fmt.pr "%a@." Series.pp f4;
+  Fmt.pr "%a@." (Series.pp_bars ~width:40) f4;
+  section "Figure 5 (mean T100 / upper bound)";
+  let f5 = Experiments.figure5 ev in
+  Fmt.pr "%a@." Series.pp f5;
+  Fmt.pr "%a@." (Series.pp_bars ~width:40) f5;
+  section "Figure 6 (mean heuristic execution time, seconds)";
+  Fmt.pr "%a@." Series.pp (Experiments.figure6 ev);
+  section "Figure 7 (T100 per unit heuristic execution time)";
+  Fmt.pr "%a@." Series.pp (Experiments.figure7 ev);
+  ev
+
+let run_slrh2_check config =
+  section "SLRH-2 feasibility check (paper: dropped for rarely mapping all subtasks)";
+  timed "slrh2" (fun () ->
+      let feasible, total = Experiments.slrh2_failure_rate config in
+      Fmt.pr
+        "SLRH-2 produced a feasible complete mapping at %d of %d (weight x scenario) points (%.0f%%)@."
+        feasible total
+        (100. *. float_of_int feasible /. float_of_int (max 1 total)))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablation_horizon config =
+  section "Ablation: receding horizon H (paper: negligible impact)";
+  let open Agrid_workload in
+  let workload = Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A in
+  let weights = Agrid_core.Objective.make_weights ~alpha:0.3 ~beta:0.3 in
+  let pts =
+    Agrid_tuner.Sweep.horizon ~delta_t:config.Config.delta_t ~weights
+      ~values:Agrid_tuner.Sweep.default_horizon_values workload
+  in
+  List.iter (fun p -> Fmt.pr "  H=%4d: %a@." p.Agrid_tuner.Sweep.value Agrid_tuner.Sweep.pp_point p) pts
+
+let ablation_feasibility_mode config =
+  section "Ablation: worst-case vs optimistic communication-energy feasibility";
+  let open Agrid_workload in
+  let weights = Agrid_core.Objective.make_weights ~alpha:0.3 ~beta:0.3 in
+  List.iter
+    (fun mode ->
+      let workload =
+        Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A
+      in
+      let params =
+        {
+          (Agrid_core.Slrh.default_params weights) with
+          Agrid_core.Slrh.delta_t = config.Config.delta_t;
+          horizon = config.Config.horizon;
+          feas_mode = mode;
+        }
+      in
+      let o = Agrid_core.Slrh.run params workload in
+      let r = Agrid_sched.Validate.check o.Agrid_core.Slrh.schedule in
+      Fmt.pr "  %-13s T100=%d feasible=%b wall=%.4fs@."
+        (Agrid_core.Feasibility.mode_to_string mode)
+        r.Agrid_sched.Validate.t100
+        (Agrid_sched.Validate.feasible r)
+        o.Agrid_core.Slrh.wall_seconds)
+    [ Agrid_core.Feasibility.Conservative; Agrid_core.Feasibility.Optimistic ]
+
+let ablation_maxmax_tau_gate config =
+  section "Ablation: Max-Max per-placement tau gate (DESIGN.md section 5)";
+  let open Agrid_workload in
+  let workload =
+    Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A
+  in
+  let weights = Agrid_core.Objective.make_weights ~alpha:0.6 ~beta:0.35 in
+  List.iter
+    (fun respect_tau ->
+      let params =
+        { (Agrid_baselines.Maxmax.default_params weights) with Agrid_baselines.Maxmax.respect_tau }
+      in
+      let o = Agrid_baselines.Maxmax.run params workload in
+      let r = Agrid_sched.Validate.check o.Agrid_baselines.Maxmax.schedule in
+      Fmt.pr "  respect_tau=%-5b T100=%d AET=%d/%d feasible=%b@." respect_tau
+        r.Agrid_sched.Validate.t100 r.Agrid_sched.Validate.aet (Workload.tau workload)
+        (Agrid_sched.Validate.feasible r))
+    [ true; false ]
+
+let ablation_adaptive config =
+  section "Ablation: adaptive multiplier adjustment vs grid search (paper future work)";
+  let open Agrid_workload in
+  let workload =
+    Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.C
+  in
+  let runner =
+    Agrid_tuner.Weight_search.slrh_runner ~delta_t:config.Config.delta_t
+      ~horizon:config.Config.horizon Agrid_core.Slrh.V1
+  in
+  let grid =
+    timed "grid search" (fun () ->
+        Agrid_tuner.Weight_search.search ~coarse_step:config.Config.coarse_step
+          ~fine_step:config.Config.fine_step ~fine_radius:config.Config.fine_radius runner
+          workload)
+  in
+  let adaptive = timed "adaptive" (fun () -> Agrid_tuner.Adaptive.tune runner workload) in
+  let describe label best evaluations =
+    match best with
+    | None -> Fmt.pr "  %-9s no feasible point (%d evaluations)@." label evaluations
+    | Some b ->
+        Fmt.pr "  %-9s T100=%d at %a (%d evaluations)@." label
+          b.Agrid_tuner.Weight_search.t100 Agrid_core.Objective.pp_weights
+          b.Agrid_tuner.Weight_search.weights evaluations
+  in
+  describe "grid" grid.Agrid_tuner.Weight_search.best grid.Agrid_tuner.Weight_search.evaluations;
+  describe "adaptive" adaptive.Agrid_tuner.Adaptive.best adaptive.Agrid_tuner.Adaptive.evaluations
+
+(* The paper (Section IV): "the communications energy proved to be a
+   negligible factor in the calculations". Measure the share directly. *)
+let comm_energy_share config =
+  section "Communication-energy share (paper: negligible)";
+  let open Agrid_workload in
+  let weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3 in
+  List.iter
+    (fun case ->
+      let workload = Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case in
+      let o = Agrid_core.Slrh.run (Agrid_core.Slrh.default_params weights) workload in
+      let sched = o.Agrid_core.Slrh.schedule in
+      let comm =
+        Array.fold_left
+          (fun acc (tr : Agrid_sched.Schedule.transfer) -> acc +. tr.Agrid_sched.Schedule.energy)
+          0.
+          (Agrid_sched.Schedule.transfers sched)
+      in
+      let total = Agrid_sched.Schedule.tec sched in
+      Fmt.pr "  %-7s comm %.4f of %.2f total energy units (%.2f%%), %d transfers@."
+        (Agrid_platform.Grid.name (Workload.grid workload))
+        comm total
+        (100. *. comm /. Float.max 1e-9 total)
+        (Array.length (Agrid_sched.Schedule.transfers sched)))
+    Agrid_platform.Grid.all_cases
+
+(* Classical comparators outside the paper's evaluation: Min-Min [IbK77]
+   (the template behind Max-Max) and the LRNN-style Lagrangian-relaxation
+   static mapper [LuH93]/[LuZ00]/[CaS03] that SLRH grew out of. *)
+let ablation_classical_baselines config =
+  section "Ablation: classical baselines (Min-Min, Lagrangian relaxation static mapper)";
+  let open Agrid_workload in
+  List.iter
+    (fun case ->
+      let workload = Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case in
+      Fmt.pr "  %s:@." (Agrid_platform.Grid.case_name case);
+      List.iter
+        (fun policy ->
+          let params =
+            { Agrid_baselines.Minmin.default_params with Agrid_baselines.Minmin.version_policy = policy }
+          in
+          let o = Agrid_baselines.Minmin.run ~params workload in
+          let r = Agrid_sched.Validate.check o.Agrid_baselines.Minmin.schedule in
+          Fmt.pr "    min-min %-17s T100=%3d AET=%6d feasible=%b@."
+            (Agrid_baselines.Minmin.version_policy_to_string policy)
+            r.Agrid_sched.Validate.t100 r.Agrid_sched.Validate.aet
+            (Agrid_sched.Validate.feasible r))
+        Agrid_baselines.Minmin.[ Secondary_allowed; Prefer_primary ];
+      let o = Agrid_lrnn.Lrnn.run workload in
+      let r = Agrid_sched.Validate.check o.Agrid_lrnn.Lrnn.schedule in
+      Fmt.pr "    LRNN static mapper        T100=%3d AET=%6d feasible=%b (demoted %d, dual bound %.1f)@."
+        r.Agrid_sched.Validate.t100 r.Agrid_sched.Validate.aet
+        (Agrid_sched.Validate.feasible r) o.Agrid_lrnn.Lrnn.demoted
+        o.Agrid_lrnn.Lrnn.dual_bound)
+    Agrid_platform.Grid.all_cases
+
+(* The paper's objective-sign discussion (Section IV): "Use of a negative
+   sign on this term caused the heuristic to produce very short AET
+   solutions, but with correspondingly lower T100 values." *)
+let ablation_aet_sign config =
+  section "Ablation: AET term sign (paper: negative sign -> short AET, low T100)";
+  let open Agrid_workload in
+  let workload =
+    Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A
+  in
+  List.iter
+    (fun (label, sign) ->
+      let weights =
+        Agrid_core.Objective.with_aet_sign sign
+          (Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3)
+      in
+      let params =
+        {
+          (Agrid_core.Slrh.default_params weights) with
+          Agrid_core.Slrh.delta_t = config.Config.delta_t;
+          horizon = config.Config.horizon;
+        }
+      in
+      let o = Agrid_core.Slrh.run params workload in
+      let r = Agrid_sched.Validate.check o.Agrid_core.Slrh.schedule in
+      Fmt.pr "  %-8s T100=%3d AET=%6d feasible=%b@." label r.Agrid_sched.Validate.t100
+        r.Agrid_sched.Validate.aet
+        (Agrid_sched.Validate.feasible r))
+    [ ("+gamma", Agrid_core.Objective.Reward); ("-gamma", Agrid_core.Objective.Penalise) ]
+
+(* The paper sweeps machines "in simple numerical order"; how much does
+   that choice matter? *)
+let ablation_machine_order config =
+  section "Ablation: machine sweep order (paper: simple numerical order)";
+  let open Agrid_workload in
+  let workload =
+    Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A
+  in
+  let weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3 in
+  List.iter
+    (fun order ->
+      let params =
+        {
+          (Agrid_core.Slrh.default_params weights) with
+          Agrid_core.Slrh.delta_t = config.Config.delta_t;
+          horizon = config.Config.horizon;
+          machine_order = order;
+        }
+      in
+      let o = Agrid_core.Slrh.run params workload in
+      let r = Agrid_sched.Validate.check o.Agrid_core.Slrh.schedule in
+      Fmt.pr "  %-18s T100=%3d AET=%6d feasible=%b@."
+        (Agrid_core.Slrh.machine_order_to_string order)
+        r.Agrid_sched.Validate.t100 r.Agrid_sched.Validate.aet
+        (Agrid_sched.Validate.feasible r))
+    [ Agrid_core.Slrh.Numerical; Agrid_core.Slrh.Fast_first; Agrid_core.Slrh.Most_energy_first ]
+
+(* Robustness extension: the ETC matrices are only ESTIMATES; execute the
+   tuned plan under actual durations with increasing noise and measure how
+   often the deadline survives. *)
+let ablation_robustness config =
+  section "Extension: schedule robustness under estimation error (ETC = estimated)";
+  let open Agrid_workload in
+  let workload =
+    Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A
+  in
+  let weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3 in
+  let params =
+    {
+      (Agrid_core.Slrh.default_params weights) with
+      Agrid_core.Slrh.delta_t = config.Config.delta_t;
+      horizon = config.Config.horizon;
+    }
+  in
+  let sched = (Agrid_core.Slrh.run params workload).Agrid_core.Slrh.schedule in
+  let trials = 40 in
+  List.iter
+    (fun cv ->
+      let met = ref 0 and energy_ok = ref 0 and inflation = ref 0. in
+      for seed = 0 to trials - 1 do
+        let r =
+          Agrid_sim.Executor.execute
+            ~rng:(Agrid_prng.Splitmix64.of_int (1000 + seed))
+            ~noise:(Agrid_sim.Executor.noise ~exec_cv:cv ~comm_cv:cv ())
+            sched
+        in
+        if r.Agrid_sim.Executor.deadline_met then incr met;
+        if r.Agrid_sim.Executor.energy_ok then incr energy_ok;
+        inflation := !inflation +. r.Agrid_sim.Executor.aet_inflation
+      done;
+      Fmt.pr "  cv=%.2f: deadline met %d/%d, energy ok %d/%d, mean AET inflation x%.3f@."
+        cv !met trials !energy_ok trials
+        (!inflation /. float_of_int trials))
+    [ 0.0; 0.05; 0.1; 0.2; 0.4; 0.8 ]
+
+(* Dynamic-grid extension: loss and outage transitions between the static
+   cases the paper evaluates. *)
+let ablation_dynamic config =
+  section "Extension: machine loss / outage mid-run (on-the-fly rescheduling)";
+  let open Agrid_workload in
+  let workload =
+    Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A
+  in
+  let weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3 in
+  let params = Agrid_core.Slrh.default_params weights in
+  let tau = Workload.tau workload in
+  List.iter
+    (fun (label, machine) ->
+      let o =
+        Agrid_core.Dynamic.run_with_loss params workload
+          { Agrid_core.Dynamic.at = tau / 4; machine }
+      in
+      Fmt.pr "  lose %-14s at tau/4: %a@." label Agrid_core.Dynamic.pp_outcome o)
+    [ ("slow machine 3", 3); ("fast machine 1", 1) ];
+  let o =
+    Agrid_core.Dynamic.run_with_outage params workload ~machine:1 ~from_:(tau / 10)
+      ~until_:(tau / 2)
+  in
+  Fmt.pr "  outage fast machine 1 [tau/10, tau/2): %a@." Agrid_core.Dynamic.pp_outage o;
+  Fmt.pr "@.%a@." Agrid_report.Series.pp (Experiments.extension_loss_sweep config)
+
+let report_tau_calibration config =
+  section "tau calibration (paper method: greedy static heuristic experiments)";
+  let spec = config.Config.spec in
+  let open Agrid_workload in
+  let tau = Spec.tau_cycles spec in
+  let calibrated = Agrid_baselines.Calibrate.tau_cycles spec in
+  Fmt.pr "  spec tau (paper-proportional) : %d cycles (%.0f s)@." tau spec.Spec.tau_seconds;
+  Fmt.pr "  greedy-calibrated tau         : %d cycles (slack 1.0)@." calibrated;
+  Fmt.pr "  ratio spec/greedy             : %.2f@."
+    (float_of_int tau /. float_of_int (max 1 calibrated))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let bechamel_suite config =
+  section "Bechamel micro-benchmarks (one kernel per experiment family)";
+  let open Bechamel in
+  let open Toolkit in
+  let open Agrid_workload in
+  let spec = config.Config.spec in
+  let workload = Workload.build spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A in
+  let weights = Agrid_core.Objective.make_weights ~alpha:0.3 ~beta:0.3 in
+  let slrh variant () =
+    let params =
+      {
+        (Agrid_core.Slrh.default_params ~variant weights) with
+        Agrid_core.Slrh.delta_t = config.Config.delta_t;
+        horizon = config.Config.horizon;
+      }
+    in
+    ignore (Agrid_core.Slrh.run params workload)
+  in
+  let tests =
+    [
+      (* Tables 1-2 are constants; their kernel is grid construction *)
+      Test.make ~name:"table12/grid_of_case"
+        (Staged.stage (fun () -> ignore (Agrid_platform.Grid.of_case Agrid_platform.Grid.A)));
+      (* Table 3 kernel: min-ratio scan of one ETC *)
+      Test.make ~name:"table3/min_ratios"
+        (Staged.stage (fun () ->
+             ignore (Agrid_core.Upper_bound.min_ratios (Workload.etc workload))));
+      (* Table 4 kernel: full upper-bound computation *)
+      Test.make ~name:"table4/upper_bound"
+        (Staged.stage (fun () ->
+             ignore
+               (Agrid_core.Upper_bound.compute ~etc:(Workload.etc workload)
+                  ~grid:(Workload.grid workload) ~tau_seconds:spec.Spec.tau_seconds)));
+      (* Figure 2 kernel: one SLRH-1 run (delta_t default) *)
+      Test.make ~name:"figure2/slrh1_run" (Staged.stage (slrh Agrid_core.Slrh.V1));
+      (* Figures 4-7 kernels: the three heuristics under comparison *)
+      Test.make ~name:"figure4-7/slrh3_run" (Staged.stage (slrh Agrid_core.Slrh.V3));
+      Test.make ~name:"figure4-7/maxmax_run"
+        (Staged.stage (fun () ->
+             ignore
+               (Agrid_baselines.Maxmax.run (Agrid_baselines.Maxmax.default_params weights)
+                  workload)));
+      Test.make ~name:"calibration/greedy_mct"
+        (Staged.stage (fun () -> ignore (Agrid_baselines.Greedy.run workload)));
+      (* workload generation kernels *)
+      Test.make ~name:"workload/build"
+        (Staged.stage (fun () ->
+             ignore
+               (Workload.build spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A)));
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"agrid" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ v ] -> Fmt.str "%.3f ms" (v /. 1e6)
+        | _ -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with Some r -> Fmt.str "%.4f" r | None -> "-"
+      in
+      rows := [ name; est; r2 ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Fmt.pr "%a@." Table.pp
+    (Table.make ~title:"Per-iteration cost (OLS on monotonic clock)"
+       ~columns:[ "kernel"; "time/run"; "r^2" ] ~rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let options = parse_options () in
+  let config = config_of options in
+  Fmt.pr "agrid reproduction bench — %a@." Config.pp config;
+  let t0 = Unix.gettimeofday () in
+  run_tables config;
+  if not options.skip_figures then begin
+    run_figure2 config;
+    ignore (run_evaluation_figures config);
+    run_slrh2_check config
+  end;
+  report_tau_calibration config;
+  comm_energy_share config;
+  ablation_horizon config;
+  ablation_feasibility_mode config;
+  ablation_maxmax_tau_gate config;
+  ablation_aet_sign config;
+  ablation_machine_order config;
+  ablation_adaptive config;
+  ablation_classical_baselines config;
+  ablation_robustness config;
+  ablation_dynamic config;
+  if not options.skip_bechamel then bechamel_suite config;
+  Fmt.pr "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0)

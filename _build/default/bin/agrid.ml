@@ -1,0 +1,399 @@
+(* Command-line interface to the SLRH ad hoc grid resource manager.
+
+     agrid run       — map one scenario with a chosen heuristic
+     agrid tune      — (alpha, beta) weight search on one scenario
+     agrid dynamic   — machine loss mid-run with on-the-fly rescheduling
+     agrid tables    — regenerate paper Tables 1-4
+     agrid figure2   — regenerate the paper's delta-T sweep
+     agrid ub        — upper-bound details for one scenario
+     agrid calibrate — tau calibration via the greedy static heuristic
+     agrid dot       — emit a generated DAG in Graphviz format *)
+
+open Cmdliner
+open Agrid_workload
+open Agrid_sched
+open Agrid_core
+
+(* ---- shared arguments ---- *)
+
+let seed_t =
+  Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
+
+let scale_t =
+  Arg.(
+    value
+    & opt float 0.125
+    & info [ "scale" ] ~docv:"FACTOR"
+        ~doc:"Workload scale as a fraction of the paper's |T| = 1024 (tau and batteries scale along; 1.0 = full paper scale).")
+
+let case_t =
+  let parse = function
+    | "A" | "a" -> Ok Agrid_platform.Grid.A
+    | "B" | "b" -> Ok Agrid_platform.Grid.B
+    | "C" | "c" -> Ok Agrid_platform.Grid.C
+    | s -> Error (`Msg (Fmt.str "unknown case %S (expected A, B or C)" s))
+  in
+  let print ppf c = Fmt.string ppf (Agrid_platform.Grid.case_name c) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Agrid_platform.Grid.A
+    & info [ "case" ] ~docv:"CASE" ~doc:"Grid configuration: A (2 fast + 2 slow), B, or C.")
+
+let etc_t = Arg.(value & opt int 0 & info [ "etc" ] ~docv:"N" ~doc:"ETC matrix index.")
+let dag_t = Arg.(value & opt int 0 & info [ "dag" ] ~docv:"N" ~doc:"DAG index.")
+
+let alpha_t =
+  Arg.(value & opt float 0.4 & info [ "alpha" ] ~docv:"A" ~doc:"T100 reward weight.")
+
+let beta_t =
+  Arg.(value & opt float 0.3 & info [ "beta" ] ~docv:"B" ~doc:"Energy penalty weight.")
+
+let heuristic_t =
+  let parse = function
+    | "slrh1" | "slrh-1" -> Ok `Slrh1
+    | "slrh2" | "slrh-2" -> Ok `Slrh2
+    | "slrh3" | "slrh-3" -> Ok `Slrh3
+    | "maxmax" | "max-max" -> Ok `Maxmax
+    | "minmin" | "min-min" -> Ok `Minmin
+    | "lrnn" -> Ok `Lrnn
+    | "greedy" -> Ok `Greedy
+    | "random" -> Ok `Random
+    | s -> Error (`Msg (Fmt.str "unknown heuristic %S" s))
+  in
+  let print ppf h =
+    Fmt.string ppf
+      (match h with
+      | `Slrh1 -> "slrh1" | `Slrh2 -> "slrh2" | `Slrh3 -> "slrh3"
+      | `Maxmax -> "maxmax" | `Minmin -> "minmin" | `Lrnn -> "lrnn"
+      | `Greedy -> "greedy" | `Random -> "random")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Slrh1
+    & info [ "heuristic" ] ~docv:"NAME"
+        ~doc:"One of slrh1, slrh2, slrh3, maxmax, minmin, lrnn, greedy, random.")
+
+let delta_t_t =
+  Arg.(value & opt int 10 & info [ "delta-t" ] ~docv:"CYCLES" ~doc:"SLRH timestep.")
+
+let horizon_t =
+  Arg.(value & opt int 100 & info [ "horizon" ] ~docv:"CYCLES" ~doc:"SLRH receding horizon.")
+
+let spec_of ~seed ~scale =
+  if scale >= 1. then Spec.paper_scale ~seed () else Spec.scaled ~seed ~factor:scale ()
+
+let workload_of ~seed ~scale ~etc ~dag ~case =
+  Workload.build (spec_of ~seed ~scale) ~etc_index:etc ~dag_index:dag ~case
+
+(* ---- run ---- *)
+
+(* ASCII Gantt of a finished schedule: one lane per machine execution slot
+   ('P' primary, 's' secondary) and one per communication direction ('x'). *)
+let print_gantt schedule =
+  let wl = Schedule.workload schedule in
+  let m = Workload.n_machines wl in
+  let exec_lane j =
+    let intervals = ref [] in
+    Array.iter
+      (fun (p : Schedule.placement) ->
+        if p.Schedule.machine = j then
+          intervals :=
+            ( p.Schedule.start,
+              p.Schedule.stop,
+              if Version.is_primary p.Schedule.version then 'P' else 's' )
+            :: !intervals)
+      (Schedule.placements schedule);
+    Agrid_report.Gantt.lane ~name:(Fmt.str "machine %d exec" j) !intervals
+  in
+  let channel_lane j ~out =
+    let intervals = ref [] in
+    Array.iter
+      (fun (tr : Schedule.transfer) ->
+        let machine = if out then tr.Schedule.src else tr.Schedule.dst in
+        if machine = j then
+          intervals := (tr.Schedule.start, tr.Schedule.stop, 'x') :: !intervals)
+      (Schedule.transfers schedule);
+    Agrid_report.Gantt.lane
+      ~name:(Fmt.str "machine %d %s" j (if out then "out" else "in"))
+      !intervals
+  in
+  let lanes =
+    List.concat_map
+      (fun j -> [ exec_lane j; channel_lane j ~out:true; channel_lane j ~out:false ])
+      (List.init m Fun.id)
+  in
+  Fmt.pr "%a@." (Agrid_report.Gantt.pp ~width:72)
+    (Agrid_report.Gantt.make ~title:"schedule (P primary, s secondary, x transfer)" lanes)
+
+let run_cmd =
+  let action seed scale case etc dag heuristic alpha beta delta_t horizon gantt trace_file =
+    let workload = workload_of ~seed ~scale ~etc ~dag ~case in
+    let weights = Objective.make_weights ~alpha ~beta in
+    Fmt.pr "%a@." Workload.pp workload;
+    let tracer =
+      match trace_file with None -> None | Some _ -> Some (Trace.create ())
+    in
+    let schedule, wall =
+      match heuristic with
+      | (`Slrh1 | `Slrh2 | `Slrh3) as h ->
+          let variant =
+            match h with `Slrh1 -> Slrh.V1 | `Slrh2 -> Slrh.V2 | `Slrh3 -> Slrh.V3
+          in
+          let params =
+            { (Slrh.default_params ~variant weights) with Slrh.delta_t; horizon; tracer }
+          in
+          let o = Slrh.run params workload in
+          Fmt.pr "%s: %a@." (Slrh.variant_to_string variant) Slrh.pp_outcome o;
+          (o.Slrh.schedule, o.Slrh.wall_seconds)
+      | `Maxmax ->
+          let o =
+            Agrid_baselines.Maxmax.run (Agrid_baselines.Maxmax.default_params weights) workload
+          in
+          Fmt.pr "Max-Max: %a@." Agrid_baselines.Maxmax.pp_outcome o;
+          (o.Agrid_baselines.Maxmax.schedule, o.Agrid_baselines.Maxmax.wall_seconds)
+      | `Minmin ->
+          let o = Agrid_baselines.Minmin.run workload in
+          Fmt.pr "Min-Min: %a@." Agrid_baselines.Minmin.pp_outcome o;
+          (o.Agrid_baselines.Minmin.schedule, o.Agrid_baselines.Minmin.wall_seconds)
+      | `Lrnn ->
+          let o = Agrid_lrnn.Lrnn.run workload in
+          Fmt.pr "LRNN: %a@." Agrid_lrnn.Lrnn.pp_outcome o;
+          (o.Agrid_lrnn.Lrnn.schedule, o.Agrid_lrnn.Lrnn.wall_seconds)
+      | `Greedy ->
+          let o = Agrid_baselines.Greedy.run workload in
+          Fmt.pr "Greedy MCT: makespan=%d cycles@." o.Agrid_baselines.Greedy.makespan;
+          (o.Agrid_baselines.Greedy.schedule, o.Agrid_baselines.Greedy.wall_seconds)
+      | `Random ->
+          let o =
+            Agrid_baselines.Random_mapper.run (Agrid_prng.Splitmix64.of_int seed) workload
+          in
+          (o.Agrid_baselines.Random_mapper.schedule, o.Agrid_baselines.Random_mapper.wall_seconds)
+    in
+    let r = Validate.check schedule in
+    Fmt.pr "validation: %a@." Validate.pp_report r;
+    Fmt.pr "wall: %.4f s@." wall;
+    if gantt then print_gantt schedule;
+    (match (trace_file, tracer) with
+    | Some path, Some t ->
+        Agrid_report.Csv.write_file path ~header:Trace.csv_header (Trace.csv_rows t);
+        Fmt.pr "trace: %a -> %s@." Trace.pp_summary (Trace.summarize t) path
+    | _ -> ());
+    if Validate.feasible r then 0 else 1
+  in
+  let gantt_t = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.") in
+  let trace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"Write the SLRH decision trace as CSV (SLRH variants only).")
+  in
+  let term =
+    Term.(
+      const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ heuristic_t $ alpha_t
+      $ beta_t $ delta_t_t $ horizon_t $ gantt_t $ trace_t)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Map one scenario with a chosen heuristic and validate the result.")
+    term
+
+(* ---- tune ---- *)
+
+let tune_cmd =
+  let action seed scale case etc dag heuristic adaptive =
+    let workload = workload_of ~seed ~scale ~etc ~dag ~case in
+    let runner =
+      match heuristic with
+      | `Slrh1 -> Agrid_tuner.Weight_search.slrh_runner Slrh.V1
+      | `Slrh2 -> Agrid_tuner.Weight_search.slrh_runner Slrh.V2
+      | `Slrh3 -> Agrid_tuner.Weight_search.slrh_runner Slrh.V3
+      | `Maxmax -> Agrid_tuner.Weight_search.maxmax_runner
+      | `Minmin | `Lrnn | `Greedy | `Random ->
+          Fmt.epr "tune: only slrh1/slrh2/slrh3/maxmax are tunable@.";
+          exit 2
+    in
+    if adaptive then begin
+      let r = Agrid_tuner.Adaptive.tune runner workload in
+      List.iter (fun s -> Fmt.pr "%a@." Agrid_tuner.Adaptive.pp_step s) r.Agrid_tuner.Adaptive.trace;
+      match r.Agrid_tuner.Adaptive.best with
+      | Some b ->
+          Fmt.pr "best: %a@." Agrid_tuner.Weight_search.pp_run_result b;
+          0
+      | None ->
+          Fmt.pr "no feasible weight point found@.";
+          1
+    end
+    else begin
+      let r = Agrid_tuner.Weight_search.search runner workload in
+      Fmt.pr "%d evaluations, %d feasible points@." r.Agrid_tuner.Weight_search.evaluations
+        (List.length r.Agrid_tuner.Weight_search.feasible_points);
+      match r.Agrid_tuner.Weight_search.best with
+      | Some b ->
+          Fmt.pr "best: %a@." Agrid_tuner.Weight_search.pp_run_result b;
+          0
+      | None ->
+          Fmt.pr "no feasible weight point found@.";
+          1
+    end
+  in
+  let adaptive_t =
+    Arg.(value & flag & info [ "adaptive" ] ~doc:"Use adaptive multiplier adjustment instead of the grid search.")
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Search (alpha, beta) for the best feasible T100 on one scenario.")
+    Term.(const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ heuristic_t $ adaptive_t)
+
+(* ---- dynamic ---- *)
+
+let dynamic_cmd =
+  let action seed scale etc dag alpha beta machine at_fraction =
+    let workload = workload_of ~seed ~scale ~etc ~dag ~case:Agrid_platform.Grid.A in
+    let weights = Objective.make_weights ~alpha ~beta in
+    let at = int_of_float (float_of_int (Workload.tau workload) *. at_fraction) in
+    let o = Dynamic.run_with_loss (Slrh.default_params weights) workload { Dynamic.at; machine } in
+    Fmt.pr "%a@." Dynamic.pp_outcome o;
+    let r = Validate.check o.Dynamic.schedule in
+    Fmt.pr "validation: %a@." Validate.pp_report r;
+    if Validate.feasible r && o.Dynamic.ledger_energy_ok then 0 else 1
+  in
+  let machine_t =
+    Arg.(value & opt int 3 & info [ "machine" ] ~docv:"J" ~doc:"Machine lost (Case A indexing: 0-1 fast, 2-3 slow).")
+  in
+  let at_t =
+    Arg.(value & opt float 0.25 & info [ "at" ] ~docv:"FRACTION" ~doc:"Loss instant as a fraction of tau.")
+  in
+  Cmd.v
+    (Cmd.info "dynamic" ~doc:"Lose a machine mid-run and reschedule on-the-fly (extension).")
+    Term.(const action $ seed_t $ scale_t $ etc_t $ dag_t $ alpha_t $ beta_t $ machine_t $ at_t)
+
+(* ---- tables ---- *)
+
+let config_of_options seed scale etcs dags =
+  let open Agrid_exper in
+  let base = Config.default ~seed () in
+  { base with Config.spec = spec_of ~seed ~scale; n_etcs = etcs; n_dags = dags }
+
+let tables_cmd =
+  let action seed scale etcs dags =
+    let open Agrid_exper in
+    let config = config_of_options seed scale etcs dags in
+    Fmt.pr "%a@.@." Agrid_report.Table.pp (Experiments.table1 ());
+    Fmt.pr "%a@.@." Agrid_report.Table.pp (Experiments.table2 ());
+    Fmt.pr "%a@.@." Agrid_report.Table.pp (Experiments.table3 config);
+    Fmt.pr "%a@." Agrid_report.Table.pp (Experiments.table4 config);
+    0
+  in
+  let etcs_t = Arg.(value & opt int 10 & info [ "etcs" ] ~docv:"N" ~doc:"Number of ETC matrices.") in
+  let dags_t = Arg.(value & opt int 3 & info [ "dags" ] ~docv:"N" ~doc:"Number of DAGs.") in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate paper Tables 1-4.")
+    Term.(const action $ seed_t $ scale_t $ etcs_t $ dags_t)
+
+(* ---- figure2 ---- *)
+
+let figure2_cmd =
+  let action seed scale =
+    let open Agrid_exper in
+    let config = config_of_options seed scale 1 2 in
+    Fmt.pr "%a@." Agrid_report.Series.pp (Experiments.figure2 config);
+    0
+  in
+  Cmd.v
+    (Cmd.info "figure2" ~doc:"Regenerate the paper's delta-T sweep (Figure 2).")
+    Term.(const action $ seed_t $ scale_t)
+
+(* ---- ub ---- *)
+
+let ub_cmd =
+  let action seed scale case etc =
+    let spec = spec_of ~seed ~scale in
+    let etc_full = Workload.etc_for_spec spec ~etc_index:etc in
+    let etc_case = Agrid_etc.Etc.for_case etc_full case in
+    let grid = Agrid_platform.Grid.of_case ~battery_scale:spec.Spec.battery_scale case in
+    let r = Upper_bound.compute ~etc:etc_case ~grid ~tau_seconds:spec.Spec.tau_seconds in
+    Fmt.pr "%s, ETC %d: %a@." (Agrid_platform.Grid.case_name case) etc Upper_bound.pp r;
+    Array.iteri
+      (fun j mr -> Fmt.pr "  MR(%d) = %.3f@." j mr)
+      (Upper_bound.min_ratios etc_case);
+    0
+  in
+  Cmd.v
+    (Cmd.info "ub" ~doc:"Equivalent-computing-cycles upper bound for one scenario.")
+    Term.(const action $ seed_t $ scale_t $ case_t $ etc_t)
+
+(* ---- calibrate ---- *)
+
+let calibrate_cmd =
+  let action seed scale slack probes =
+    let spec = spec_of ~seed ~scale in
+    let tau = Agrid_baselines.Calibrate.tau_cycles ~slack ~n_probes:probes spec in
+    Fmt.pr "spec tau: %d cycles@." (Spec.tau_cycles spec);
+    Fmt.pr "greedy-calibrated tau (slack %.2f, %d probes): %d cycles@." slack probes tau;
+    0
+  in
+  let slack_t = Arg.(value & opt float 1.0 & info [ "slack" ] ~docv:"S" ~doc:"Slack factor.") in
+  let probes_t = Arg.(value & opt int 3 & info [ "probes" ] ~docv:"N" ~doc:"Scenarios probed.") in
+  Cmd.v
+    (Cmd.info "calibrate" ~doc:"Calibrate tau from greedy static heuristic makespans (paper method).")
+    Term.(const action $ seed_t $ scale_t $ slack_t $ probes_t)
+
+(* ---- export / import ---- *)
+
+let export_cmd =
+  let action seed scale case etc dag out =
+    let spec = spec_of ~seed ~scale in
+    (match out with
+    | Some path ->
+        Serialize.save_file path spec ~etc_index:etc ~dag_index:dag ~case;
+        Fmt.pr "scenario written to %s@." path
+    | None -> Fmt.pr "%s" (Serialize.to_string spec ~etc_index:etc ~dag_index:dag ~case));
+    0
+  in
+  let out_t =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Pin a scenario's full artefacts to a portable text file.")
+    Term.(const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ out_t)
+
+let import_cmd =
+  let action path alpha beta =
+    let workload = Serialize.load_file path in
+    Fmt.pr "loaded %a@." Workload.pp workload;
+    let weights = Objective.make_weights ~alpha ~beta in
+    let o = Slrh.run (Slrh.default_params weights) workload in
+    Fmt.pr "SLRH-1: %a@." Slrh.pp_outcome o;
+    let r = Validate.check o.Slrh.schedule in
+    Fmt.pr "validation: %a@." Validate.pp_report r;
+    if Validate.feasible r then 0 else 1
+  in
+  let path_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Scenario file from `agrid export`.")
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Load a pinned scenario file and map it with SLRH-1.")
+    Term.(const action $ path_t $ alpha_t $ beta_t)
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let action seed scale dag =
+    let spec = spec_of ~seed ~scale in
+    let d = Workload.dag_for_spec spec ~dag_index:dag in
+    Fmt.pr "%s" (Agrid_dag.Dot.to_string ~name:(Fmt.str "dag%d" dag) d);
+    0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a generated task DAG in Graphviz format.")
+    Term.(const action $ seed_t $ scale_t $ dag_t)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "agrid" ~version:"1.0.0"
+      ~doc:"Lagrangian receding horizon resource management for ad hoc grids (IPDPS 2004 reproduction)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ run_cmd; tune_cmd; dynamic_cmd; tables_cmd; figure2_cmd; ub_cmd;
+            calibrate_cmd; export_cmd; import_cmd; dot_cmd ]))

@@ -1,0 +1,1 @@
+examples/compare_heuristics.ml: Agrid_baselines Agrid_core Agrid_lrnn Agrid_platform Agrid_prng Agrid_report Agrid_sched Agrid_workload Fmt List Objective Slrh Spec Validate Workload

@@ -1,0 +1,1 @@
+examples/compare_heuristics.mli:

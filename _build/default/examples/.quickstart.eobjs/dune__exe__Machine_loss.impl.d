@@ -1,0 +1,1 @@
+examples/machine_loss.ml: Agrid_core Agrid_platform Agrid_report Agrid_sched Agrid_workload Dynamic Fmt List Objective Slrh Spec Validate Workload

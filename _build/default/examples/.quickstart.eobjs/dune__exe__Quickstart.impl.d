@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agrid_core Agrid_dag Agrid_platform Agrid_sched Agrid_workload Array Fmt Objective Schedule Slrh Spec Upper_bound Validate Version Workload

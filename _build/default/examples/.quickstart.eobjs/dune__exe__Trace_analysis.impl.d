@@ -1,0 +1,1 @@
+examples/trace_analysis.ml: Agrid_core Agrid_platform Agrid_report Agrid_sched Agrid_workload Array Filename Float Fmt List Objective Schedule Slrh Spec Trace Version Workload

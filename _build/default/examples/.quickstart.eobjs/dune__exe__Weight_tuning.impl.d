@@ -1,0 +1,1 @@
+examples/weight_tuning.ml: Adaptive Agrid_core Agrid_platform Agrid_tuner Agrid_workload Char Float Fmt List Objective Slrh Spec Weight_search Workload

@@ -1,0 +1,83 @@
+(* Compare the dynamic SLRH variants against the static Max-Max baseline
+   across the paper's three grid configurations (the Figure 4/6 story on a
+   single scenario):
+
+     dune exec examples/compare_heuristics.exe
+
+   Each heuristic runs at the same fixed weights; see
+   examples/weight_tuning.exe for per-scenario tuning. *)
+
+open Agrid_workload
+open Agrid_sched
+open Agrid_core
+
+let weights = Objective.make_weights ~alpha:0.4 ~beta:0.3
+
+let run_one workload = function
+  | `Slrh variant ->
+      let o = Slrh.run (Slrh.default_params ~variant weights) workload in
+      (o.Slrh.schedule, o.Slrh.wall_seconds)
+  | `Maxmax ->
+      let o = Agrid_baselines.Maxmax.run (Agrid_baselines.Maxmax.default_params weights) workload in
+      (o.Agrid_baselines.Maxmax.schedule, o.Agrid_baselines.Maxmax.wall_seconds)
+  | `Greedy ->
+      let o = Agrid_baselines.Greedy.run workload in
+      (o.Agrid_baselines.Greedy.schedule, o.Agrid_baselines.Greedy.wall_seconds)
+  | `Random ->
+      let o =
+        Agrid_baselines.Random_mapper.run (Agrid_prng.Splitmix64.of_int 7) workload
+      in
+      (o.Agrid_baselines.Random_mapper.schedule, o.Agrid_baselines.Random_mapper.wall_seconds)
+  | `Minmin ->
+      let o = Agrid_baselines.Minmin.run workload in
+      (o.Agrid_baselines.Minmin.schedule, o.Agrid_baselines.Minmin.wall_seconds)
+  | `Lrnn ->
+      let o = Agrid_lrnn.Lrnn.run workload in
+      (o.Agrid_lrnn.Lrnn.schedule, o.Agrid_lrnn.Lrnn.wall_seconds)
+
+let heuristics =
+  [
+    ("SLRH-1", `Slrh Slrh.V1);
+    ("SLRH-2", `Slrh Slrh.V2);
+    ("SLRH-3", `Slrh Slrh.V3);
+    ("Max-Max", `Maxmax);
+    ("Min-Min", `Minmin);
+    ("LRNN static", `Lrnn);
+    ("Greedy MCT", `Greedy);
+    ("Random", `Random);
+  ]
+
+let () =
+  let spec = Spec.default ~seed:42 () in
+  let rows =
+    List.concat_map
+      (fun case ->
+        let workload = Workload.build spec ~etc_index:0 ~dag_index:0 ~case in
+        List.map
+          (fun (name, h) ->
+            let schedule, wall = run_one workload h in
+            let r = Validate.check schedule in
+            [
+              Agrid_platform.Grid.case_name case;
+              name;
+              string_of_int r.Validate.t100;
+              string_of_int r.Validate.aet;
+              Fmt.str "%.2f" r.Validate.tec;
+              (if Validate.feasible r then "yes" else "NO");
+              Fmt.str "%.4f" wall;
+            ])
+          heuristics)
+      Agrid_platform.Grid.all_cases
+  in
+  Fmt.pr "%a@." Agrid_report.Table.pp
+    (Agrid_report.Table.make
+       ~title:
+         (Fmt.str "Heuristic comparison at fixed weights %a (|T| = %d, tau = %d cycles)"
+            Objective.pp_weights weights spec.Spec.n_tasks (Spec.tau_cycles spec))
+       ~columns:[ "Case"; "Heuristic"; "T100"; "AET"; "TEC"; "feasible"; "wall s" ]
+       ~rows);
+  Fmt.pr
+    "Notes: Greedy MCT ignores energy (it calibrates tau); Random is the sanity floor;@.";
+  Fmt.pr
+    "feasible = all %d subtasks mapped within energy and time constraints.@."
+    spec.Spec.n_tasks

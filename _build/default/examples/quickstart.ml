@@ -1,0 +1,66 @@
+(* Quickstart: generate one ad hoc grid scenario, map it with SLRH-1, and
+   inspect the result.
+
+     dune exec examples/quickstart.exe
+
+   Walks through the whole public API surface: spec -> workload -> weights
+   -> heuristic run -> validation. *)
+
+open Agrid_workload
+open Agrid_sched
+open Agrid_core
+
+(* Metrics comes from the schedule engine; alias to avoid confusion with
+   Agrid_dag.Metrics used below. *)
+module Metrics = Agrid_sched.Metrics
+
+let () =
+  (* 1. A scenario spec: |T| = 128 subtasks, proportionally scaled from the
+     paper's 1024-subtask study (same constraints bind). Everything derives
+     deterministically from the seed. *)
+  let spec = Spec.default ~seed:42 () in
+  Fmt.pr "spec: %a@." Spec.pp spec;
+
+  (* 2. Instantiate scenario 0 on the baseline grid (Case A: 2 fast + 2
+     slow machines). etc_index/dag_index select which of the random ETC
+     matrices and task DAGs to use. *)
+  let workload = Workload.build spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A in
+  Fmt.pr "workload: %a@." Workload.pp workload;
+  Fmt.pr "dag: %a@." Agrid_dag.Metrics.pp (Agrid_dag.Metrics.compute (Workload.dag workload));
+
+  (* 3. Objective weights: alpha rewards primary versions, beta penalises
+     energy, gamma (= 1 - alpha - beta) rewards using the time budget. *)
+  let weights = Objective.make_weights ~alpha:0.4 ~beta:0.3 in
+
+  (* 4. Run the Simplified Lagrangian Receding Horizon heuristic,
+     variant 1: clock-driven, one assignment per machine per timestep. *)
+  let outcome = Slrh.run (Slrh.default_params weights) workload in
+  Fmt.pr "@.SLRH-1: %a@." Slrh.pp_outcome outcome;
+
+  (* 5. Validate the final schedule independently: precedence, machine and
+     channel exclusivity, per-machine energy, the tau deadline. *)
+  let report = Validate.check outcome.Slrh.schedule in
+  Fmt.pr "validation: %a@." Validate.pp_report report;
+
+  (* 6. Compare against the equivalent-computing-cycles upper bound. *)
+  let bound =
+    Upper_bound.compute ~etc:(Workload.etc workload) ~grid:(Workload.grid workload)
+      ~tau_seconds:spec.Spec.tau_seconds
+  in
+  Fmt.pr "upper bound: %a@." Upper_bound.pp bound;
+  Fmt.pr "@.T100 = %d of %d subtasks ran as primaries (%.0f%% of the upper bound)@."
+    report.Validate.t100 (Workload.n_tasks workload)
+    (100. *. float_of_int report.Validate.t100 /. float_of_int bound.Upper_bound.t100_bound);
+
+  (* 7. Utilisation metrics: where did the time and energy go? *)
+  Fmt.pr "@.%a@." Metrics.pp (Metrics.compute outcome.Slrh.schedule);
+
+  (* 8. Peek at the first few placements. *)
+  Fmt.pr "@.first placements:@.";
+  let placements = Schedule.placements outcome.Slrh.schedule in
+  Array.iteri
+    (fun i (p : Schedule.placement) ->
+      if i < 8 then
+        Fmt.pr "  task %3d -> machine %d, %a, cycles [%d, %d)@." p.Schedule.task
+          p.Schedule.machine Version.pp p.Schedule.version p.Schedule.start p.Schedule.stop)
+    placements

@@ -1,0 +1,74 @@
+(* Lagrangian weight tuning on one scenario (the Figure 3 methodology):
+
+     dune exec examples/weight_tuning.exe
+
+   Renders the feasibility landscape over the (alpha, beta) simplex, runs
+   the paper's coarse+fine grid search, and compares it with the adaptive
+   multiplier-adjustment extension. *)
+
+open Agrid_workload
+open Agrid_core
+open Agrid_tuner
+
+let () =
+  let spec = Spec.default ~seed:42 () in
+  let workload = Workload.build spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.C in
+  let runner = Weight_search.slrh_runner Slrh.V1 in
+
+  (* landscape: one character per coarse grid point; rows = alpha, columns
+     = beta. '.' infeasible, digits = T100 decile among feasible points *)
+  Fmt.pr "SLRH-1 feasibility landscape on %a (rows alpha 0->1, cols beta 0->1):@.@."
+    Workload.pp workload;
+  let results =
+    List.map
+      (fun (alpha, beta) ->
+        ((alpha, beta), runner (Objective.make_weights ~alpha ~beta) workload))
+      (Weight_search.simplex_grid ~step:0.1)
+  in
+  let best_t100 =
+    List.fold_left
+      (fun acc (_, r) ->
+        if r.Weight_search.feasible then max acc r.Weight_search.t100 else acc)
+      1 results
+  in
+  for ia = 0 to 10 do
+    let alpha = float_of_int ia /. 10. in
+    Fmt.pr "  a=%.1f " alpha;
+    for ib = 0 to 10 do
+      let beta = float_of_int ib /. 10. in
+      let cell =
+        match
+          List.find_opt
+            (fun ((a, b), _) ->
+              Float.abs (a -. alpha) < 1e-9 && Float.abs (b -. beta) < 1e-9)
+            results
+        with
+        | None -> ' ' (* outside the simplex *)
+        | Some (_, r) when not r.Weight_search.feasible -> '.'
+        | Some (_, r) ->
+            let decile = 9 * r.Weight_search.t100 / max 1 best_t100 in
+            Char.chr (Char.code '0' + min 9 decile)
+      in
+      Fmt.pr "%c" cell
+    done;
+    Fmt.pr "@."
+  done;
+  Fmt.pr "@.('.' = infeasible; digit = T100 as a 0-9 scale of the best %d)@.@." best_t100;
+
+  (* the paper's two-stage search *)
+  let search = Weight_search.search runner workload in
+  (match search.Weight_search.best with
+  | None -> Fmt.pr "grid search: no feasible weight point@."
+  | Some b ->
+      Fmt.pr "grid search (%d evaluations): %a@." search.Weight_search.evaluations
+        Weight_search.pp_run_result b);
+
+  (* adaptive multiplier adjustment (future-work extension) *)
+  let adaptive = Adaptive.tune runner workload in
+  (match adaptive.Adaptive.best with
+  | None -> Fmt.pr "adaptive: no feasible point found@."
+  | Some b ->
+      Fmt.pr "adaptive (%d evaluations): %a@." adaptive.Adaptive.evaluations
+        Weight_search.pp_run_result b);
+  Fmt.pr "@.adaptive trace:@.";
+  List.iter (fun s -> Fmt.pr "  %a@." Adaptive.pp_step s) adaptive.Adaptive.trace

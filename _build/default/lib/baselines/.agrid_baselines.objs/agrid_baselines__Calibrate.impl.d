@@ -1,0 +1,1 @@
+lib/baselines/calibrate.ml: Agrid_platform Agrid_stats Agrid_workload Array Float Greedy Spec Workload

@@ -1,0 +1,1 @@
+lib/baselines/calibrate.mli: Agrid_platform Agrid_workload Spec

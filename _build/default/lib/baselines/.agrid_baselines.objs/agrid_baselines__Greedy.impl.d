@@ -1,0 +1,1 @@
+lib/baselines/greedy.ml: Agrid_dag Agrid_sched Agrid_workload Array Schedule Unix Version Workload

@@ -1,0 +1,1 @@
+lib/baselines/greedy.mli: Agrid_sched Agrid_workload Schedule Version Workload

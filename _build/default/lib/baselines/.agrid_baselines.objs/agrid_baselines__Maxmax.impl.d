@@ -1,0 +1,1 @@
+lib/baselines/maxmax.ml: Agrid_core Agrid_sched Agrid_workload Feasibility Fmt List Objective Schedule Unix Version Workload

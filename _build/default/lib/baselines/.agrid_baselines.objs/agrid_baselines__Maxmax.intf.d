@@ -1,0 +1,1 @@
+lib/baselines/maxmax.mli: Agrid_core Agrid_sched Agrid_workload Feasibility Format Objective Schedule

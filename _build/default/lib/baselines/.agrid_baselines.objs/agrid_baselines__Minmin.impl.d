@@ -1,0 +1,1 @@
+lib/baselines/minmin.ml: Agrid_core Agrid_sched Agrid_workload Feasibility Fmt List Schedule Unix Version Workload

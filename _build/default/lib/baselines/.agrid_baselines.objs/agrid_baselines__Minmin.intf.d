@@ -1,0 +1,1 @@
+lib/baselines/minmin.mli: Agrid_core Agrid_sched Agrid_workload Format Schedule

@@ -1,0 +1,1 @@
+lib/baselines/random_mapper.ml: Agrid_dag Agrid_prng Agrid_sched Agrid_workload Array Schedule Unix Version Workload

@@ -1,0 +1,1 @@
+lib/baselines/random_mapper.mli: Agrid_prng Agrid_sched Agrid_workload Schedule

@@ -1,0 +1,15 @@
+(** Minimum-completion-time (MCT) list scheduler — the "simple greedy static
+    heuristic" the paper used to select tau (Section III). Ignores energy. *)
+
+open Agrid_workload
+open Agrid_sched
+
+type outcome = {
+  schedule : Schedule.t;
+  makespan : int;  (** cycles *)
+  wall_seconds : float;
+}
+
+val run : ?version:Version.t -> Workload.t -> outcome
+(** Maps every task (default: primary version) in topological order to the
+    machine finishing it earliest. Always completes. *)

@@ -1,0 +1,31 @@
+(** The Max-Max static baseline heuristic (paper Section V): Ibarra-Kim
+    style greedy over the SLRH objective with per-version feasibility and
+    schedule-hole insertion. *)
+
+open Agrid_sched
+open Agrid_core
+
+type params = {
+  weights : Objective.weights;
+  feas_mode : Feasibility.mode;
+  respect_tau : bool;
+      (** reject placements finishing beyond tau (default true; see
+          DESIGN.md section 5) *)
+}
+
+val default_params : Objective.weights -> params
+
+type stats = {
+  rounds : int;
+  plans_evaluated : int;
+}
+
+type outcome = {
+  schedule : Schedule.t;
+  completed : bool;
+  stats : stats;
+  wall_seconds : float;  (** heuristic execution time (Figure 6 metric) *)
+}
+
+val run : params -> Agrid_workload.Workload.t -> outcome
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Agrid_dag Agrid_platform Agrid_sched Agrid_workload Array Fmt Schedule Slrh Workload

@@ -1,0 +1,1 @@
+lib/core/dynamic.mli: Agrid_sched Agrid_workload Format Schedule Slrh

@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Agrid_sched Agrid_workload List Schedule Version Workload

@@ -1,0 +1,1 @@
+lib/core/feasibility.mli: Agrid_sched Agrid_workload Schedule Version

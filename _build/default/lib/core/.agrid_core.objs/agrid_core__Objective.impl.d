@@ -1,0 +1,1 @@
+lib/core/objective.ml: Agrid_dag Agrid_platform Agrid_sched Agrid_workload Array Float Fmt Schedule Timeline Version Workload

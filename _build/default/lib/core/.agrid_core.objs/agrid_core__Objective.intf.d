@@ -1,0 +1,1 @@
+lib/core/objective.mli: Agrid_sched Agrid_workload Format Schedule Version

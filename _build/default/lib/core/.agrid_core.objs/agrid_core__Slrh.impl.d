@@ -1,0 +1,1 @@
+lib/core/slrh.ml: Agrid_par Agrid_platform Agrid_sched Agrid_workload Array Feasibility Float Fmt Fun List Objective Schedule Trace Unix Workload

@@ -1,0 +1,1 @@
+lib/core/slrh.mli: Agrid_sched Agrid_workload Feasibility Format Objective Schedule Trace

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Agrid_workload Array Fmt List Version

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Agrid_workload Format Version

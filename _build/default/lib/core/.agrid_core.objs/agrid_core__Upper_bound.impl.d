@@ -1,0 +1,1 @@
+lib/core/upper_bound.ml: Agrid_etc Agrid_platform Array Float Fmt Grid Machine

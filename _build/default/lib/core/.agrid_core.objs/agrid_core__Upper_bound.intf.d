@@ -1,0 +1,1 @@
+lib/core/upper_bound.mli: Agrid_etc Agrid_platform Format

@@ -1,0 +1,53 @@
+(** Dynamic grid events: machine loss mid-run with on-the-fly SLRH
+    rescheduling — the ad hoc transition the paper's three static cases
+    bracket (extension; see DESIGN.md S14).
+
+    Loss semantics: work survives iff it finished before the loss on a
+    surviving machine and all its ancestors survive; everything else is
+    rescheduled from the loss instant on the reduced grid; energy burned by
+    discarded work on surviving machines is charged as sunk cost. *)
+
+open Agrid_sched
+
+type loss = { at : int  (** cycles *); machine : int }
+
+type outcome = {
+  schedule : Schedule.t;  (** final schedule, on the reduced grid *)
+  workload : Agrid_workload.Workload.t;
+  completed : bool;
+  n_survivors : int;
+  n_discarded : int;
+  sunk_energy : float;
+  ledger_energy_ok : bool;
+      (** engine ledger (including sunk energy) within every battery —
+          check alongside {!Validate.check}, which cannot see sunk cost *)
+  pre_loss : Slrh.outcome;
+  post_loss : Slrh.outcome;
+}
+
+val run_with_loss : Slrh.params -> Agrid_workload.Workload.t -> loss -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type outage_outcome = {
+  o_schedule : Schedule.t;  (** final schedule, original grid and indices *)
+  o_completed : bool;
+  o_n_discarded : int;
+  o_sunk_energy : float;
+  o_ledger_energy_ok : bool;
+  o_during : outcome;  (** the loss-phase outcome (reduced grid) *)
+}
+
+val run_with_outage :
+  Slrh.params ->
+  Agrid_workload.Workload.t ->
+  machine:int ->
+  from_:int ->
+  until_:int ->
+  outage_outcome
+(** Temporary outage: [machine] disappears during [\[from_, until_)] and
+    rejoins (with its battery debited for pre-outage burn). Phases: full
+    grid, reduced grid, full grid again.
+    @raise Invalid_argument when [until_ < from_]. *)
+
+val pp_outage : Format.formatter -> outage_outcome -> unit

@@ -1,0 +1,48 @@
+(* Candidate-pool feasibility (paper Section IV): a subtask may enter the
+   pool U for machine j iff
+     (a) all of its parents are already mapped, and
+     (b) machine j retains enough energy to run at least the SECONDARY
+         version AND push all of its output data to its children.
+
+   Condition (b) cannot be exact — the children are unmapped, so their
+   link bandwidths are unknown. The paper resolves this with a worst-case
+   assumption (every child on the lowest-bandwidth connection in the grid);
+   [Optimistic] is the ablation variant that assumes children are co-located
+   (zero communication energy), isolating how much the conservatism costs. *)
+
+open Agrid_workload
+open Agrid_sched
+
+type mode = Conservative | Optimistic
+
+let mode_to_string = function
+  | Conservative -> "conservative"
+  | Optimistic -> "optimistic"
+
+(* Energy machine [j] must still hold for (task, version) to be admissible:
+   the version's execution energy plus its child-communication bound. *)
+let required_energy ?(mode = Conservative) sched ~task ~machine ~version =
+  let wl = Schedule.workload sched in
+  let exec = Workload.exec_energy wl ~task ~machine ~version in
+  let comm =
+    match mode with
+    | Optimistic -> 0.
+    | Conservative ->
+        Workload.worst_case_child_comm_energy wl ~task ~machine ~version
+  in
+  exec +. comm
+
+let version_feasible ?mode sched ~task ~machine ~version =
+  Schedule.energy_remaining sched machine
+  >= required_energy ?mode sched ~task ~machine ~version
+
+(* SLRH admissibility: at least the secondary version must fit (the
+   primary-vs-secondary decision is made later, by the objective). *)
+let feasible ?mode sched ~task ~machine =
+  version_feasible ?mode sched ~task ~machine ~version:Version.Secondary
+
+(* The pool U for [machine]: ready (parents mapped), unmapped, and
+   energy-admissible tasks. *)
+let candidate_pool ?mode sched ~machine =
+  List.filter (fun task -> feasible ?mode sched ~task ~machine)
+    (Schedule.ready_unmapped sched)

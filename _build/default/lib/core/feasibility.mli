@@ -1,0 +1,26 @@
+(** Candidate-pool feasibility (paper Section IV): parents mapped, plus
+    enough energy for at least the secondary version and its worst-case
+    child communication. *)
+
+open Agrid_workload
+open Agrid_sched
+
+type mode =
+  | Conservative  (** paper: every child on the worst link in the grid *)
+  | Optimistic  (** ablation: children assumed co-located (zero comm) *)
+
+val mode_to_string : mode -> string
+
+val required_energy :
+  ?mode:mode -> Schedule.t -> task:int -> machine:int -> version:Version.t -> float
+
+val version_feasible :
+  ?mode:mode -> Schedule.t -> task:int -> machine:int -> version:Version.t -> bool
+(** Does the machine retain enough energy for this specific version? (The
+    Max-Max pool assesses versions independently.) *)
+
+val feasible : ?mode:mode -> Schedule.t -> task:int -> machine:int -> bool
+(** SLRH admissibility: the secondary version fits. *)
+
+val candidate_pool : ?mode:mode -> Schedule.t -> machine:int -> int list
+(** The pool U: ready, unmapped, energy-admissible tasks for a machine. *)

@@ -1,0 +1,124 @@
+(* The global Lagrangian objective of paper Section IV:
+
+     ObjFn(alpha, beta, gamma) =
+         alpha * T100/|T|  -  beta * TEC/TSE  +  gamma * AET/tau
+
+   All three terms are normalised to [0,1]; the weights are nonnegative and
+   sum to 1, confining the objective to [-1, 1] (in practice [0,1] when
+   beta's term is small). The hard system constraints appear only as soft
+   biases here — feasibility is enforced by the candidate-pool check and by
+   post-run validation, as in the paper.
+
+   The sign of the AET term is positive on purpose: the paper found that
+   penalising AET produced short schedules with poor T100, so the final
+   term *rewards* using the available time up to tau. *)
+
+open Agrid_workload
+open Agrid_sched
+
+(* [aet_sign] reproduces the paper's design discussion: the published
+   objective REWARDS late completion (+gamma, "encourage use of all of the
+   available time"); the rejected alternative penalised it and "caused the
+   heuristic to produce very short AET solutions, but with correspondingly
+   lower T100 values". [Penalise] exists for the bench ablation that
+   reproduces that claim. *)
+type aet_sign = Reward | Penalise
+
+type weights = { alpha : float; beta : float; gamma : float; aet_sign : aet_sign }
+
+let make_weights ~alpha ~beta =
+  if alpha < 0. || beta < 0. then
+    invalid_arg "Objective.make_weights: weights must be nonnegative";
+  let gamma = 1. -. alpha -. beta in
+  if gamma < -.1e-9 then
+    invalid_arg "Objective.make_weights: alpha + beta must not exceed 1";
+  { alpha; beta; gamma = Float.max 0. gamma; aet_sign = Reward }
+
+let weights_exact ~alpha ~beta ~gamma =
+  if alpha < 0. || beta < 0. || gamma < 0. then
+    invalid_arg "Objective.weights_exact: weights must be nonnegative";
+  if Float.abs (alpha +. beta +. gamma -. 1.) > 1e-9 then
+    invalid_arg "Objective.weights_exact: weights must sum to 1";
+  { alpha; beta; gamma; aet_sign = Reward }
+
+let with_aet_sign aet_sign w = { w with aet_sign }
+
+let pp_weights ppf w =
+  Fmt.pf ppf "(a=%.3f b=%.3f g=%s%.3f)" w.alpha w.beta
+    (match w.aet_sign with Reward -> "" | Penalise -> "-")
+    w.gamma
+
+let value w ~t100 ~n_tasks ~tec ~tse ~aet ~tau =
+  let aet_term = w.gamma *. (float_of_int aet /. float_of_int tau) in
+  (w.alpha *. (float_of_int t100 /. float_of_int n_tasks))
+  -. (w.beta *. (tec /. tse))
+  +. (match w.aet_sign with Reward -> aet_term | Penalise -> -.aet_term)
+
+let of_schedule w sched =
+  let wl = Schedule.workload sched in
+  value w ~t100:(Schedule.n_primary sched) ~n_tasks:(Workload.n_tasks wl)
+    ~tec:(Schedule.tec sched)
+    ~tse:(Workload.total_system_energy wl)
+    ~aet:(Schedule.aet sched) ~tau:(Workload.tau wl)
+
+(* Objective as it would stand after committing [plan] (exact; used by
+   Max-Max, whose selection rule is the maximum objective increase). *)
+let after_plan w sched plan =
+  let wl = Schedule.workload sched in
+  let t100, tec, aet = Schedule.totals_after sched plan in
+  value w ~t100 ~n_tasks:(Workload.n_tasks wl) ~tec
+    ~tse:(Workload.total_system_energy wl)
+    ~aet:(Schedule.aet sched |> max aet) ~tau:(Workload.tau wl)
+
+(* Cheap candidate score used by SLRH when ordering the pool (the paper
+   scores the pool before computing exact start times; see DESIGN.md
+   section 5). The finish estimate is a lower bound: latest parent finish
+   plus that parent's transfer time if it sits on another machine, ignoring
+   channel contention and machine busy gaps. *)
+let estimate w sched ~task ~version ~machine ~now =
+  let wl = Schedule.workload sched in
+  let grid = Workload.grid wl in
+  let dag = Workload.dag wl in
+  let ready = ref now in
+  let comm_energy = ref 0. in
+  Array.iter
+    (fun (p, edge) ->
+      match Schedule.placement sched p with
+      | None -> invalid_arg "Objective.estimate: unmapped parent"
+      | Some pp ->
+          if pp.Schedule.machine = machine then ready := max !ready pp.Schedule.stop
+          else begin
+            let bits = Workload.edge_bits wl ~edge ~parent_version:pp.Schedule.version in
+            let cycles =
+              Agrid_platform.Comm.transfer_cycles grid ~src:pp.Schedule.machine
+                ~dst:machine ~bits
+            in
+            comm_energy :=
+              !comm_energy
+              +. Agrid_platform.Comm.transfer_energy grid ~src:pp.Schedule.machine
+                   ~dst:machine ~bits;
+            ready := max !ready (pp.Schedule.stop + cycles)
+          end)
+    (Agrid_dag.Dag.parent_edges dag task);
+  let start = max !ready (Timeline.horizon (Schedule.exec_timeline sched machine)) in
+  let finish = start + Workload.exec_cycles wl ~task ~machine ~version in
+  let t100 =
+    Schedule.n_primary sched + if Version.is_primary version then 1 else 0
+  in
+  let tec =
+    Schedule.tec sched
+    +. Workload.exec_energy wl ~task ~machine ~version
+    +. !comm_energy
+  in
+  let aet = max (Schedule.aet sched) finish in
+  value w ~t100 ~n_tasks:(Workload.n_tasks wl) ~tec
+    ~tse:(Workload.total_system_energy wl)
+    ~aet ~tau:(Workload.tau wl)
+
+(* Best version for a candidate under the objective: evaluate both and keep
+   the maximiser (paper Section IV: "selected the version that maximised
+   the value of the objective function"). *)
+let best_version w sched ~task ~machine ~now =
+  let ep = estimate w sched ~task ~version:Version.Primary ~machine ~now in
+  let es = estimate w sched ~task ~version:Version.Secondary ~machine ~now in
+  if ep >= es then (Version.Primary, ep) else (Version.Secondary, es)

@@ -1,0 +1,55 @@
+(** The global Lagrangian objective of paper Section IV:
+    [ObjFn = alpha*T100/|T| - beta*TEC/TSE + gamma*AET/tau], weights
+    nonnegative summing to 1. The positive AET sign is the paper's choice:
+    it rewards using the time budget, which favours primary versions. *)
+
+open Agrid_workload
+open Agrid_sched
+
+type aet_sign =
+  | Reward  (** the paper's published choice: +gamma AET/tau *)
+  | Penalise  (** the rejected alternative (ablation): -gamma AET/tau *)
+
+type weights = private {
+  alpha : float;
+  beta : float;
+  gamma : float;
+  aet_sign : aet_sign;
+}
+
+val make_weights : alpha:float -> beta:float -> weights
+(** [gamma] is [1 - alpha - beta]; AET sign defaults to the paper's
+    [Reward]. @raise Invalid_argument if negative or exceeding 1. *)
+
+val weights_exact : alpha:float -> beta:float -> gamma:float -> weights
+(** Explicit gamma; AET sign defaults to [Reward]. *)
+
+val with_aet_sign : aet_sign -> weights -> weights
+(** Flip between the paper's [Reward] and the ablation's [Penalise]. *)
+
+val pp_weights : Format.formatter -> weights -> unit
+
+val value :
+  weights ->
+  t100:int ->
+  n_tasks:int ->
+  tec:float ->
+  tse:float ->
+  aet:int ->
+  tau:int ->
+  float
+
+val of_schedule : weights -> Schedule.t -> float
+
+val after_plan : weights -> Schedule.t -> Schedule.plan -> float
+(** Exact objective after committing the plan (Max-Max's selection rule). *)
+
+val estimate :
+  weights -> Schedule.t -> task:int -> version:Version.t -> machine:int -> now:int -> float
+(** Cheap candidate score used by SLRH to order the pool before exact
+    placement (DESIGN.md section 5). @raise Invalid_argument on unmapped
+    parents. *)
+
+val best_version :
+  weights -> Schedule.t -> task:int -> machine:int -> now:int -> Version.t * float
+(** Evaluate both versions, keep the maximiser (ties favour primary). *)

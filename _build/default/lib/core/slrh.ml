@@ -1,0 +1,266 @@
+(* The Simplified Lagrangian Receding Horizon resource manager (paper
+   Section IV, flow chart of Figure 1) and its three variants (Section V).
+
+   Clock-driven: every [delta_t] cycles the heuristic sweeps the machines in
+   numerical order; for each machine that is not executing at the current
+   cycle it builds the feasible candidate pool U, scores both versions of
+   every pool member with the global objective, keeps the better version,
+   orders the pool by score, and walks it planning exact start times; the
+   first candidate whose planned start falls within the receding horizon
+   [now, now + horizon] is committed.
+
+   Variants:
+   - V1 (SLRH-1): at most one assignment per machine per timestep.
+   - V2 (SLRH-2): keeps walking the SAME pool, committing every candidate
+     that still fits the horizon, without re-scoring or re-checking energy —
+     the staleness is faithful to the paper and is precisely why SLRH-2
+     rarely produces feasible complete mappings.
+   - V3 (SLRH-3): like V2 but recreates and re-scores the pool after every
+     assignment (children of the just-mapped subtask join immediately).
+
+   "Simplified" = the Lagrangian weights stay constant for the whole run;
+   Adaptive (this library) lifts that restriction as the paper's
+   future-work extension. *)
+
+open Agrid_workload
+open Agrid_sched
+
+type variant = V1 | V2 | V3
+
+let variant_to_string = function V1 -> "SLRH-1" | V2 -> "SLRH-2" | V3 -> "SLRH-3"
+
+(* The paper sweeps machines "in simple numerical order" each timestep;
+   the alternatives are ablations on that design choice. *)
+type machine_order =
+  | Numerical  (** the paper's order *)
+  | Fast_first  (** fast-class machines before slow ones *)
+  | Most_energy_first  (** recompute each step by remaining battery *)
+
+let machine_order_to_string = function
+  | Numerical -> "numerical"
+  | Fast_first -> "fast-first"
+  | Most_energy_first -> "most-energy-first"
+
+type params = {
+  variant : variant;
+  delta_t : int;  (** timestep in clock cycles (paper: 10) *)
+  horizon : int;  (** receding horizon H in clock cycles (paper: 100) *)
+  weights : Objective.weights;
+  feas_mode : Feasibility.mode;
+  machine_order : machine_order;
+  parallel_scoring : int option;
+      (** score pool candidates on this many domains — the paper notes the
+          SLRH "is amenable to a parallel hardware implementation"
+          (Section IV); scoring is pure, so results are bit-identical to
+          the sequential path (tested). None = sequential. *)
+  tracer : Trace.t option;
+      (** record the paper's "historical record of all critical
+          parameters" (one event per decision point) *)
+}
+
+let default_params ?(variant = V1) weights =
+  {
+    variant;
+    delta_t = 10;
+    horizon = 100;
+    weights;
+    feas_mode = Feasibility.Conservative;
+    machine_order = Numerical;
+    parallel_scoring = None;
+    tracer = None;
+  }
+
+(* Visit order of the machines for one timestep. Sorting keys are stable
+   (ties fall back to the numerical order). *)
+let machine_sequence params sched ~n_machines =
+  match params.machine_order with
+  | Numerical -> Array.init n_machines Fun.id
+  | Fast_first ->
+      let grid = Agrid_workload.Workload.grid (Schedule.workload sched) in
+      let order = Array.init n_machines Fun.id in
+      let key j =
+        match (Agrid_platform.Grid.machine grid j).Agrid_platform.Machine.klass with
+        | Agrid_platform.Machine.Fast -> 0
+        | Agrid_platform.Machine.Slow -> 1
+      in
+      Array.sort (fun a b -> compare (key a, a) (key b, b)) order;
+      order
+  | Most_energy_first ->
+      let order = Array.init n_machines Fun.id in
+      Array.sort
+        (fun a b ->
+          compare
+            (-.Schedule.energy_remaining sched a, a)
+            (-.Schedule.energy_remaining sched b, b))
+        order;
+      order
+
+type stats = {
+  clock_steps : int;  (** timesteps executed *)
+  pools_built : int;
+  candidates_scored : int;
+  plans_attempted : int;
+  assignments : int;
+}
+
+type outcome = {
+  schedule : Schedule.t;
+  completed : bool;  (** all subtasks mapped before the clock passed tau *)
+  final_clock : int;
+  stats : stats;
+  wall_seconds : float;  (** heuristic execution time (Figure 6 metric) *)
+}
+
+(* One scored pool: best version and score per candidate, sorted by
+   decreasing objective. Scoring reads the schedule without mutating it, so
+   it can fan out over domains (the paper's parallel-hardware note); the
+   sort ties break on task id either way, keeping results identical. *)
+let scored_pool params sched ~machine ~now stats_candidates =
+  let pool = Feasibility.candidate_pool ~mode:params.feas_mode sched ~machine in
+  let score task =
+    let version, score =
+      Objective.best_version params.weights sched ~task ~machine ~now
+    in
+    (task, version, score)
+  in
+  stats_candidates := !stats_candidates + List.length pool;
+  let scored =
+    match params.parallel_scoring with
+    | Some domains when domains > 1 && List.length pool > 1 ->
+        Array.to_list (Agrid_par.Parallel.map ~domains score (Array.of_list pool))
+    | Some _ | None -> List.map score pool
+  in
+  List.sort
+    (fun (ta, _, a) (tb, _, b) ->
+      let c = Float.compare b a in
+      if c <> 0 then c else compare ta tb)
+    scored
+
+(* Walk a scored pool in order; plan each candidate and commit the first
+   whose start fits the horizon. Returns the committed task, if any, and
+   traces the decision. *)
+let try_assign params sched ~machine ~now ~scored plans_attempted =
+  let pool_size = List.length scored in
+  let trace kind =
+    match params.tracer with
+    | Some t -> Trace.record t ~clock:now ~machine kind
+    | None -> ()
+  in
+  let rec walk = function
+    | [] ->
+        if pool_size = 0 then trace Trace.Pool_empty
+        else trace (Trace.Horizon_miss { pool_size });
+        None
+    | (task, version, score) :: rest ->
+        if Schedule.is_mapped sched task then walk rest
+        else begin
+          incr plans_attempted;
+          let plan = Schedule.plan sched ~task ~version ~machine ~not_before:now in
+          if plan.Schedule.pl_start <= now + params.horizon then begin
+            Schedule.commit sched plan;
+            trace
+              (Trace.Assigned
+                 {
+                   task;
+                   version;
+                   start = plan.Schedule.pl_start;
+                   stop = plan.Schedule.pl_stop;
+                   score;
+                   pool_size;
+                   energy_remaining = Schedule.energy_remaining sched machine;
+                 });
+            Some task
+          end
+          else walk rest
+        end
+  in
+  walk scored
+
+let validate_params params =
+  if params.delta_t <= 0 then invalid_arg "Slrh: delta_t must be positive";
+  if params.horizon < 0 then invalid_arg "Slrh: horizon must be nonnegative"
+
+(* Drive the clock loop over an existing schedule from [start_clock] until
+   [until] (inclusive) or completion — the dynamic-grid extension resumes a
+   partially executed schedule on a reduced grid this way. *)
+let continue_run ?until ?(start_clock = 0) params sched =
+  validate_params params;
+  if start_clock < 0 then invalid_arg "Slrh: negative start clock";
+  let t0 = Unix.gettimeofday () in
+  let workload = Schedule.workload sched in
+  let n_machines = Workload.n_machines workload in
+  let tau = match until with Some u -> u | None -> Workload.tau workload in
+  let clock_steps = ref 0 in
+  let pools_built = ref 0 in
+  let candidates_scored = ref 0 in
+  let plans_attempted = ref 0 in
+  let assignments = ref 0 in
+  let now = ref start_clock in
+  while (not (Schedule.all_mapped sched)) && !now <= tau do
+    incr clock_steps;
+    let sequence = machine_sequence params sched ~n_machines in
+    let machine = ref 0 in
+    while (not (Schedule.all_mapped sched)) && !machine < n_machines do
+      let j = sequence.(!machine) in
+      if Schedule.machine_free_at sched ~machine:j ~time:!now then begin
+        match params.variant with
+        | V1 ->
+            incr pools_built;
+            let scored = scored_pool params sched ~machine:j ~now:!now candidates_scored in
+            (match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
+            | Some _ -> incr assignments
+            | None -> ())
+        | V2 ->
+            (* one stale pool, drained as far as the horizon allows *)
+            incr pools_built;
+            let scored =
+              ref (scored_pool params sched ~machine:j ~now:!now candidates_scored)
+            in
+            let continue_ = ref true in
+            while !continue_ do
+              match try_assign params sched ~machine:j ~now:!now ~scored:!scored plans_attempted with
+              | Some task ->
+                  incr assignments;
+                  scored := List.filter (fun (i, _, _) -> i <> task) !scored
+              | None -> continue_ := false
+            done
+        | V3 ->
+            (* rebuild and re-score the pool after every assignment *)
+            let continue_ = ref true in
+            while !continue_ do
+              incr pools_built;
+              let scored = scored_pool params sched ~machine:j ~now:!now candidates_scored in
+              match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
+              | Some _ -> incr assignments
+              | None -> continue_ := false
+            done
+      end;
+      incr machine
+    done;
+    if not (Schedule.all_mapped sched) then now := !now + params.delta_t
+  done;
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  {
+    schedule = sched;
+    completed = Schedule.all_mapped sched;
+    final_clock = !now;
+    stats =
+      {
+        clock_steps = !clock_steps;
+        pools_built = !pools_built;
+        candidates_scored = !candidates_scored;
+        plans_attempted = !plans_attempted;
+        assignments = !assignments;
+      };
+    wall_seconds;
+  }
+
+let run params workload = continue_run params (Schedule.create workload)
+
+let pp_stats ppf s =
+  Fmt.pf ppf "steps=%d pools=%d scored=%d plans=%d assigned=%d" s.clock_steps
+    s.pools_built s.candidates_scored s.plans_attempted s.assignments
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "%a completed=%b clock=%d wall=%.3fs [%a]" Schedule.pp o.schedule
+    o.completed o.final_clock o.wall_seconds pp_stats o.stats

@@ -1,0 +1,66 @@
+(** The Simplified Lagrangian Receding Horizon resource manager (paper
+    Sections IV-V): clock-driven candidate-pool mapping with a receding
+    horizon, in three variants.
+
+    - [V1] (SLRH-1): at most one assignment per machine per timestep.
+    - [V2] (SLRH-2): drains one stale pool per machine per timestep without
+      re-scoring or re-checking energy — faithful to the paper, and the
+      reason SLRH-2 rarely yields feasible complete mappings.
+    - [V3] (SLRH-3): rebuilds and re-scores the pool after every
+      assignment. *)
+
+open Agrid_sched
+
+type variant = V1 | V2 | V3
+
+val variant_to_string : variant -> string
+
+type machine_order =
+  | Numerical  (** the paper's "simple numerical order" *)
+  | Fast_first  (** ablation: fast-class machines first *)
+  | Most_energy_first  (** ablation: by remaining battery, per step *)
+
+val machine_order_to_string : machine_order -> string
+
+type params = {
+  variant : variant;
+  delta_t : int;  (** timestep in clock cycles (paper: 10) *)
+  horizon : int;  (** receding horizon H in clock cycles (paper: 100) *)
+  weights : Objective.weights;
+  feas_mode : Feasibility.mode;
+  machine_order : machine_order;
+  parallel_scoring : int option;
+      (** score pool candidates on this many domains (paper Section IV:
+          SLRH "is amenable to a parallel hardware implementation");
+          results are identical to the sequential path *)
+  tracer : Trace.t option;  (** record one event per decision point *)
+}
+
+val default_params : ?variant:variant -> Objective.weights -> params
+
+type stats = {
+  clock_steps : int;
+  pools_built : int;
+  candidates_scored : int;
+  plans_attempted : int;
+  assignments : int;
+}
+
+type outcome = {
+  schedule : Schedule.t;
+  completed : bool;  (** all subtasks mapped before the clock passed tau *)
+  final_clock : int;
+  stats : stats;
+  wall_seconds : float;  (** heuristic execution time (Figure 6 metric) *)
+}
+
+val run : params -> Agrid_workload.Workload.t -> outcome
+
+val continue_run :
+  ?until:int -> ?start_clock:int -> params -> Schedule.t -> outcome
+(** Drive the clock loop over an existing schedule from [start_clock] until
+    [until] (default: the workload's tau) or completion. Used by the
+    dynamic-grid extension ({!Dynamic}). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

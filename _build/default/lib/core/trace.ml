@@ -1,0 +1,104 @@
+(* Execution tracing — the paper's SLRH "stored a historical record of all
+   critical parameters for later analysis" (Section IV). A tracer attached
+   to the heuristic's params records one event per mapping decision point;
+   the record can be summarised or exported as CSV rows for external
+   analysis. Recording is append-only and O(1) per event. *)
+
+open Agrid_workload
+
+type kind =
+  | Assigned of {
+      task : int;
+      version : Version.t;
+      start : int;
+      stop : int;
+      score : float;  (** objective value that ranked the candidate *)
+      pool_size : int;
+      energy_remaining : float;  (** on the target machine, after commit *)
+    }
+  | Pool_empty  (** the machine was free but no candidate was feasible *)
+  | Horizon_miss of { pool_size : int }
+      (** candidates existed but none could start within the horizon *)
+
+type event = { clock : int; machine : int; kind : kind }
+
+type t = { mutable events : event list; mutable length : int }
+
+let create () = { events = []; length = 0 }
+
+let record t ~clock ~machine kind =
+  t.events <- { clock; machine; kind } :: t.events;
+  t.length <- t.length + 1
+
+let length t = t.length
+
+let events t = Array.of_list (List.rev t.events)
+
+type summary = {
+  n_assigned : int;
+  n_pool_empty : int;
+  n_horizon_miss : int;
+  mean_pool_size : float;  (** over assignment events *)
+  first_assignment_clock : int option;
+  last_assignment_clock : int option;
+}
+
+let summarize t =
+  let n_assigned = ref 0
+  and n_pool_empty = ref 0
+  and n_horizon_miss = ref 0
+  and pool_total = ref 0
+  and first = ref None
+  and last = ref None in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Assigned { pool_size; _ } ->
+          incr n_assigned;
+          pool_total := !pool_total + pool_size;
+          (match !first with
+          | Some c when c <= e.clock -> ()
+          | _ -> first := Some e.clock);
+          (match !last with
+          | Some c when c >= e.clock -> ()
+          | _ -> last := Some e.clock)
+      | Pool_empty -> incr n_pool_empty
+      | Horizon_miss _ -> incr n_horizon_miss)
+    t.events;
+  {
+    n_assigned = !n_assigned;
+    n_pool_empty = !n_pool_empty;
+    n_horizon_miss = !n_horizon_miss;
+    mean_pool_size =
+      (if !n_assigned = 0 then 0.
+       else float_of_int !pool_total /. float_of_int !n_assigned);
+    first_assignment_clock = !first;
+    last_assignment_clock = !last;
+  }
+
+let csv_header =
+  [ "clock"; "machine"; "event"; "task"; "version"; "start"; "stop"; "score";
+    "pool_size"; "energy_remaining" ]
+
+let csv_rows t =
+  Array.to_list (events t)
+  |> List.map (fun e ->
+         let base = [ string_of_int e.clock; string_of_int e.machine ] in
+         match e.kind with
+         | Assigned { task; version; start; stop; score; pool_size; energy_remaining } ->
+             base
+             @ [ "assigned"; string_of_int task; Version.to_string version;
+                 string_of_int start; string_of_int stop; Fmt.str "%.6f" score;
+                 string_of_int pool_size; Fmt.str "%.6f" energy_remaining ]
+         | Pool_empty -> base @ [ "pool_empty"; ""; ""; ""; ""; ""; "0"; "" ]
+         | Horizon_miss { pool_size } ->
+             base @ [ "horizon_miss"; ""; ""; ""; ""; ""; string_of_int pool_size; "" ])
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "assigned=%d pool_empty=%d horizon_miss=%d mean_pool=%.1f span=%a..%a"
+    s.n_assigned s.n_pool_empty s.n_horizon_miss s.mean_pool_size
+    Fmt.(option ~none:(any "-") int)
+    s.first_assignment_clock
+    Fmt.(option ~none:(any "-") int)
+    s.last_assignment_clock

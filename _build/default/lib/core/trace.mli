@@ -1,0 +1,44 @@
+(** Execution tracing: the paper's "historical record of all critical
+    parameters" (Section IV). Attach a tracer via {!Slrh.params} to record
+    one event per mapping decision point. *)
+
+open Agrid_workload
+
+type kind =
+  | Assigned of {
+      task : int;
+      version : Version.t;
+      start : int;
+      stop : int;
+      score : float;
+      pool_size : int;
+      energy_remaining : float;
+    }
+  | Pool_empty
+  | Horizon_miss of { pool_size : int }
+
+type event = { clock : int; machine : int; kind : kind }
+
+type t
+
+val create : unit -> t
+val record : t -> clock:int -> machine:int -> kind -> unit
+val length : t -> int
+val events : t -> event array
+(** Chronological (recording) order. *)
+
+type summary = {
+  n_assigned : int;
+  n_pool_empty : int;
+  n_horizon_miss : int;
+  mean_pool_size : float;
+  first_assignment_clock : int option;
+  last_assignment_clock : int option;
+}
+
+val summarize : t -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val csv_header : string list
+val csv_rows : t -> string list list
+(** Pair with {!Agrid_report.Csv}. *)

@@ -1,0 +1,106 @@
+(* Upper bound on T100 by "equivalent computing cycles" (paper Section VI).
+
+   Machine 0 — always a fast machine in every case — is the reference. Each
+   machine's minimum ratio
+       MR(j) = min_i ETC(i,j) / ETC(i,0)
+   is the best-case slowdown of machine j, so contributing tau / MR(j)
+   reference-seconds to the system pool over-credits every machine, keeping
+   the bound valid. The greedy then repeatedly takes the unused subtask
+   whose cheapest-energy primary placement is globally minimal, charging
+   its equivalent cycles ETC(i,j)/MR(j) and its energy ETC(i,j)*E(j) to the
+   pooled budgets, and stops at the first subtask that no longer fits. *)
+
+open Agrid_platform
+
+type result = {
+  t100_bound : int;
+  limiting : [ `Energy | `Cycles | `Complete ];
+  tecc : float; (* total equivalent computing cycles (reference seconds) *)
+  tse : float;
+  cycles_used : float;
+  energy_used : float;
+}
+
+let min_ratio etc ~machine =
+  let n = Agrid_etc.Etc.n_tasks etc in
+  let best = ref infinity in
+  for i = 0 to n - 1 do
+    let r =
+      Agrid_etc.Etc.seconds etc ~task:i ~machine
+      /. Agrid_etc.Etc.seconds etc ~task:i ~machine:0
+    in
+    if r < !best then best := r
+  done;
+  !best
+
+let min_ratios etc =
+  Array.init (Agrid_etc.Etc.n_machines etc) (fun machine -> min_ratio etc ~machine)
+
+(* Inputs are the case-restricted ETC, the (battery-scaled) grid, and tau in
+   seconds; taking them explicitly (rather than a Workload.t) lets Table 3/4
+   experiments run without generating DAGs. *)
+let compute ~etc ~grid ~tau_seconds =
+  if tau_seconds <= 0. then invalid_arg "Upper_bound.compute: tau must be positive";
+  let m = Agrid_etc.Etc.n_machines etc in
+  if m <> Grid.n_machines grid then
+    invalid_arg "Upper_bound.compute: ETC/grid machine count mismatch";
+  let n = Agrid_etc.Etc.n_tasks etc in
+  let mr = min_ratios etc in
+  let tecc = Array.fold_left (fun acc r -> acc +. (tau_seconds /. r)) 0. mr in
+  let tse = Grid.total_system_energy grid in
+  (* cheapest-energy primary placement of each subtask is static, so the
+     paper's repeated global minimum search is a single ascending walk *)
+  let best_of_task i =
+    let best_e = ref infinity and best_j = ref 0 in
+    for j = 0 to m - 1 do
+      let e =
+        Agrid_etc.Etc.seconds etc ~task:i ~machine:j
+        *. (Grid.machine grid j).Machine.compute_rate
+      in
+      if e < !best_e then begin
+        best_e := e;
+        best_j := j
+      end
+    done;
+    let j = !best_j in
+    let cycles = Agrid_etc.Etc.seconds etc ~task:i ~machine:j /. mr.(j) in
+    (!best_e, cycles)
+  in
+  let tasks = Array.init n best_of_task in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) tasks;
+  let cycles_left = ref tecc and energy_left = ref tse in
+  let count = ref 0 in
+  let limiting = ref `Complete in
+  (try
+     Array.iter
+       (fun (energy, cycles) ->
+         if energy > !energy_left then begin
+           limiting := `Energy;
+           raise Exit
+         end;
+         if cycles > !cycles_left then begin
+           limiting := `Cycles;
+           raise Exit
+         end;
+         energy_left := !energy_left -. energy;
+         cycles_left := !cycles_left -. cycles;
+         incr count)
+       tasks
+   with Exit -> ());
+  {
+    t100_bound = !count;
+    limiting = !limiting;
+    tecc;
+    tse;
+    cycles_used = tecc -. !cycles_left;
+    energy_used = tse -. !energy_left;
+  }
+
+let limiting_to_string = function
+  | `Energy -> "energy"
+  | `Cycles -> "cycles"
+  | `Complete -> "none (all subtasks fit)"
+
+let pp ppf r =
+  Fmt.pf ppf "UB=%d (limit: %s; cycles %.0f/%.0f, energy %.1f/%.1f)" r.t100_bound
+    (limiting_to_string r.limiting) r.cycles_used r.tecc r.energy_used r.tse

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Fmt Fun List Queue

@@ -1,0 +1,1 @@
+lib/dag/dag.mli: Format

@@ -1,0 +1,1 @@
+lib/dag/dot.ml: Dag Fmt

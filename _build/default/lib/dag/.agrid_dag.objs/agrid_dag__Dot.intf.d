@@ -1,0 +1,1 @@
+lib/dag/dot.mli: Dag Format

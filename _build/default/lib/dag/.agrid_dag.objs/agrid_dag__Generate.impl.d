@@ -1,0 +1,1 @@
+lib/dag/generate.ml: Agrid_prng Array Dag Dist Float Hashtbl Splitmix64

@@ -1,0 +1,1 @@
+lib/dag/generate.mli: Agrid_prng Dag

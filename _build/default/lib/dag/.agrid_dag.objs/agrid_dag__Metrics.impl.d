@@ -1,0 +1,1 @@
+lib/dag/metrics.ml: Array Dag Float Fmt List

@@ -1,0 +1,1 @@
+lib/dag/metrics.mli: Dag Format

@@ -1,0 +1,108 @@
+(* Immutable DAG of subtask dependencies. Tasks are integers [0, n); every
+   edge (src, dst) has a stable edge id (its index in [edges]) so that
+   per-edge payloads — the paper's global data items g(i,j) — can live in
+   plain arrays alongside the structure. *)
+
+type t = {
+  n : int;
+  edges : (int * int) array; (* lexicographically sorted, no duplicates *)
+  parents : (int * int) array array; (* per dst: (src, edge_id) *)
+  children : (int * int) array array; (* per src: (dst, edge_id) *)
+}
+
+exception Cycle of int list
+(** Raised by {!of_edges} with (part of) the offending cycle. *)
+
+let n_tasks t = t.n
+let n_edges t = Array.length t.edges
+let edges t = t.edges
+let edge t e = t.edges.(e)
+
+let parents t i = Array.map fst t.parents.(i)
+let children t i = Array.map fst t.children.(i)
+let parent_edges t i = t.parents.(i)
+let child_edges t i = t.children.(i)
+let in_degree t i = Array.length t.parents.(i)
+let out_degree t i = Array.length t.children.(i)
+
+let iter_edges f t = Array.iteri (fun e (src, dst) -> f e ~src ~dst) t.edges
+
+(* Kahn's algorithm; raises [Cycle] listing nodes left with nonzero
+   in-degree when edges are cyclic. *)
+let topological_order t =
+  let indeg = Array.init t.n (in_degree t) in
+  let queue = Queue.create () in
+  for i = 0 to t.n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let order = Array.make t.n 0 in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order.(!filled) <- i;
+    incr filled;
+    Array.iter
+      (fun (c, _) ->
+        indeg.(c) <- indeg.(c) - 1;
+        if indeg.(c) = 0 then Queue.add c queue)
+      t.children.(i)
+  done;
+  if !filled < t.n then begin
+    let remaining = ref [] in
+    for i = t.n - 1 downto 0 do
+      if indeg.(i) > 0 then remaining := i :: !remaining
+    done;
+    raise (Cycle !remaining)
+  end;
+  order
+
+let of_edges ~n edge_list =
+  if n < 0 then invalid_arg "Dag.of_edges: negative task count";
+  List.iter
+    (fun (src, dst) ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Dag.of_edges: edge endpoint out of range";
+      if src = dst then invalid_arg "Dag.of_edges: self edge")
+    edge_list;
+  let edges = Array.of_list (List.sort_uniq compare edge_list) in
+  let parents = Array.make n [] and children = Array.make n [] in
+  Array.iteri
+    (fun e (src, dst) ->
+      parents.(dst) <- (src, e) :: parents.(dst);
+      children.(src) <- (dst, e) :: children.(src))
+    edges;
+  let finalize l = Array.of_list (List.sort compare l) in
+  let t =
+    { n; edges; parents = Array.map finalize parents; children = Array.map finalize children }
+  in
+  ignore (topological_order t) (* validates acyclicity, raises Cycle *);
+  t
+
+let is_edge t ~src ~dst =
+  Array.exists (fun (d, _) -> d = dst) t.children.(src)
+
+let roots t =
+  Array.to_list (Array.init t.n Fun.id)
+  |> List.filter (fun i -> in_degree t i = 0)
+
+let leaves t =
+  Array.to_list (Array.init t.n Fun.id)
+  |> List.filter (fun i -> out_degree t i = 0)
+
+(* Longest-path level of each task: roots at 0, every edge increments. *)
+let levels t =
+  let level = Array.make t.n 0 in
+  let order = topological_order t in
+  Array.iter
+    (fun i ->
+      Array.iter
+        (fun (p, _) -> if level.(p) + 1 > level.(i) then level.(i) <- level.(p) + 1)
+        t.parents.(i))
+    order;
+  level
+
+let depth t =
+  if t.n = 0 then 0 else 1 + Array.fold_left max 0 (levels t)
+
+let pp ppf t =
+  Fmt.pf ppf "dag<%d tasks, %d edges, depth %d>" t.n (n_edges t) (depth t)

@@ -1,0 +1,21 @@
+(* Graphviz export, used by the CLI `dot` subcommand for eyeballing
+   generated workloads. *)
+
+let pp ?(name = "dag") ?label_task ?label_edge ppf dag =
+  Fmt.pf ppf "digraph %s {@." name;
+  Fmt.pf ppf "  rankdir=TB;@.  node [shape=circle, fontsize=10];@.";
+  for i = 0 to Dag.n_tasks dag - 1 do
+    match label_task with
+    | None -> Fmt.pf ppf "  t%d;@." i
+    | Some f -> Fmt.pf ppf "  t%d [label=%S];@." i (f i)
+  done;
+  Dag.iter_edges
+    (fun e ~src ~dst ->
+      match label_edge with
+      | None -> Fmt.pf ppf "  t%d -> t%d;@." src dst
+      | Some f -> Fmt.pf ppf "  t%d -> t%d [label=%S];@." src dst (f e))
+    dag;
+  Fmt.pf ppf "}@."
+
+let to_string ?name ?label_task ?label_edge dag =
+  Fmt.str "%a" (pp ?name ?label_task ?label_edge) dag

@@ -1,0 +1,1 @@
+lib/etc/etc.ml: Agrid_platform Agrid_prng Array Dist Fmt Grid Machine

@@ -1,0 +1,1 @@
+lib/etc/etc.mli: Agrid_platform Agrid_prng Format

@@ -1,0 +1,1 @@
+lib/exper/config.ml: Agrid_workload Fmt Fun List Spec

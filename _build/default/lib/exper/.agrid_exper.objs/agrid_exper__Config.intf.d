@@ -1,0 +1,1 @@
+lib/exper/config.mli: Agrid_workload Format Spec

@@ -1,0 +1,1 @@
+lib/exper/evaluation.ml: Agrid_core Agrid_etc Agrid_par Agrid_platform Agrid_stats Agrid_tuner Agrid_workload Array Atomic Config Float Grid List Objective Option Spec Weight_search Workload

@@ -1,0 +1,1 @@
+lib/exper/evaluation.mli: Agrid_platform Agrid_tuner Config Grid Weight_search

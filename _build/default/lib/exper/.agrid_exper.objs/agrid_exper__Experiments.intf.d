@@ -1,0 +1,1 @@
+lib/exper/experiments.mli: Agrid_core Agrid_report Config Evaluation Series Table

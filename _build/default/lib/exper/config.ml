@@ -1,0 +1,67 @@
+(* Experiment-suite configuration. The paper's full study is |T| = 1024
+   with 10 ETC matrices x 10 DAGs = 100 scenarios per case and an
+   exhaustive per-scenario weight search — hours of compute. The default
+   runs the identical pipeline proportionally scaled (see Spec.scaled);
+   [full] is the paper-scale configuration. *)
+
+open Agrid_workload
+
+type t = {
+  spec : Spec.t;
+  n_etcs : int;
+  n_dags : int;
+  delta_t : int;  (** SLRH timestep (paper: 10 cycles) *)
+  horizon : int;  (** SLRH receding horizon (paper: 100 cycles) *)
+  coarse_step : float;
+  fine_step : float;
+  fine_radius : float;
+  domains : int option;  (** worker domains for scenario parallelism *)
+}
+
+let default ?(seed = 2004) () =
+  {
+    spec = Spec.scaled ~seed ~factor:0.125 ();
+    n_etcs = 3;
+    n_dags = 3;
+    delta_t = 10;
+    horizon = 100;
+    coarse_step = 0.1;
+    fine_step = 0.02;
+    fine_radius = 0.06;
+    domains = None;
+  }
+
+(* Paper scale: |T|=1024, 10x10 scenarios, full refinement radius. *)
+let full ?(seed = 2004) () =
+  {
+    spec = Spec.paper_scale ~seed ();
+    n_etcs = 10;
+    n_dags = 10;
+    delta_t = 10;
+    horizon = 100;
+    coarse_step = 0.1;
+    fine_step = 0.02;
+    fine_radius = 0.1;
+    domains = None;
+  }
+
+(* A minimal smoke configuration for tests: tiny scenario count. *)
+let smoke ?(seed = 2004) () =
+  {
+    (default ~seed ()) with
+    spec = Spec.scaled ~seed ~factor:(48. /. 1024.) ();
+    n_etcs = 2;
+    n_dags = 1;
+    coarse_step = 0.2;
+    fine_step = 0.1;
+    fine_radius = 0.1;
+  }
+
+let scenarios t =
+  List.concat_map
+    (fun etc_index -> List.init t.n_dags (fun dag_index -> (etc_index, dag_index)))
+    (List.init t.n_etcs Fun.id)
+
+let pp ppf t =
+  Fmt.pf ppf "config<%a %dx%d scenarios dt=%d H=%d>" Spec.pp t.spec t.n_etcs
+    t.n_dags t.delta_t t.horizon

@@ -1,0 +1,31 @@
+(** Experiment-suite configuration: workload spec, scenario counts, SLRH
+    knobs and weight-search resolution. [default] is the proportionally
+    scaled study; [full] the paper's |T| = 1024, 10 x 10 scenarios. *)
+
+open Agrid_workload
+
+type t = {
+  spec : Spec.t;
+  n_etcs : int;
+  n_dags : int;
+  delta_t : int;
+  horizon : int;
+  coarse_step : float;
+  fine_step : float;
+  fine_radius : float;
+  domains : int option;
+}
+
+val default : ?seed:int -> unit -> t
+(** |T| = 128, 3 ETCs x 3 DAGs. *)
+
+val full : ?seed:int -> unit -> t
+(** Paper scale: |T| = 1024, 10 x 10 scenarios. *)
+
+val smoke : ?seed:int -> unit -> t
+(** CI-sized: |T| = 48, 2 x 1 scenarios, coarse search. *)
+
+val scenarios : t -> (int * int) list
+(** All (etc_index, dag_index) pairs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lrnn/lrnn.ml: Agrid_dag Agrid_platform Agrid_sched Agrid_workload Array Float Fmt Grid List Option Schedule Unix Version Workload

@@ -1,0 +1,1 @@
+lib/lrnn/lrnn.mli: Agrid_sched Agrid_workload Format Schedule

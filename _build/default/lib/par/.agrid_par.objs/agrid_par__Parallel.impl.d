@@ -1,0 +1,1 @@
+lib/par/parallel.ml: Array Atomic Domain Fun List

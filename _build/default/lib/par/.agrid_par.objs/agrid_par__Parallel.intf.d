@@ -1,0 +1,1 @@
+lib/par/parallel.mli:

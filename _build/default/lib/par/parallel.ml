@@ -1,0 +1,64 @@
+(* Fork-join data parallelism on OCaml 5 domains, hand-rolled because
+   domainslib is not available in this environment.
+
+   The model is deliberately simple: each [map]/[iter] call spawns up to
+   [domains - 1] worker domains that pull indices from a shared atomic
+   counter (dynamic scheduling — scenario runtimes vary by an order of
+   magnitude, so static chunking would leave domains idle), does a share of
+   the work on the calling domain too, then joins everything. Domain spawn
+   costs microseconds; the work items here are milliseconds to seconds. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* First exception raised by any worker, re-raised after all domains have
+   been joined so no domain is leaked. *)
+exception Worker_failure of exn
+
+let run_workers ~domains ~n work =
+  let next = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    let rec loop () =
+      if Atomic.get failure = None then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try work i
+           with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  let spawned =
+    List.init (max 0 (min domains n - 1)) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join spawned;
+  match Atomic.get failure with None -> () | Some e -> raise (Worker_failure e)
+
+let map ?domains f arr =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if domains = 1 || n = 1 then Array.map f arr
+  else begin
+    let out = Array.make n None in
+    run_workers ~domains ~n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map
+      (function Some v -> v | None -> assert false (* every index was processed *))
+      out
+  end
+
+let mapi ?domains f arr =
+  let indexed = Array.mapi (fun i x -> (i, x)) arr in
+  map ?domains (fun (i, x) -> f i x) indexed
+
+let iter ?domains f arr = ignore (map ?domains (fun x -> f x; ()) arr)
+
+let init ?domains n f = map ?domains f (Array.init n Fun.id)
+
+(* Map then sequential fold — the reduce is cheap in every use here
+   (summaries over a few hundred results). *)
+let map_reduce ?domains ~map:f ~fold ~init:acc0 arr =
+  Array.fold_left fold acc0 (map ?domains f arr)

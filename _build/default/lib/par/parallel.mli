@@ -1,0 +1,27 @@
+(** Fork-join parallel iteration on OCaml 5 domains with dynamic
+    (work-pulling) scheduling. Hand-rolled substrate: domainslib is not
+    available in this environment.
+
+    [?domains] caps the total number of domains used, including the calling
+    one; the default is [Domain.recommended_domain_count ()]. *)
+
+exception Worker_failure of exn
+(** Wraps the first exception raised by any worker; raised only after all
+    worker domains have been joined. *)
+
+val default_domains : unit -> int
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val iter : ?domains:int -> ('a -> unit) -> 'a array -> unit
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+
+val map_reduce :
+  ?domains:int ->
+  map:('a -> 'b) ->
+  fold:('c -> 'b -> 'c) ->
+  init:'c ->
+  'a array ->
+  'c
+(** Parallel map, then a sequential left fold over the results in index
+    order (so the fold is deterministic). *)

@@ -1,0 +1,1 @@
+lib/platform/comm.ml: Float Grid Machine Units

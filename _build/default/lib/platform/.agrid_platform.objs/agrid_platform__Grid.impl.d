@@ -1,0 +1,1 @@
+lib/platform/grid.ml: Array Float Fmt List Machine

@@ -1,0 +1,1 @@
+lib/platform/grid.mli: Format Machine

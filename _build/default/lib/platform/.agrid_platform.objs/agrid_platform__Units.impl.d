@@ -1,0 +1,1 @@
+lib/platform/units.ml: Float Fmt

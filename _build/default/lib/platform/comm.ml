@@ -1,0 +1,41 @@
+(* Point-to-point communication model. The paper defines the time to
+   transmit one bit from machine i to machine j as
+       CMT(i, j) = 1 / min(BW(i), BW(j))
+   Same-machine transfers are free and instantaneous (assumption (a)). *)
+
+let cmt grid ~src ~dst =
+  if src = dst then 0.
+  else begin
+    let bw_src = (Grid.machine grid src).Machine.bandwidth in
+    let bw_dst = (Grid.machine grid dst).Machine.bandwidth in
+    1. /. Float.min bw_src bw_dst
+  end
+
+let transfer_seconds grid ~src ~dst ~bits =
+  if bits < 0. then invalid_arg "Comm.transfer_seconds: negative size";
+  bits *. cmt grid ~src ~dst
+
+let transfer_cycles grid ~src ~dst ~bits =
+  if src = dst then 0
+  else Units.cycles_of_seconds (transfer_seconds grid ~src ~dst ~bits)
+
+(* Energy billed to the sender for occupying its transmitter for the whole
+   (integer-cycle) duration of the transfer; receiving costs nothing. *)
+let transfer_energy grid ~src ~dst ~bits =
+  if src = dst then 0.
+  else begin
+    let cycles = transfer_cycles grid ~src ~dst ~bits in
+    Machine.transmit_energy (Grid.machine grid src)
+      ~seconds:(Units.seconds_of_cycles cycles)
+  end
+
+(* Worst-case transfer cost out of [src]: the recipient is assumed to sit on
+   the lowest-bandwidth link in the grid. Used by the SLRH feasibility
+   check, which cannot know where children will be mapped. *)
+let worst_case_cycles grid ~bits =
+  Units.cycles_of_seconds (bits /. Grid.min_bandwidth grid)
+
+let worst_case_energy grid ~src ~bits =
+  let cycles = worst_case_cycles grid ~bits in
+  Machine.transmit_energy (Grid.machine grid src)
+    ~seconds:(Units.seconds_of_cycles cycles)

@@ -1,0 +1,18 @@
+(** Point-to-point communication model: the time to move one bit from
+    machine [i] to [j] is [CMT(i,j) = 1 / min(BW(i), BW(j))]; same-machine
+    transfers are free and instantaneous (paper Section III). *)
+
+val cmt : Grid.t -> src:int -> dst:int -> float
+(** Seconds per bit; 0 when [src = dst]. *)
+
+val transfer_seconds : Grid.t -> src:int -> dst:int -> bits:float -> float
+val transfer_cycles : Grid.t -> src:int -> dst:int -> bits:float -> int
+
+val transfer_energy : Grid.t -> src:int -> dst:int -> bits:float -> float
+(** Billed to the sender over the integer-cycle duration; receiving is
+    free (assumption (a)). *)
+
+val worst_case_cycles : Grid.t -> bits:float -> int
+val worst_case_energy : Grid.t -> src:int -> bits:float -> float
+(** Cost if the recipient sat on the grid's lowest-bandwidth link — the
+    feasibility check's conservative bound (paper Section IV). *)

@@ -1,0 +1,16 @@
+(* Time in the simulator is measured in integer clock cycles; the paper's
+   clock cycle represents 0.1 s. Keeping integer cycles everywhere in the
+   schedule engine removes float-comparison hazards from interval logic;
+   energies remain floats. *)
+
+let cycles_per_second = 10
+
+let seconds_of_cycles c = float_of_int c /. float_of_int cycles_per_second
+
+(* Round up: a duration of any positive length occupies at least 1 cycle. *)
+let cycles_of_seconds s =
+  if s < 0. then invalid_arg "Units.cycles_of_seconds: negative duration";
+  if s = 0. then 0
+  else max 1 (int_of_float (Float.ceil (s *. float_of_int cycles_per_second)))
+
+let pp_cycles ppf c = Fmt.pf ppf "%d cy (%.1f s)" c (seconds_of_cycles c)

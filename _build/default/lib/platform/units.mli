@@ -1,0 +1,12 @@
+(** Time units: the simulator counts integer clock cycles; one cycle
+    represents 0.1 s (paper Section IV). *)
+
+val cycles_per_second : int
+
+val seconds_of_cycles : int -> float
+
+val cycles_of_seconds : float -> int
+(** Rounds up; any positive duration occupies at least one cycle.
+    @raise Invalid_argument on negative input. *)
+
+val pp_cycles : Format.formatter -> int -> unit

@@ -1,0 +1,1 @@
+lib/prng/dist.ml: Array Float Fun Hashtbl Splitmix64

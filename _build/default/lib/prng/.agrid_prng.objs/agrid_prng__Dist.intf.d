@@ -1,0 +1,1 @@
+lib/prng/dist.mli: Splitmix64

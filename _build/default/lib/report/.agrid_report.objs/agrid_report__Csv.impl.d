@@ -1,0 +1,1 @@
+lib/report/csv.ml: Buffer Fmt Format Fun List String

@@ -1,0 +1,1 @@
+lib/report/gantt.ml: Bytes Float Fmt List String

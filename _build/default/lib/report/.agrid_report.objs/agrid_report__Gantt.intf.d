@@ -1,0 +1,1 @@
+lib/report/gantt.mli: Format

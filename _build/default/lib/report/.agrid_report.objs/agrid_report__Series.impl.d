@@ -1,0 +1,1 @@
+lib/report/series.ml: Float Fmt Fun List String Table

@@ -1,0 +1,1 @@
+lib/report/table.ml: Fmt List String

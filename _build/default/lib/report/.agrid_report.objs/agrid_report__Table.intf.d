@@ -1,0 +1,1 @@
+lib/report/table.mli: Format

@@ -1,0 +1,33 @@
+(* Minimal CSV writer (RFC-4180-style quoting) for exporting traces and
+   experiment results to external analysis tools. *)
+
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let quote s =
+  if needs_quoting s then begin
+    let b = Buffer.create (String.length s + 8) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
+let pp_row ppf row = Fmt.pf ppf "%s@." (String.concat "," (List.map quote row))
+
+let pp ppf ~header rows =
+  pp_row ppf header;
+  List.iter (pp_row ppf) rows
+
+let to_string ~header rows = Fmt.str "%a" (fun ppf () -> pp ppf ~header rows) ()
+
+let write_file path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Fmt.pf (Format.formatter_of_out_channel oc) "%a@?"
+        (fun ppf () -> pp ppf ~header rows) ())

@@ -1,0 +1,5 @@
+(** Minimal CSV writer (RFC-4180-style quoting). *)
+
+val pp : Format.formatter -> header:string list -> string list list -> unit
+val to_string : header:string list -> string list list -> string
+val write_file : string -> header:string list -> string list list -> unit

@@ -1,0 +1,53 @@
+(* ASCII Gantt rendering of a machine timeline: one row per lane, time
+   flowing right, each busy interval drawn with its label's first
+   character. Lanes are generic (machine executions, channels) so the
+   schedule printer in bin/agrid can show executions and transfers
+   together. *)
+
+type lane = {
+  name : string;
+  intervals : (int * int * char) list; (* start, stop, glyph *)
+}
+
+let lane ~name intervals = { name; intervals }
+
+type t = {
+  title : string;
+  lanes : lane list;
+  t_max : int;
+}
+
+let make ~title lanes =
+  let t_max =
+    List.fold_left
+      (fun acc l -> List.fold_left (fun acc (_, stop, _) -> max acc stop) acc l.intervals)
+      1 lanes
+  in
+  { title; lanes; t_max }
+
+(* Render with [width] columns of time resolution. A cell shows the glyph
+   of the interval covering the majority of that cell, '.' when idle. If
+   several intervals land in one cell, the later one wins — at display
+   resolution that is enough. *)
+let pp ?(width = 72) ppf t =
+  Fmt.pf ppf "%s@." t.title;
+  let name_w =
+    List.fold_left (fun acc l -> max acc (String.length l.name)) 0 t.lanes
+  in
+  let scale = float_of_int t.t_max /. float_of_int width in
+  List.iter
+    (fun l ->
+      let cells = Bytes.make width '.' in
+      List.iter
+        (fun (start, stop, glyph) ->
+          let c0 = int_of_float (float_of_int start /. scale) in
+          let c1 = int_of_float (Float.ceil (float_of_int stop /. scale)) in
+          for c = max 0 c0 to min (width - 1) (c1 - 1) do
+            Bytes.set cells c glyph
+          done)
+        l.intervals;
+      Fmt.pf ppf "  %-*s |%s|@." name_w l.name (Bytes.to_string cells))
+    t.lanes;
+  Fmt.pf ppf "  %-*s 0%*d cycles@." name_w "" (width - 1) t.t_max
+
+let to_string ?width t = Fmt.str "%a" (pp ?width) t

@@ -1,0 +1,13 @@
+(** ASCII Gantt rendering: one row per lane (machine execution slot or
+    communication channel), time flowing right. *)
+
+type lane
+
+val lane : name:string -> (int * int * char) list -> lane
+(** Intervals as [(start, stop, glyph)]. *)
+
+type t
+
+val make : title:string -> lane list -> t
+val pp : ?width:int -> Format.formatter -> t -> unit
+val to_string : ?width:int -> t -> string

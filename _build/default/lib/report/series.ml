@@ -1,0 +1,56 @@
+(* Figure rendering: the paper's figures are line/bar charts; in a terminal
+   we print the underlying series as aligned columns plus an optional
+   proportional ASCII bar per value, which is enough to read off the shape
+   (who wins, by what factor, where crossovers fall). *)
+
+type t = {
+  title : string;
+  x_label : string;
+  xs : string list;
+  series : (string * float option list) list; (* name, one value per x *)
+}
+
+let make ~title ~x_label ~xs ~series =
+  List.iter
+    (fun (name, vals) ->
+      if List.length vals <> List.length xs then
+        invalid_arg ("Series.make: series " ^ name ^ " length mismatch"))
+    series;
+  { title; x_label; xs; series }
+
+let cell = function None -> "-" | Some v -> Fmt.str "%.4g" v
+
+let pp ppf t =
+  let columns = t.x_label :: List.map fst t.series in
+  let rows =
+    List.mapi
+      (fun i x -> x :: List.map (fun (_, vals) -> cell (List.nth vals i)) t.series)
+      t.xs
+  in
+  Table.pp ppf (Table.make ~title:t.title ~columns ~rows)
+
+(* One bar per (series, x) pair, grouped by x — reads like a grouped bar
+   chart. Width scales to the global maximum. *)
+let pp_bars ?(width = 44) ppf t =
+  Fmt.pf ppf "%s@." t.title;
+  let all_values = List.concat_map (fun (_, vs) -> List.filter_map Fun.id vs) t.series in
+  let vmax = List.fold_left Float.max 1e-30 all_values in
+  let name_w =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 t.series
+  in
+  List.iteri
+    (fun i x ->
+      Fmt.pf ppf "  %s:@." x;
+      List.iter
+        (fun (name, vals) ->
+          match List.nth vals i with
+          | None -> Fmt.pf ppf "    %-*s -@." name_w name
+          | Some v ->
+              let bar = int_of_float (Float.round (float_of_int width *. v /. vmax)) in
+              Fmt.pf ppf "    %-*s %s %.4g@." name_w name
+                (String.make (max 0 bar) '#')
+                v)
+        t.series)
+    t.xs
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,17 @@
+(** Figure rendering: the underlying series of a paper figure as an aligned
+    table plus an optional grouped ASCII bar chart. [None] cells render as
+    ["-"]. *)
+
+type t
+
+val make :
+  title:string ->
+  x_label:string ->
+  xs:string list ->
+  series:(string * float option list) list ->
+  t
+(** @raise Invalid_argument when a series length differs from [xs]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_bars : ?width:int -> Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,11 @@
+(** Plain-text and markdown table rendering for the regenerated paper
+    tables. *)
+
+type t
+
+val make : title:string -> columns:string list -> rows:string list list -> t
+(** @raise Invalid_argument when a row's width differs from the header. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_markdown : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sched/metrics.ml: Agrid_platform Agrid_workload Array Fmt Grid List Machine Schedule Timeline Version Workload

@@ -1,0 +1,1 @@
+lib/sched/metrics.mli: Format Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Agrid_dag Agrid_platform Agrid_workload Array Comm Fmt Fun Grid List Machine Timeline Version Workload

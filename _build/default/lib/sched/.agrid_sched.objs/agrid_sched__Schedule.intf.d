@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Agrid_workload Format Timeline Version Workload

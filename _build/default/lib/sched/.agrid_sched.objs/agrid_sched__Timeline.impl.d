@@ -1,0 +1,1 @@
+lib/sched/timeline.ml: Array Fmt List

@@ -1,0 +1,1 @@
+lib/sched/validate.ml: Agrid_dag Agrid_platform Agrid_workload Array Comm Fmt Grid Hashtbl List Machine Schedule Version Workload

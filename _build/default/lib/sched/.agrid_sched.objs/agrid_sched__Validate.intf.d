@@ -1,0 +1,1 @@
+lib/sched/validate.mli: Format Schedule

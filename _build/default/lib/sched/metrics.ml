@@ -1,0 +1,97 @@
+(* Schedule-level utilisation metrics: per-machine busy fractions, energy
+   margins and version mix. Used by reports and examples; the validator
+   (Validate) owns correctness, this module owns descriptive statistics. *)
+
+open Agrid_workload
+open Agrid_platform
+
+type machine_metrics = {
+  machine : int;
+  n_tasks : int;
+  n_primary : int;
+  exec_busy_cycles : int;
+  exec_busy_fraction : float; (* of AET *)
+  out_busy_cycles : int;
+  in_busy_cycles : int;
+  energy_used : float;
+  energy_fraction : float; (* of B(j) *)
+}
+
+type t = {
+  per_machine : machine_metrics list;
+  t100 : int;
+  n_mapped : int;
+  aet : int;
+  tec : float;
+  comm_energy : float;
+  comm_energy_fraction : float; (* of TEC *)
+  primary_fraction : float; (* of mapped tasks *)
+  makespan_utilisation : float; (* AET / tau *)
+}
+
+let machine_metrics sched j =
+  let wl = Schedule.workload sched in
+  let aet = max 1 (Schedule.aet sched) in
+  let profile = Grid.machine (Workload.grid wl) j in
+  let n_tasks = ref 0 and n_primary = ref 0 in
+  Array.iter
+    (fun (p : Schedule.placement) ->
+      if p.Schedule.machine = j then begin
+        incr n_tasks;
+        if Version.is_primary p.Schedule.version then incr n_primary
+      end)
+    (Schedule.placements sched);
+  let exec_busy = Timeline.busy_cycles (Schedule.exec_timeline sched j) in
+  {
+    machine = j;
+    n_tasks = !n_tasks;
+    n_primary = !n_primary;
+    exec_busy_cycles = exec_busy;
+    exec_busy_fraction = float_of_int exec_busy /. float_of_int aet;
+    out_busy_cycles = Timeline.busy_cycles (Schedule.ch_out_timeline sched j);
+    in_busy_cycles = Timeline.busy_cycles (Schedule.ch_in_timeline sched j);
+    energy_used = Schedule.energy_used sched j;
+    energy_fraction = Schedule.energy_used sched j /. profile.Machine.battery;
+  }
+
+let compute sched =
+  let wl = Schedule.workload sched in
+  let m = Workload.n_machines wl in
+  let comm_energy =
+    Array.fold_left
+      (fun acc (tr : Schedule.transfer) -> acc +. tr.Schedule.energy)
+      0. (Schedule.transfers sched)
+  in
+  let tec = Schedule.tec sched in
+  {
+    per_machine = List.init m (machine_metrics sched);
+    t100 = Schedule.n_primary sched;
+    n_mapped = Schedule.n_mapped sched;
+    aet = Schedule.aet sched;
+    tec;
+    comm_energy;
+    comm_energy_fraction = (if tec > 0. then comm_energy /. tec else 0.);
+    primary_fraction =
+      (let n = Schedule.n_mapped sched in
+       if n = 0 then 0. else float_of_int (Schedule.n_primary sched) /. float_of_int n);
+    makespan_utilisation =
+      float_of_int (Schedule.aet sched) /. float_of_int (Workload.tau wl);
+  }
+
+let pp_machine ppf m =
+  Fmt.pf ppf
+    "machine %d: %d tasks (%d primary), busy %.0f%% of AET, energy %.1f%% of battery"
+    m.machine m.n_tasks m.n_primary
+    (100. *. m.exec_busy_fraction)
+    (100. *. m.energy_fraction)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "T100=%d/%d (%.0f%% primary), AET=%d (%.0f%% of tau), TEC=%.2f (comm %.2f%%)@."
+    t.t100 t.n_mapped
+    (100. *. t.primary_fraction)
+    t.aet
+    (100. *. t.makespan_utilisation)
+    t.tec
+    (100. *. t.comm_energy_fraction);
+  Fmt.(list ~sep:cut pp_machine) ppf t.per_machine

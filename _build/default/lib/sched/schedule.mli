@@ -1,0 +1,122 @@
+(** Mutable schedule state shared by every heuristic: placements, execution
+    timelines, one-in/one-out communication channels, energy ledger and
+    running T100/TEC/AET counters.
+
+    Mapping is two-phase: {!plan} is side-effect free (SLRH plans many
+    candidates per timestep), {!commit} applies a plan. *)
+
+open Agrid_workload
+
+type placement = {
+  task : int;
+  version : Version.t;
+  machine : int;
+  start : int;
+  stop : int;
+}
+
+type transfer = {
+  edge : int;
+  src_task : int;
+  dst_task : int;
+  src : int;
+  dst : int;
+  start : int;
+  stop : int;
+  bits : float;
+  energy : float;
+}
+
+type t
+
+val create : Workload.t -> t
+val workload : t -> Workload.t
+
+val placement : t -> int -> placement option
+val placements : t -> placement array
+(** All committed placements (task order). *)
+
+val transfers : t -> transfer array
+(** Commit order. *)
+
+val is_mapped : t -> int -> bool
+val n_mapped : t -> int
+val all_mapped : t -> bool
+
+val n_primary : t -> int
+(** T100 so far. *)
+
+val aet : t -> int
+(** Application execution time so far: latest execution finish (cycles). *)
+
+val tec : t -> float
+(** Total energy consumed so far (execution + communication). *)
+
+val energy_used : t -> int -> float
+val energy_remaining : t -> int -> float
+(** [B(j)] minus consumption; may be negative (constraints are soft during
+    a run; the validator flags it). *)
+
+val exec_timeline : t -> int -> Timeline.t
+val ch_out_timeline : t -> int -> Timeline.t
+val ch_in_timeline : t -> int -> Timeline.t
+
+val machine_free_at : t -> machine:int -> time:int -> bool
+
+val ready_unmapped : t -> int list
+(** Unmapped tasks whose parents are all mapped — the candidate-pool
+    universe. Maintained incrementally (O(frontier), not O(|T|)). *)
+
+val parents_mapped : t -> int -> bool
+val latest_parent_finish : t -> int -> int
+(** @raise Invalid_argument if some parent is unmapped. *)
+
+type planned_transfer = {
+  p_edge : int;
+  p_src_task : int;
+  p_src : int;
+  p_start : int;
+  p_stop : int;
+  p_bits : float;
+  p_energy : float;
+}
+
+type plan = {
+  pl_task : int;
+  pl_version : Version.t;
+  pl_machine : int;
+  pl_start : int;
+  pl_stop : int;
+  pl_transfers : planned_transfer list;
+  pl_exec_energy : float;
+  pl_comm_energy : float;
+}
+
+exception Unmapped_parent of { task : int; parent : int }
+
+val plan :
+  t -> task:int -> version:Version.t -> machine:int -> not_before:int -> plan
+(** Plan (task, version) on [machine] with no action before [not_before]:
+    transfers per cross-machine parent edge in parent order, then the
+    execution in the earliest adequate gap.
+    @raise Unmapped_parent if a parent is unmapped.
+    @raise Invalid_argument if [task] is already mapped. *)
+
+val totals_after : t -> plan -> int * float * int
+(** [(T100, TEC, AET)] as they would stand after committing the plan. *)
+
+val commit : t -> plan -> unit
+(** Apply a plan. Plans must be committed against the schedule state they
+    were computed from (at most one per planning round). *)
+
+val replay_placement : t -> placement -> unit
+(** Re-insert a known-valid placement (dynamic-grid rebuilds); recomputes
+    its energy from the workload. *)
+
+val replay_transfer : t -> transfer -> unit
+
+val charge_energy : t -> machine:int -> float -> unit
+(** Bill sunk energy (work lost with a failed machine). Counts against the
+    battery and TEC but is invisible to {!Validate.check}. *)
+
+val pp : Format.formatter -> t -> unit

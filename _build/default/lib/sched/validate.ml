@@ -1,0 +1,191 @@
+(* Independent end-state checker: rebuilds every constraint of Section III
+   from the raw placement/transfer lists, deliberately NOT trusting the
+   engine's timelines or counters. Heuristic results are only reported as
+   feasible if this passes (the paper's weight search rejects runs that
+   violate energy or time constraints). *)
+
+open Agrid_workload
+open Agrid_platform
+
+type report = {
+  complete : bool; (* every task mapped *)
+  violations : string list; (* structural problems: overlap, precedence... *)
+  energy_ok : bool; (* every machine within B(j) *)
+  time_ok : bool; (* AET <= tau *)
+  t100 : int;
+  aet : int;
+  tec : float;
+}
+
+let feasible r = r.complete && r.violations = [] && r.energy_ok && r.time_ok
+
+(* Tolerance for float energy comparisons: a battery is "overdrawn" only
+   beyond one part in 10^9 of its capacity. *)
+let energy_eps = 1e-9
+
+let check sched =
+  let wl = Schedule.workload sched in
+  let grid = Workload.grid wl in
+  let dag = Workload.dag wl in
+  let n = Workload.n_tasks wl and m = Workload.n_machines wl in
+  let violations = ref [] in
+  let bad fmt = Fmt.kstr (fun s -> violations := s :: !violations) fmt in
+  let placement = Array.init n (Schedule.placement sched) in
+  let complete = Array.for_all (fun p -> p <> None) placement in
+  (* 1. placement sanity: machine range, duration matches the workload *)
+  Array.iter
+    (function
+      | None -> ()
+      | Some (p : Schedule.placement) ->
+          if p.machine < 0 || p.machine >= m then
+            bad "task %d on nonexistent machine %d" p.task p.machine
+          else begin
+            let expect =
+              Workload.exec_cycles wl ~task:p.task ~machine:p.machine ~version:p.version
+            in
+            if p.stop - p.start <> expect then
+              bad "task %d duration %d, expected %d" p.task (p.stop - p.start) expect;
+            if p.start < 0 then bad "task %d starts before time 0" p.task
+          end)
+    placement;
+  (* 2. one-task-at-a-time per machine, rebuilt from scratch *)
+  let by_machine = Array.make m [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (p : Schedule.placement) ->
+          if p.machine >= 0 && p.machine < m then
+            by_machine.(p.machine) <- (p.start, p.stop, p.task) :: by_machine.(p.machine))
+    placement;
+  Array.iteri
+    (fun j intervals ->
+      let sorted = List.sort compare intervals in
+      let rec scan = function
+        | (s1, e1, t1) :: ((s2, _, t2) :: _ as rest) ->
+            ignore s1;
+            if s2 < e1 then bad "machine %d executes tasks %d and %d concurrently" j t1 t2;
+            scan rest
+        | [ _ ] | [] -> ()
+      in
+      scan sorted)
+    by_machine;
+  (* 3. channel constraints: at most one outgoing and one incoming transfer
+        at a time per machine *)
+  let transfers = Schedule.transfers sched in
+  let check_channel label select =
+    let lanes = Array.make m [] in
+    Array.iter
+      (fun (tr : Schedule.transfer) ->
+        let j = select tr in
+        if j >= 0 && j < m then lanes.(j) <- (tr.start, tr.stop, tr.edge) :: lanes.(j)
+        else bad "transfer on edge %d uses nonexistent machine %d" tr.edge j)
+      transfers;
+    Array.iteri
+      (fun j intervals ->
+        let sorted = List.sort compare intervals in
+        let rec scan = function
+          | (_, e1, a) :: ((s2, _, b) :: _ as rest) ->
+              if s2 < e1 then
+                bad "machine %d %s channel overlaps on edges %d and %d" j label a b;
+              scan rest
+          | [ _ ] | [] -> ()
+        in
+        scan sorted)
+      lanes
+  in
+  check_channel "outgoing" (fun tr -> tr.src);
+  check_channel "incoming" (fun tr -> tr.dst);
+  (* 4. per-edge data movement: every cross-machine edge between mapped
+        tasks needs exactly one matching transfer; arrival must precede the
+        child's start; transfers cannot leave before the parent finishes *)
+  let transfer_by_edge = Hashtbl.create (Array.length transfers) in
+  Array.iter
+    (fun (tr : Schedule.transfer) ->
+      if Hashtbl.mem transfer_by_edge tr.edge then
+        bad "edge %d transferred more than once" tr.edge
+      else Hashtbl.add transfer_by_edge tr.edge tr)
+    transfers;
+  Agrid_dag.Dag.iter_edges
+    (fun e ~src ~dst ->
+      match (placement.(src), placement.(dst)) with
+      | Some ps, Some pd ->
+          if ps.machine = pd.machine then begin
+            if Hashtbl.mem transfer_by_edge e then
+              bad "same-machine edge %d has a transfer" e;
+            if pd.start < ps.stop then
+              bad "task %d starts before parent %d finishes (same machine)" dst src
+          end
+          else begin
+            match Hashtbl.find_opt transfer_by_edge e with
+            | None -> bad "cross-machine edge %d (%d->%d) has no transfer" e src dst
+            | Some tr ->
+                if tr.src <> ps.machine || tr.dst <> pd.machine then
+                  bad "edge %d transfer endpoints (%d->%d) do not match placements (%d->%d)"
+                    e tr.src tr.dst ps.machine pd.machine;
+                if tr.start < ps.stop then
+                  bad "edge %d transfer departs before parent %d finishes" e src;
+                if pd.start < tr.stop then
+                  bad "task %d starts before its input on edge %d arrives" dst e;
+                let bits = Workload.edge_bits wl ~edge:e ~parent_version:ps.version in
+                let expect =
+                  Comm.transfer_cycles grid ~src:ps.machine ~dst:pd.machine ~bits
+                in
+                if tr.stop - tr.start <> expect then
+                  bad "edge %d transfer duration %d, expected %d" e (tr.stop - tr.start)
+                    expect
+          end
+      | None, Some _ ->
+          bad "task %d mapped before its parent %d" dst src
+      | _, None -> () (* child unmapped: incompleteness reported separately *))
+    dag;
+  (* 5. energy: recompute the ledger from placements + transfers *)
+  let energy = Array.make m 0. in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (p : Schedule.placement) ->
+          if p.machine >= 0 && p.machine < m then
+            energy.(p.machine) <-
+              energy.(p.machine)
+              +. Workload.exec_energy wl ~task:p.task ~machine:p.machine
+                   ~version:p.version)
+    placement;
+  Array.iter
+    (fun (tr : Schedule.transfer) ->
+      if tr.src >= 0 && tr.src < m then energy.(tr.src) <- energy.(tr.src) +. tr.energy)
+    transfers;
+  let energy_ok = ref true in
+  Array.iteri
+    (fun j used ->
+      let cap = (Grid.machine grid j).Machine.battery in
+      if used > cap +. (energy_eps *. cap) then energy_ok := false)
+    energy;
+  (* 6. totals, recomputed *)
+  let t100 =
+    Array.fold_left
+      (fun acc -> function
+        | Some (p : Schedule.placement) when Version.is_primary p.version -> acc + 1
+        | Some _ | None -> acc)
+      0 placement
+  in
+  let aet =
+    Array.fold_left
+      (fun acc -> function Some (p : Schedule.placement) -> max acc p.stop | None -> acc)
+      0 placement
+  in
+  let tec = Array.fold_left ( +. ) 0. energy in
+  {
+    complete;
+    violations = List.rev !violations;
+    energy_ok = !energy_ok;
+    time_ok = aet <= Workload.tau wl;
+    t100;
+    aet;
+    tec;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf "complete=%b energy_ok=%b time_ok=%b T100=%d AET=%d TEC=%.2f%a"
+    r.complete r.energy_ok r.time_ok r.t100 r.aet r.tec
+    Fmt.(list ~sep:nop (any "@.  violation: " ++ string))
+    r.violations

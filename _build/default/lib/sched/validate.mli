@@ -1,0 +1,18 @@
+(** Independent end-state checker: rebuilds every Section III constraint
+    from raw placements/transfers without trusting the engine's counters. *)
+
+type report = {
+  complete : bool;  (** every task mapped *)
+  violations : string list;  (** structural problems (empty = clean) *)
+  energy_ok : bool;  (** every machine within B(j) *)
+  time_ok : bool;  (** AET <= tau *)
+  t100 : int;
+  aet : int;
+  tec : float;
+}
+
+val feasible : report -> bool
+(** Complete, structurally clean, within energy and time. *)
+
+val check : Schedule.t -> report
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/sim/executor.ml: Agrid_dag Agrid_platform Agrid_prng Agrid_sched Agrid_workload Array Float Fmt Grid Machine Units Workload

@@ -1,0 +1,1 @@
+lib/sim/executor.mli: Agrid_prng Agrid_sched Format

@@ -1,0 +1,1 @@
+lib/stats/running.ml: Array Descriptive Float

@@ -1,0 +1,89 @@
+(* Goodness-of-fit tests used to validate the hand-rolled samplers:
+   one-sample Kolmogorov-Smirnov against an arbitrary CDF and a chi-square
+   uniformity test. These are TEST utilities with test-grade accuracy: the
+   KS p-value uses the standard asymptotic series, the chi-square
+   comparison uses the Wilson-Hilferty normal approximation. *)
+
+(* Empirical KS statistic D_n = sup |F_n(x) - F(x)| for a sorted sample. *)
+let ks_statistic ~cdf sample =
+  let n = Array.length sample in
+  if n = 0 then invalid_arg "Goodness.ks_statistic: empty sample";
+  let sorted = Array.copy sample in
+  Array.sort Float.compare sorted;
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      let fn_hi = float_of_int (i + 1) /. float_of_int n in
+      let fn_lo = float_of_int i /. float_of_int n in
+      d := Float.max !d (Float.max (Float.abs (fn_hi -. f)) (Float.abs (f -. fn_lo))))
+    sorted;
+  !d
+
+(* Asymptotic KS survival function: P(sqrt(n) D > x) ~ 2 sum (-1)^{k-1}
+   exp(-2 k^2 x^2); adequate for the sample sizes the tests use (>= 500). *)
+let ks_p_value ~n d =
+  if n <= 0 then invalid_arg "Goodness.ks_p_value: n must be positive";
+  let x = (sqrt (float_of_int n) +. 0.12 +. (0.11 /. sqrt (float_of_int n))) *. d in
+  let rec series k acc =
+    if k > 100 then acc
+    else begin
+      let term =
+        (if k mod 2 = 1 then 2. else -2.)
+        *. exp (-2. *. float_of_int (k * k) *. x *. x)
+      in
+      if Float.abs term < 1e-12 then acc +. term else series (k + 1) (acc +. term)
+    end
+  in
+  Float.max 0. (Float.min 1. (series 1 0.))
+
+let ks_test ~cdf sample =
+  let d = ks_statistic ~cdf sample in
+  (d, ks_p_value ~n:(Array.length sample) d)
+
+(* Regularised lower incomplete gamma via series/continued fraction would
+   be overkill here; the chi-square test instead uses the Wilson-Hilferty
+   cube-root normal approximation, good to ~1e-3 for df >= 3. *)
+let chi_square_survival ~df x =
+  if df <= 0 then invalid_arg "Goodness.chi_square_survival: df must be positive";
+  if x <= 0. then 1.
+  else begin
+    let k = float_of_int df in
+    let z =
+      ((x /. k) ** (1. /. 3.)) -. (1. -. (2. /. (9. *. k)))
+      |> fun v -> v /. sqrt (2. /. (9. *. k))
+    in
+    (* standard normal survival via erfc *)
+    0.5 *. Float.erfc (z /. sqrt 2.)
+  end
+
+(* Chi-square statistic of observed counts against expected proportions. *)
+let chi_square_statistic ~observed ~expected =
+  if Array.length observed <> Array.length expected then
+    invalid_arg "Goodness.chi_square_statistic: length mismatch";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i o ->
+      let e = expected.(i) in
+      if e <= 0. then invalid_arg "Goodness.chi_square_statistic: nonpositive expectation";
+      let d = float_of_int o -. e in
+      acc := !acc +. (d *. d /. e))
+    observed;
+  !acc
+
+let chi_square_uniform_test counts =
+  let k = Array.length counts in
+  if k < 2 then invalid_arg "Goodness.chi_square_uniform_test: need >= 2 bins";
+  let total = Array.fold_left ( + ) 0 counts in
+  let expected = Array.make k (float_of_int total /. float_of_int k) in
+  let stat = chi_square_statistic ~observed:counts ~expected in
+  (stat, chi_square_survival ~df:(k - 1) stat)
+
+(* Reference CDFs for the samplers under test. *)
+let uniform_cdf ~lo ~hi x =
+  if x <= lo then 0. else if x >= hi then 1. else (x -. lo) /. (hi -. lo)
+
+let exponential_cdf ~rate x = if x <= 0. then 0. else 1. -. exp (-.rate *. x)
+
+let normal_cdf ~mean ~stddev x =
+  0.5 *. Float.erfc ((mean -. x) /. (stddev *. sqrt 2.))

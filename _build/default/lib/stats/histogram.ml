@@ -1,0 +1,44 @@
+(* Fixed-bin histogram over a closed range; values outside the range are
+   clamped into the edge bins so sweep outputs never silently vanish. *)
+
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let bin_of t x =
+  let b =
+    int_of_float (float_of_int (bins t) *. (x -. t.lo) /. (t.hi -. t.lo))
+  in
+  if b < 0 then 0 else if b >= bins t then bins t - 1 else b
+
+let add t x =
+  let b = bin_of t x in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.total <- t.total + 1
+
+let count t b = t.counts.(b)
+let total t = t.total
+
+let bin_lo t b = t.lo +. (float_of_int b *. (t.hi -. t.lo) /. float_of_int (bins t))
+let bin_hi t b = bin_lo t (b + 1)
+
+(* ASCII rendering used by the CLI `--histogram` flags: one row per bin with
+   a proportional bar. *)
+let pp ?(width = 40) ppf t =
+  let max_count = Array.fold_left Stdlib.max 1 t.counts in
+  Array.iteri
+    (fun b c ->
+      let bar = c * width / max_count in
+      Fmt.pf ppf "[%8.3g, %8.3g) %6d %s@." (bin_lo t b) (bin_hi t b) c
+        (String.make bar '#'))
+    t.counts

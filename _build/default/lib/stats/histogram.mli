@@ -1,0 +1,14 @@
+(** Fixed-bin histogram over [\[lo, hi\]]; out-of-range samples clamp into the
+    edge bins. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+val bins : t -> int
+val bin_of : t -> float -> int
+val add : t -> float -> unit
+val count : t -> int -> int
+val total : t -> int
+val bin_lo : t -> int -> float
+val bin_hi : t -> int -> float
+val pp : ?width:int -> Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+(* Welford's online algorithm: single-pass mean/variance with extrema.
+   Used by long sweeps that should not retain every sample. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  let delta2 = x -. t.mean in
+  t.m2 <- t.m2 +. (delta *. delta2);
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let add_all t xs = Array.iter (add t) xs
+
+let count t = t.n
+
+let mean t =
+  if t.n = 0 then invalid_arg "Running.mean: no samples";
+  t.mean
+
+let variance t =
+  if t.n = 0 then invalid_arg "Running.variance: no samples";
+  if t.n = 1 then 0. else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t =
+  if t.n = 0 then invalid_arg "Running.min: no samples";
+  t.min
+
+let max t =
+  if t.n = 0 then invalid_arg "Running.max: no samples";
+  t.max
+
+(* Combine two accumulators (Chan et al. parallel variance update); the
+   domain-pool reductions merge per-worker accumulators with this. *)
+let merge a b =
+  if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2; min = b.min; max = b.max }
+  else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2; min = a.min; max = a.max }
+  else begin
+    let n = a.n + b.n in
+    let fa = float_of_int a.n and fb = float_of_int b.n in
+    let fn = float_of_int n in
+    let delta = b.mean -. a.mean in
+    {
+      n;
+      mean = a.mean +. (delta *. fb /. fn);
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn);
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+    }
+  end
+
+let to_summary t : Descriptive.summary =
+  {
+    n = t.n;
+    mean = mean t;
+    stddev = stddev t;
+    min = min t;
+    max = max t;
+    median = Float.nan (* not tracked online *);
+  }

@@ -1,0 +1,20 @@
+(** Welford single-pass mean/variance accumulator with extrema; mergeable for
+    parallel reductions. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_all : t -> float array -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val merge : t -> t -> t
+(** Combine two accumulators (Chan et al.); inputs are not mutated. *)
+
+val to_summary : t -> Descriptive.summary
+(** Median is [nan] (not tracked online). *)

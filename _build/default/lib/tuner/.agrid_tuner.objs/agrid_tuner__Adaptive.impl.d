@@ -1,0 +1,1 @@
+lib/tuner/adaptive.ml: Agrid_core Agrid_workload Float Fmt List Objective Weight_search Workload

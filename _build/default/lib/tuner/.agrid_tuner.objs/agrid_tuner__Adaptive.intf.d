@@ -1,0 +1,1 @@
+lib/tuner/adaptive.mli: Agrid_workload Format Weight_search

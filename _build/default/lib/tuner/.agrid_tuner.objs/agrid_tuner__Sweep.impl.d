@@ -1,0 +1,1 @@
+lib/tuner/sweep.ml: Agrid_core Agrid_sched Fmt List Slrh

@@ -1,0 +1,1 @@
+lib/tuner/sweep.mli: Agrid_core Agrid_workload Format Objective Slrh

@@ -1,0 +1,1 @@
+lib/tuner/weight_search.ml: Agrid_baselines Agrid_core Agrid_sched Agrid_workload Float Fmt List Objective Slrh Validate

@@ -1,0 +1,1 @@
+lib/tuner/weight_search.mli: Agrid_core Agrid_workload Format Objective Slrh

@@ -1,0 +1,146 @@
+(* The paper's weight-optimisation methodology (Section VII):
+
+   "The sensitivity of the heuristics to the objective function weights was
+   investigated by first independently varying the alpha and beta values
+   across their [0,1] range in steps of 0.1 until a general range was found
+   that produced the best T100 performance, subject to the energy and time
+   constraints. In addition, the heuristic was required to successfully map
+   all 1024 subtasks within both the specified energy and time constraints
+   for that (alpha, beta) combination to be included in the study. The
+   values were then varied by 0.02 across this smaller range until an
+   optimal performance point was determined."
+
+   A "runner" abstracts over which heuristic is tuned (SLRH variants,
+   Max-Max): weights in, validated outcome out. *)
+
+open Agrid_core
+open Agrid_sched
+
+type run_result = {
+  weights : Objective.weights;
+  t100 : int;
+  aet : int;
+  tec : float;
+  feasible : bool;
+  wall_seconds : float;
+}
+
+type runner = Objective.weights -> Agrid_workload.Workload.t -> run_result
+
+(* Wrap a heuristic into a runner with post-run validation. *)
+let of_outcome weights ~schedule ~wall_seconds =
+  let r = Validate.check schedule in
+  {
+    weights;
+    t100 = r.Validate.t100;
+    aet = r.Validate.aet;
+    tec = r.Validate.tec;
+    feasible = Validate.feasible r;
+    wall_seconds;
+  }
+
+let slrh_runner ?(delta_t = 10) ?(horizon = 100) variant : runner =
+ fun weights workload ->
+  let params =
+    { (Slrh.default_params ~variant weights) with Slrh.delta_t; horizon }
+  in
+  let o = Slrh.run params workload in
+  of_outcome weights ~schedule:o.Slrh.schedule ~wall_seconds:o.Slrh.wall_seconds
+
+let maxmax_runner : runner =
+ fun weights workload ->
+  let o = Agrid_baselines.Maxmax.run (Agrid_baselines.Maxmax.default_params weights) workload in
+  of_outcome weights ~schedule:o.Agrid_baselines.Maxmax.schedule
+    ~wall_seconds:o.Agrid_baselines.Maxmax.wall_seconds
+
+type result = {
+  best : run_result option; (* None: no feasible weight point exists *)
+  evaluations : int;
+  feasible_points : (float * float) list; (* every feasible (alpha, beta) seen *)
+}
+
+(* Grid of (alpha, beta) with alpha, beta >= 0, alpha + beta <= 1 at the
+   given step, built on integer indices to avoid float accumulation. *)
+let simplex_grid ~step =
+  if step <= 0. || step > 1. then invalid_arg "Weight_search: bad step";
+  let n = int_of_float (Float.round (1. /. step)) in
+  let points = ref [] in
+  for ia = n downto 0 do
+    for ib = n - ia downto 0 do
+      points := (float_of_int ia /. float_of_int n, float_of_int ib /. float_of_int n)
+                :: !points
+    done
+  done;
+  !points
+
+(* Fine grid around a centre point: +-radius at [step] resolution, clipped
+   to the simplex. *)
+let refinement_grid ~centre:(ca, cb) ~radius ~step =
+  let offsets =
+    let k = int_of_float (Float.round (radius /. step)) in
+    List.init ((2 * k) + 1) (fun i -> float_of_int (i - k) *. step)
+  in
+  List.concat_map
+    (fun da ->
+      List.filter_map
+        (fun db ->
+          let a = ca +. da and b = cb +. db in
+          if a >= -.1e-9 && b >= -.1e-9 && a +. b <= 1. +. 1e-9 then
+            Some (Float.max 0. a, Float.max 0. b)
+          else None)
+        offsets)
+    offsets
+
+let better (a : run_result) (b : run_result) =
+  (* primary objective: T100; ties broken toward lower energy then lower AET
+     so results are deterministic *)
+  if a.t100 <> b.t100 then a.t100 > b.t100
+  else if a.tec <> b.tec then a.tec < b.tec
+  else a.aet < b.aet
+
+let search_points runner workload points =
+  let best = ref None in
+  let feasible_points = ref [] in
+  let evaluations = ref 0 in
+  List.iter
+    (fun (alpha, beta) ->
+      incr evaluations;
+      let r = runner (Objective.make_weights ~alpha ~beta) workload in
+      if r.feasible then begin
+        feasible_points := (alpha, beta) :: !feasible_points;
+        match !best with
+        | Some b when not (better r b) -> ()
+        | _ -> best := Some r
+      end)
+    points;
+  (!best, !evaluations, List.rev !feasible_points)
+
+(* Full two-stage search: coarse 0.1 sweep of the simplex, then a 0.02
+   refinement around the coarse optimum (paper defaults). *)
+let search ?(coarse_step = 0.1) ?(fine_step = 0.02) ?(fine_radius = 0.1) runner
+    workload =
+  let coarse_best, coarse_evals, coarse_feasible =
+    search_points runner workload (simplex_grid ~step:coarse_step)
+  in
+  match coarse_best with
+  | None -> { best = None; evaluations = coarse_evals; feasible_points = [] }
+  | Some cb ->
+      let centre = (cb.weights.Objective.alpha, cb.weights.Objective.beta) in
+      let fine_best, fine_evals, fine_feasible =
+        search_points runner workload
+          (refinement_grid ~centre ~radius:fine_radius ~step:fine_step)
+      in
+      let best =
+        match fine_best with
+        | Some fb when better fb cb -> Some fb
+        | _ -> Some cb
+      in
+      {
+        best;
+        evaluations = coarse_evals + fine_evals;
+        feasible_points = coarse_feasible @ fine_feasible;
+      }
+
+let pp_run_result ppf r =
+  Fmt.pf ppf "%a T100=%d AET=%d TEC=%.2f feasible=%b" Objective.pp_weights
+    r.weights r.t100 r.aet r.tec r.feasible

@@ -1,0 +1,1 @@
+lib/workload/serialize.ml: Agrid_dag Agrid_etc Agrid_platform Array Fmt Format Fun Hashtbl List Spec String Workload

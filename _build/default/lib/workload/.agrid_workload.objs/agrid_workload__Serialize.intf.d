@@ -1,0 +1,1 @@
+lib/workload/serialize.mli: Agrid_platform Format Spec Workload

@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Agrid_dag Agrid_etc Agrid_platform Float Fmt

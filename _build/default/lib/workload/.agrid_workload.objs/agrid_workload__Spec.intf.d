@@ -1,0 +1,1 @@
+lib/workload/spec.mli: Agrid_dag Agrid_etc Format

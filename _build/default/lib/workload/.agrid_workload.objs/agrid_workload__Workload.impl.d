@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Agrid_dag Agrid_etc Agrid_platform Agrid_prng Array Comm Float Fmt Fun Grid Hashtbl Int64 List Machine Spec Splitmix64 Units Version

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Agrid_dag Agrid_etc Agrid_platform Format Spec Version

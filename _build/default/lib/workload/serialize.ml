@@ -1,0 +1,216 @@
+(* Scenario persistence: a versioned, line-oriented text format that pins a
+   scenario's full artefacts (the Case-A-width ETC matrix, the DAG with its
+   per-edge data sizes, and the spec constants) so experiments can be
+   reproduced across library versions even if a generator changes.
+   Floats are printed with %.17g, so a save/load roundtrip is bit-exact.
+
+   Layout (one record per line, '#' comments allowed):
+
+     agrid-scenario v1
+     seed <int>
+     n_tasks <int>
+     tau_seconds <float>
+     battery_scale <float>
+     secondary_fraction <float>
+     data_mean_bits <float> data_cv <float>
+     case <A|B|C>
+     indices <etc> <dag>
+     etc <rows> <cols>
+     <cols floats>            x rows   (Case-A machine width)
+     edges <count>
+     <src> <dst> <bits>       x count
+     end *)
+
+exception Parse_error of { line : int; message : string }
+
+let fail ~line fmt = Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+let case_to_string = function
+  | Agrid_platform.Grid.A -> "A"
+  | Agrid_platform.Grid.B -> "B"
+  | Agrid_platform.Grid.C -> "C"
+
+let case_of_string ~line = function
+  | "A" -> Agrid_platform.Grid.A
+  | "B" -> Agrid_platform.Grid.B
+  | "C" -> Agrid_platform.Grid.C
+  | s -> fail ~line "unknown case %S" s
+
+(* ---- writing ---- *)
+
+let save ppf (spec : Spec.t) ~etc_index ~dag_index ~case =
+  Spec.validate spec;
+  let etc = Workload.etc_for_spec spec ~etc_index in
+  let dag = Workload.dag_for_spec spec ~dag_index in
+  let data = Workload.data_for_spec spec dag ~dag_index in
+  Fmt.pf ppf "agrid-scenario v1@.";
+  Fmt.pf ppf "seed %d@." spec.Spec.seed;
+  Fmt.pf ppf "n_tasks %d@." spec.Spec.n_tasks;
+  Fmt.pf ppf "tau_seconds %.17g@." spec.Spec.tau_seconds;
+  Fmt.pf ppf "battery_scale %.17g@." spec.Spec.battery_scale;
+  Fmt.pf ppf "secondary_fraction %.17g@." spec.Spec.secondary_fraction;
+  Fmt.pf ppf "data_mean_bits %.17g data_cv %.17g@." spec.Spec.data_mean_bits
+    spec.Spec.data_cv;
+  Fmt.pf ppf "case %s@." (case_to_string case);
+  Fmt.pf ppf "indices %d %d@." etc_index dag_index;
+  let rows = Agrid_etc.Etc.n_tasks etc and cols = Agrid_etc.Etc.n_machines etc in
+  Fmt.pf ppf "etc %d %d@." rows cols;
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if j > 0 then Fmt.pf ppf " ";
+      Fmt.pf ppf "%.17g" (Agrid_etc.Etc.seconds etc ~task:i ~machine:j)
+    done;
+    Fmt.pf ppf "@."
+  done;
+  Fmt.pf ppf "edges %d@." (Agrid_dag.Dag.n_edges dag);
+  Agrid_dag.Dag.iter_edges
+    (fun e ~src ~dst -> Fmt.pf ppf "%d %d %.17g@." src dst data.(e))
+    dag;
+  Fmt.pf ppf "end@."
+
+let save_file path spec ~etc_index ~dag_index ~case =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      save ppf spec ~etc_index ~dag_index ~case;
+      Format.pp_print_flush ppf ())
+
+(* ---- reading ---- *)
+
+type reader = { mutable line : int; mutable rest : string list }
+
+let next_line r =
+  let rec skip = function
+    | [] -> fail ~line:r.line "unexpected end of file"
+    | l :: rest ->
+        r.line <- r.line + 1;
+        let trimmed = String.trim l in
+        if trimmed = "" || String.length trimmed > 0 && trimmed.[0] = '#' then begin
+          r.rest <- rest;
+          skip rest
+        end
+        else begin
+          r.rest <- rest;
+          trimmed
+        end
+  in
+  skip r.rest
+
+let expect_fields r ~key ~n line =
+  match String.split_on_char ' ' line with
+  | k :: fields when k = key && List.length fields = n -> fields
+  | k :: _ when k = key -> fail ~line:r.line "%s: expected %d fields" key n
+  | _ -> fail ~line:r.line "expected %S record, got %S" key line
+
+let parse_int r s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail ~line:r.line "not an integer: %S" s
+
+let parse_float r s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail ~line:r.line "not a float: %S" s
+
+let load_from_lines lines =
+  let r = { line = 0; rest = lines } in
+  if next_line r <> "agrid-scenario v1" then
+    fail ~line:r.line "missing 'agrid-scenario v1' header";
+  let one key = List.hd (expect_fields r ~key ~n:1 (next_line r)) in
+  let seed = parse_int r (one "seed") in
+  let n_tasks = parse_int r (one "n_tasks") in
+  let tau_seconds = parse_float r (one "tau_seconds") in
+  let battery_scale = parse_float r (one "battery_scale") in
+  let secondary_fraction = parse_float r (one "secondary_fraction") in
+  let data_mean_bits, data_cv =
+    match expect_fields r ~key:"data_mean_bits" ~n:3 (next_line r) with
+    | [ mb; "data_cv"; cv ] -> (parse_float r mb, parse_float r cv)
+    | _ -> fail ~line:r.line "malformed data_mean_bits record"
+  in
+  let case = case_of_string ~line:r.line (one "case") in
+  let etc_index, dag_index =
+    match expect_fields r ~key:"indices" ~n:2 (next_line r) with
+    | [ e; d ] -> (parse_int r e, parse_int r d)
+    | _ -> assert false
+  in
+  let rows, cols =
+    match expect_fields r ~key:"etc" ~n:2 (next_line r) with
+    | [ a; b ] -> (parse_int r a, parse_int r b)
+    | _ -> assert false
+  in
+  if rows <> n_tasks then fail ~line:r.line "etc rows %d but n_tasks %d" rows n_tasks;
+  let matrix =
+    Array.init rows (fun _ ->
+        let fields = String.split_on_char ' ' (next_line r) in
+        if List.length fields <> cols then
+          fail ~line:r.line "expected %d ETC entries" cols;
+        Array.of_list (List.map (parse_float r) fields))
+  in
+  let n_edges =
+    match expect_fields r ~key:"edges" ~n:1 (next_line r) with
+    | [ n ] -> parse_int r n
+    | _ -> assert false
+  in
+  let edges = ref [] in
+  let bits_by_edge = Hashtbl.create (2 * max 1 n_edges) in
+  for _ = 1 to n_edges do
+    match String.split_on_char ' ' (next_line r) with
+    | [ src; dst; bits ] ->
+        let src = parse_int r src and dst = parse_int r dst in
+        edges := (src, dst) :: !edges;
+        Hashtbl.replace bits_by_edge (src, dst) (parse_float r bits)
+    | _ -> fail ~line:r.line "malformed edge record"
+  done;
+  if next_line r <> "end" then fail ~line:r.line "missing 'end' terminator";
+  (* reassemble *)
+  let klasses =
+    Array.map
+      (fun (m : Agrid_platform.Machine.profile) -> m.Agrid_platform.Machine.klass)
+      (Agrid_platform.Grid.machines (Agrid_platform.Grid.of_case Agrid_platform.Grid.A))
+  in
+  if cols <> Array.length klasses then
+    fail ~line:r.line "etc must have the Case-A machine width (%d), got %d"
+      (Array.length klasses) cols;
+  let etc = Agrid_etc.Etc.of_matrix ~klasses matrix in
+  let dag = Agrid_dag.Dag.of_edges ~n:n_tasks !edges in
+  (* data sizes follow the DAG's canonical edge-id order *)
+  let data_bits =
+    Array.map
+      (fun (src, dst) -> Hashtbl.find bits_by_edge (src, dst))
+      (Agrid_dag.Dag.edges dag)
+  in
+  let spec =
+    {
+      (Spec.paper_scale ~seed ()) with
+      Spec.n_tasks;
+      etc_params = Agrid_etc.Etc.default_params ~n_tasks;
+      dag_params = Agrid_dag.Generate.default_params ~n:n_tasks;
+      tau_seconds;
+      battery_scale;
+      secondary_fraction;
+      data_mean_bits;
+      data_cv;
+    }
+  in
+  Workload.build spec ~etc ~dag ~data_bits ~etc_index ~dag_index ~case
+
+let load_string s = load_from_lines (String.split_on_char '\n' s)
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec read acc =
+        match input_line ic with
+        | l -> read (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      load_from_lines (read []))
+
+let to_string spec ~etc_index ~dag_index ~case =
+  Fmt.str "%a"
+    (fun ppf () -> save ppf spec ~etc_index ~dag_index ~case)
+    ()

@@ -1,0 +1,30 @@
+(** Scenario persistence: a versioned text format pinning a scenario's full
+    artefacts (Case-A-width ETC matrix, DAG, per-edge data sizes, spec
+    constants) for cross-version reproducibility. Roundtrips are bit-exact
+    (floats printed with [%.17g]). *)
+
+exception Parse_error of { line : int; message : string }
+
+val save :
+  Format.formatter ->
+  Spec.t ->
+  etc_index:int ->
+  dag_index:int ->
+  case:Agrid_platform.Grid.case ->
+  unit
+
+val save_file :
+  string ->
+  Spec.t ->
+  etc_index:int ->
+  dag_index:int ->
+  case:Agrid_platform.Grid.case ->
+  unit
+
+val to_string :
+  Spec.t -> etc_index:int -> dag_index:int -> case:Agrid_platform.Grid.case -> string
+
+val load_string : string -> Workload.t
+(** @raise Parse_error on malformed input. *)
+
+val load_file : string -> Workload.t

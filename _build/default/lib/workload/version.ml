@@ -1,0 +1,26 @@
+(* Every subtask can execute as its full "primary" version or as a reduced
+   "secondary" version that (paper Section III) uses a fixed fraction — 10 %
+   — of the primary's time and energy and emits that fraction of its output
+   data. The fraction itself is a Spec parameter; this module is just the
+   enumeration. *)
+
+type t = Primary | Secondary
+
+let all = [ Primary; Secondary ]
+
+let is_primary = function Primary -> true | Secondary -> false
+
+let to_string = function Primary -> "primary" | Secondary -> "secondary"
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+let equal a b =
+  match (a, b) with
+  | Primary, Primary | Secondary, Secondary -> true
+  | (Primary | Secondary), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Primary, Primary | Secondary, Secondary -> 0
+  | Primary, Secondary -> -1
+  | Secondary, Primary -> 1

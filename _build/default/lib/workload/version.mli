@@ -1,0 +1,13 @@
+(** Subtask versions (paper Section III): every subtask has a full
+    "primary" version and a reduced "secondary" version that uses a fixed
+    fraction (10 %, a {!Spec} parameter) of the primary's time, energy and
+    output data. *)
+
+type t = Primary | Secondary
+
+val all : t list
+val is_primary : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

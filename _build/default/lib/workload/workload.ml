@@ -1,0 +1,161 @@
+(* A fully instantiated scenario: one ETC matrix x one DAG x one grid case,
+   with per-edge data sizes and the time constraint, all in simulator units
+   (integer clock cycles). This is the input type every heuristic consumes.
+
+   Instances are deterministic functions of (spec.seed, etc_index,
+   dag_index): each artefact gets its own splitmix64 stream, so ETC k is
+   identical whether or not DAG l was ever generated — matching the paper's
+   design of 10 ETCs x 10 DAGs = 100 reusable scenarios. *)
+
+open Agrid_prng
+open Agrid_platform
+
+type t = {
+  spec : Spec.t;
+  case : Grid.case;
+  etc_index : int;
+  dag_index : int;
+  grid : Grid.t;
+  dag : Agrid_dag.Dag.t;
+  etc : Agrid_etc.Etc.t; (* restricted to this case's machines *)
+  data_bits : float array; (* per edge id *)
+  tau : int; (* cycles *)
+  exec_cycles_cache : int array array; (* .(task).(machine) primary cycles *)
+}
+
+(* Independent, label-keyed stream derivation: mixes the label hash and the
+   index into the seed so streams do not overlap for any (label, index). *)
+let stream spec ~label ~index =
+  let open Int64 in
+  let s =
+    add
+      (mul (of_int spec.Spec.seed) 0x9E3779B97F4A7C15L)
+      (add (mul (of_int index) 0xBF58476D1CE4E5B9L) (of_int (Hashtbl.hash label)))
+  in
+  Splitmix64.create s
+
+let etc_for_spec spec ~etc_index =
+  let rng = stream spec ~label:"etc" ~index:etc_index in
+  (* generated over the full Case A machine set; cases restrict columns *)
+  let klasses = Array.map (fun (m : Machine.profile) -> m.klass) (Grid.machines (Grid.of_case A)) in
+  Agrid_etc.Etc.generate rng spec.Spec.etc_params ~klasses
+
+let dag_for_spec spec ~dag_index =
+  let rng = stream spec ~label:"dag" ~index:dag_index in
+  Agrid_dag.Generate.generate rng spec.Spec.dag_params
+
+let data_for_spec spec dag ~dag_index =
+  let rng = stream spec ~label:"data" ~index:dag_index in
+  Agrid_dag.Generate.data_sizes rng dag ~mean_bits:spec.Spec.data_mean_bits
+    ~cv:spec.Spec.data_cv
+
+let secondary_cycles t primary_cycles =
+  max 1
+    (int_of_float
+       (Float.ceil (float_of_int primary_cycles *. t.spec.Spec.secondary_fraction)))
+
+let build ?etc ?dag ?data_bits spec ~etc_index ~dag_index ~case =
+  Spec.validate spec;
+  let grid = Grid.of_case ~battery_scale:spec.Spec.battery_scale case in
+  let etc_full = match etc with Some e -> e | None -> etc_for_spec spec ~etc_index in
+  let etc = Agrid_etc.Etc.for_case etc_full case in
+  if Agrid_etc.Etc.n_machines etc <> Grid.n_machines grid then
+    invalid_arg "Workload.build: ETC column count does not match grid";
+  if Agrid_etc.Etc.n_tasks etc <> spec.Spec.n_tasks then
+    invalid_arg "Workload.build: ETC task count does not match spec";
+  let dag = match dag with Some d -> d | None -> dag_for_spec spec ~dag_index in
+  if Agrid_dag.Dag.n_tasks dag <> spec.Spec.n_tasks then
+    invalid_arg "Workload.build: DAG task count does not match spec";
+  let data_bits =
+    match data_bits with
+    | Some d -> d
+    | None -> data_for_spec spec dag ~dag_index
+  in
+  if Array.length data_bits <> Agrid_dag.Dag.n_edges dag then
+    invalid_arg "Workload.build: data size count does not match DAG edges";
+  let n = spec.Spec.n_tasks and m = Grid.n_machines grid in
+  let exec_cycles_cache =
+    Array.init n (fun i ->
+        Array.init m (fun j ->
+            Units.cycles_of_seconds (Agrid_etc.Etc.seconds etc ~task:i ~machine:j)))
+  in
+  {
+    spec;
+    case;
+    etc_index;
+    dag_index;
+    grid;
+    dag;
+    etc;
+    data_bits;
+    tau = Spec.tau_cycles spec;
+    exec_cycles_cache;
+  }
+
+let with_tau t ~tau_cycles =
+  if tau_cycles <= 0 then invalid_arg "Workload.with_tau: must be positive";
+  { t with tau = tau_cycles }
+
+(* Drop one machine mid-run (dynamic-grid extension): the grid loses the
+   machine, the ETC loses its column, the cycle cache shrinks. Remaining
+   machines keep their relative order; the caller remaps indices with
+   old index -> (if old < lost then old else old - 1). *)
+let remove_machine t ~machine =
+  let m = Grid.n_machines t.grid in
+  if machine < 0 || machine >= m then invalid_arg "Workload.remove_machine";
+  let keep = Array.of_list (List.filter (fun j -> j <> machine) (List.init m Fun.id)) in
+  {
+    t with
+    grid = Grid.remove_machine t.grid machine;
+    etc = Agrid_etc.Etc.restrict t.etc ~columns:keep;
+    exec_cycles_cache =
+      Array.map (fun row -> Array.map (fun j -> row.(j)) keep) t.exec_cycles_cache;
+  }
+
+let n_tasks t = t.spec.Spec.n_tasks
+let n_machines t = Grid.n_machines t.grid
+let grid t = t.grid
+let dag t = t.dag
+let etc t = t.etc
+let tau t = t.tau
+let case t = t.case
+let spec t = t.spec
+let indices t = (t.etc_index, t.dag_index)
+
+(* Execution time of a (task, machine, version) triple in cycles; secondary
+   versions take the spec's fraction (paper: 10 %), at least one cycle. *)
+let exec_cycles t ~task ~machine ~version =
+  let primary = t.exec_cycles_cache.(task).(machine) in
+  match (version : Version.t) with
+  | Primary -> primary
+  | Secondary -> secondary_cycles t primary
+
+(* Energy for that execution: rate E(j) over the occupied integer cycles. *)
+let exec_energy t ~task ~machine ~version =
+  let cycles = exec_cycles t ~task ~machine ~version in
+  Machine.compute_energy (Grid.machine t.grid machine)
+    ~seconds:(Units.seconds_of_cycles cycles)
+
+(* Output volume of an edge given the version the parent ran as. *)
+let edge_bits t ~edge ~parent_version =
+  let bits = t.data_bits.(edge) in
+  match (parent_version : Version.t) with
+  | Primary -> bits
+  | Secondary -> bits *. t.spec.Spec.secondary_fraction
+
+let total_system_energy t = Grid.total_system_energy t.grid
+
+(* Sum over a task's children of the worst-case transmit energy from
+   [machine], assuming version [version] output volumes — the SLRH
+   feasibility check's conservative estimate (paper Section IV). *)
+let worst_case_child_comm_energy t ~task ~machine ~version =
+  Array.fold_left
+    (fun acc (_child, edge) ->
+      let bits = edge_bits t ~edge ~parent_version:version in
+      acc +. Comm.worst_case_energy t.grid ~src:machine ~bits)
+    0.
+    (Agrid_dag.Dag.child_edges t.dag task)
+
+let pp ppf t =
+  Fmt.pf ppf "workload<%s etc=%d dag=%d |T|=%d tau=%a>" (Grid.name t.grid)
+    t.etc_index t.dag_index (n_tasks t) Units.pp_cycles t.tau

@@ -1,0 +1,61 @@
+(** A fully instantiated scenario — one ETC matrix x one DAG x one grid case
+    — in simulator units. This is the input type every heuristic consumes.
+
+    Instances are deterministic functions of [(spec.seed, etc_index,
+    dag_index)]; ETC [k] is bit-identical across cases (cases are column
+    restrictions), matching the paper's 10 ETC x 10 DAG reusable scenario
+    design. *)
+
+type t
+
+val build :
+  ?etc:Agrid_etc.Etc.t ->
+  ?dag:Agrid_dag.Dag.t ->
+  ?data_bits:float array ->
+  Spec.t ->
+  etc_index:int ->
+  dag_index:int ->
+  case:Agrid_platform.Grid.case ->
+  t
+(** Generate (or accept pre-built) artefacts and assemble the scenario.
+    A supplied [?etc] must cover the full Case A machine set. *)
+
+val etc_for_spec : Spec.t -> etc_index:int -> Agrid_etc.Etc.t
+(** The full (Case A) ETC matrix for an index — shared across cases. *)
+
+val dag_for_spec : Spec.t -> dag_index:int -> Agrid_dag.Dag.t
+val data_for_spec : Spec.t -> Agrid_dag.Dag.t -> dag_index:int -> float array
+
+val with_tau : t -> tau_cycles:int -> t
+
+val remove_machine : t -> machine:int -> t
+(** Drop one machine (dynamic-grid extension). Remaining machines keep
+    their relative order: old index [j] becomes [j - 1] for [j > machine]. *)
+
+val n_tasks : t -> int
+val n_machines : t -> int
+val grid : t -> Agrid_platform.Grid.t
+val dag : t -> Agrid_dag.Dag.t
+val etc : t -> Agrid_etc.Etc.t
+val tau : t -> int
+val case : t -> Agrid_platform.Grid.case
+val spec : t -> Spec.t
+val indices : t -> int * int
+(** [(etc_index, dag_index)]. *)
+
+val exec_cycles : t -> task:int -> machine:int -> version:Version.t -> int
+(** Occupancy in cycles; secondary = ceil(fraction * primary), >= 1. *)
+
+val exec_energy : t -> task:int -> machine:int -> version:Version.t -> float
+
+val edge_bits : t -> edge:int -> parent_version:Version.t -> float
+(** Output volume of an edge given the parent's executed version. *)
+
+val total_system_energy : t -> float
+
+val worst_case_child_comm_energy :
+  t -> task:int -> machine:int -> version:Version.t -> float
+(** Conservative child-communication energy (every child on the worst link),
+    per the SLRH feasibility check. *)
+
+val pp : Format.formatter -> t -> unit

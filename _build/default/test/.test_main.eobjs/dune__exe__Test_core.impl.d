@@ -1,0 +1,1 @@
+test/test_core.ml: Agrid_core Agrid_platform Agrid_sched Agrid_workload Alcotest Array Feasibility List Objective QCheck2 Schedule Slrh Spec Testlib Upper_bound Validate Version Workload

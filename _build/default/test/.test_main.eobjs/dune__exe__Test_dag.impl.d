@@ -1,0 +1,1 @@
+test/test_dag.ml: Agrid_dag Alcotest Array Dag Dot Generate List Metrics QCheck2 String Testlib

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Agrid_core Agrid_dag Agrid_sched Agrid_workload Alcotest Array Dynamic Objective Schedule Slrh Testlib Validate Version Workload

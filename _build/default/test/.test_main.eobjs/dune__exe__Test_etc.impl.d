@@ -1,0 +1,1 @@
+test/test_etc.ml: Agrid_core Agrid_etc Agrid_platform Alcotest Array Etc Grid List Machine Testlib

@@ -1,0 +1,1 @@
+test/test_exper.ml: Agrid_exper Agrid_platform Agrid_report Agrid_tuner Agrid_workload Alcotest Config Evaluation Experiments Fmt Lazy List Series Table Testlib

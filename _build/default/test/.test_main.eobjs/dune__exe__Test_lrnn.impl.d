@@ -1,0 +1,1 @@
+test/test_lrnn.ml: Agrid_lrnn Agrid_platform Agrid_sched Agrid_workload Alcotest Float List Lrnn Schedule Spec Testlib Validate Workload

@@ -1,0 +1,1 @@
+test/test_par.ml: Agrid_par Alcotest Array Atomic Fmt Fun Parallel

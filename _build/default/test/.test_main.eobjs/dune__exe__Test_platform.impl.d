@@ -1,0 +1,1 @@
+test/test_platform.ml: Agrid_platform Alcotest Comm Grid List Machine Testlib Units

@@ -1,0 +1,1 @@
+test/test_prng.ml: Agrid_prng Alcotest Array Dist Float Fun List Splitmix64

@@ -1,0 +1,1 @@
+test/test_report.ml: Agrid_core Agrid_report Agrid_sched Alcotest Array Csv Filename Fun Gantt List Objective Slrh Sys Testlib Trace

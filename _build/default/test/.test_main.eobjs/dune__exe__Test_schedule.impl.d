@@ -1,0 +1,1 @@
+test/test_schedule.ml: Agrid_dag Agrid_platform Agrid_prng Agrid_sched Agrid_workload Alcotest Array Float List Metrics QCheck2 Schedule Spec Testlib Timeline Validate Version Workload

@@ -1,0 +1,1 @@
+test/test_sim.ml: Agrid_core Agrid_dag Agrid_platform Agrid_sched Agrid_sim Agrid_workload Alcotest Array Executor Fmt Hashtbl List Objective Schedule Slrh Testlib Workload

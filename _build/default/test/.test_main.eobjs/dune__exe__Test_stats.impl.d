@@ -1,0 +1,1 @@
+test/test_stats.ml: Agrid_prng Agrid_stats Alcotest Array Descriptive Float Goodness Histogram QCheck2 Running Testlib

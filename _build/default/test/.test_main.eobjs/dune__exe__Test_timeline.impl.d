@@ -1,0 +1,1 @@
+test/test_timeline.ml: Agrid_sched Alcotest List QCheck2 Timeline

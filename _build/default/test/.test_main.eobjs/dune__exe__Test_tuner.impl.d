@@ -1,0 +1,1 @@
+test/test_tuner.ml: Adaptive Agrid_core Agrid_platform Agrid_tuner Agrid_workload Alcotest Float List Objective Slrh Sweep Testlib Weight_search

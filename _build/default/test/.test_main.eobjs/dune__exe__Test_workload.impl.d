@@ -1,0 +1,1 @@
+test/test_workload.ml: Agrid_core Agrid_dag Agrid_etc Agrid_platform Agrid_sched Agrid_workload Alcotest Filename Fun Grid List Serialize Spec Sys Testlib Version Workload

@@ -1,0 +1,1 @@
+test/testlib.ml: Agrid_dag Agrid_etc Agrid_platform Agrid_prng Agrid_workload Alcotest Float Grid Machine QCheck2 QCheck_alcotest Spec String Workload

@@ -1,0 +1,207 @@
+open Agrid_dag
+
+let test_of_edges_basic () =
+  let d = Testlib.diamond_dag () in
+  Alcotest.(check int) "tasks" 4 (Dag.n_tasks d);
+  Alcotest.(check int) "edges" 4 (Dag.n_edges d);
+  Alcotest.(check (array int)) "parents of 3" [| 1; 2 |] (Dag.parents d 3);
+  Alcotest.(check (array int)) "children of 0" [| 1; 2 |] (Dag.children d 0);
+  Alcotest.(check int) "in_degree root" 0 (Dag.in_degree d 0);
+  Alcotest.(check int) "out_degree leaf" 0 (Dag.out_degree d 3)
+
+let test_edge_ids_stable () =
+  let d = Testlib.diamond_dag () in
+  (* edges sorted lexicographically: (0,1) (0,2) (1,3) (2,3) *)
+  Alcotest.(check (pair int int)) "edge 0" (0, 1) (Dag.edge d 0);
+  Alcotest.(check (pair int int)) "edge 3" (2, 3) (Dag.edge d 3);
+  let pe = Dag.parent_edges d 3 in
+  Alcotest.(check (pair int int)) "parent edge (1,e2)" (1, 2) pe.(0);
+  Alcotest.(check (pair int int)) "parent edge (2,e3)" (2, 3) pe.(1)
+
+let test_duplicate_edges_collapse () =
+  let d = Dag.of_edges ~n:3 [ (0, 1); (0, 1); (1, 2) ] in
+  Alcotest.(check int) "edges deduped" 2 (Dag.n_edges d)
+
+let test_rejects_self_edge () =
+  Alcotest.check_raises "self edge" (Invalid_argument "Dag.of_edges: self edge")
+    (fun () -> ignore (Dag.of_edges ~n:2 [ (1, 1) ]))
+
+let test_rejects_out_of_range () =
+  Alcotest.check_raises "range" (Invalid_argument "Dag.of_edges: edge endpoint out of range")
+    (fun () -> ignore (Dag.of_edges ~n:2 [ (0, 5) ]))
+
+let test_rejects_cycle () =
+  let raised =
+    try
+      ignore (Dag.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ]);
+      false
+    with Dag.Cycle nodes -> List.sort compare nodes = [ 0; 1; 2 ]
+  in
+  Alcotest.(check bool) "cycle detected with members" true raised
+
+let test_topological_order () =
+  let d = Testlib.diamond_dag () in
+  let order = Dag.topological_order d in
+  let pos = Array.make 4 0 in
+  Array.iteri (fun idx task -> pos.(task) <- idx) order;
+  Dag.iter_edges (fun _ ~src ~dst ->
+      if pos.(src) >= pos.(dst) then Alcotest.fail "edge violates topo order")
+    d
+
+let test_roots_leaves () =
+  let d = Testlib.diamond_dag () in
+  Alcotest.(check (list int)) "roots" [ 0 ] (Dag.roots d);
+  Alcotest.(check (list int)) "leaves" [ 3 ] (Dag.leaves d)
+
+let test_levels_depth () =
+  let d = Testlib.diamond_dag () in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 1; 2 |] (Dag.levels d);
+  Alcotest.(check int) "depth" 3 (Dag.depth d);
+  let empty = Dag.of_edges ~n:0 [] in
+  Alcotest.(check int) "empty depth" 0 (Dag.depth empty)
+
+let test_is_edge () =
+  let d = Testlib.diamond_dag () in
+  Alcotest.(check bool) "has (0,1)" true (Dag.is_edge d ~src:0 ~dst:1);
+  Alcotest.(check bool) "no (1,2)" false (Dag.is_edge d ~src:1 ~dst:2)
+
+(* ---- generator ---- *)
+
+let gen_params =
+  QCheck2.Gen.(
+    let* n = int_range 2 150 in
+    let* n_levels = int_range 1 (min n 20) in
+    let* max_parents = int_range 1 5 in
+    let* bias = float_range 0. 1. in
+    let* seed = int_range 0 10_000 in
+    return ({ Generate.n; n_levels; max_parents; prev_level_bias = bias }, seed))
+
+let generated_dag (params, seed) =
+  Generate.generate (Testlib.rng ~seed ()) params
+
+let test_generator_acyclic_and_sized () =
+  let prop ((params, _seed) as input) =
+    let d = generated_dag input in
+    (* of_edges would have raised Cycle; check size and parent bounds *)
+    Dag.n_tasks d = params.Generate.n
+    &&
+    let ok = ref true in
+    for i = 0 to params.Generate.n - 1 do
+      if Dag.in_degree d i > params.Generate.max_parents then ok := false
+    done;
+    !ok
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:200 ~name:"generator size and fan-in" gen_params prop)
+
+let test_generator_connectivity () =
+  (* every task beyond the first level has at least one parent *)
+  let prop ((params, _) as input) =
+    let d = generated_dag input in
+    if params.Generate.n_levels = 1 then true
+    else begin
+      (* task ids respect topological order: every edge points forward *)
+      let ok = ref true in
+      Dag.iter_edges (fun _ ~src ~dst -> if src >= dst then ok := false) d;
+      !ok
+    end
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:200 ~name:"generator forward edges" gen_params prop)
+
+let test_generator_deterministic () =
+  let params = Generate.default_params ~n:64 in
+  let d1 = Generate.generate (Testlib.rng ~seed:5 ()) params in
+  let d2 = Generate.generate (Testlib.rng ~seed:5 ()) params in
+  Alcotest.(check (array (pair int int))) "same edges" (Dag.edges d1) (Dag.edges d2)
+
+let test_generator_level_structure () =
+  let params = { (Generate.default_params ~n:100) with Generate.n_levels = 10 } in
+  let d = Generate.generate (Testlib.rng ~seed:3 ()) params in
+  (* at most 10 distinct structural levels can be *realised*; the generator
+     guarantees at least one task per target level and only forward edges,
+     so depth is within [2, 10] *)
+  let depth = Dag.depth d in
+  if depth < 2 || depth > 10 then Alcotest.failf "depth %d outside [2,10]" depth
+
+let test_generator_single_level () =
+  let params = { (Generate.default_params ~n:10) with Generate.n_levels = 1 } in
+  let d = Generate.generate (Testlib.rng ()) params in
+  Alcotest.(check int) "no edges" 0 (Dag.n_edges d);
+  Alcotest.(check int) "all roots" 10 (List.length (Dag.roots d))
+
+let test_generator_rejects_bad_params () =
+  Alcotest.check_raises "bad levels" (Invalid_argument "Generate: n_levels must be in [1, n]")
+    (fun () ->
+      ignore
+        (Generate.generate (Testlib.rng ())
+           { Generate.n = 3; n_levels = 9; max_parents = 1; prev_level_bias = 0.5 }))
+
+let test_data_sizes () =
+  let d = Testlib.diamond_dag () in
+  let sizes = Generate.data_sizes (Testlib.rng ()) d ~mean_bits:1e5 ~cv:0.5 in
+  Alcotest.(check int) "one size per edge" (Dag.n_edges d) (Array.length sizes);
+  Array.iter (fun s -> if s <= 0. then Alcotest.fail "nonpositive data size") sizes
+
+(* ---- metrics ---- *)
+
+let test_metrics_diamond () =
+  let m = Metrics.compute (Testlib.diamond_dag ()) in
+  Alcotest.(check int) "depth" 3 m.Metrics.depth;
+  Alcotest.(check int) "max width" 2 m.Metrics.max_width;
+  Alcotest.(check int) "roots" 1 m.Metrics.n_roots;
+  Alcotest.(check int) "leaves" 1 m.Metrics.n_leaves;
+  Testlib.close "mean in" 1. m.Metrics.mean_in_degree;
+  Alcotest.(check int) "max in" 2 m.Metrics.max_in_degree
+
+let test_width_per_level () =
+  Alcotest.(check (array int)) "widths" [| 1; 2; 1 |]
+    (Metrics.width_per_level (Testlib.diamond_dag ()))
+
+let test_critical_path () =
+  let d = Testlib.diamond_dag () in
+  (* weights: task i weighs i+1 -> longest path 0-1-3 or 0-2-3 = 1 + max(2,3) + 4 = 8 *)
+  Testlib.close "critical path" 8.
+    (Metrics.critical_path d ~weight:(fun i -> float_of_int (i + 1)))
+
+let test_critical_path_independent () =
+  let d = Dag.of_edges ~n:3 [] in
+  Testlib.close "independent tasks" 5. (Metrics.critical_path d ~weight:(fun _ -> 5.))
+
+let test_dot_output () =
+  let s = Dot.to_string ~name:"g" (Testlib.diamond_dag ()) in
+  Alcotest.(check bool) "has header" true (String.length s > 0 && String.sub s 0 9 = "digraph g");
+  Alcotest.(check bool) "has edge" true (Testlib.contains s "t0 -> t1")
+
+let suites =
+  [
+    ( "dag",
+      [
+        Alcotest.test_case "of_edges basic" `Quick test_of_edges_basic;
+        Alcotest.test_case "edge ids stable" `Quick test_edge_ids_stable;
+        Alcotest.test_case "duplicates collapse" `Quick test_duplicate_edges_collapse;
+        Alcotest.test_case "rejects self edge" `Quick test_rejects_self_edge;
+        Alcotest.test_case "rejects out of range" `Quick test_rejects_out_of_range;
+        Alcotest.test_case "rejects cycle" `Quick test_rejects_cycle;
+        Alcotest.test_case "topological order" `Quick test_topological_order;
+        Alcotest.test_case "roots and leaves" `Quick test_roots_leaves;
+        Alcotest.test_case "levels and depth" `Quick test_levels_depth;
+        Alcotest.test_case "is_edge" `Quick test_is_edge;
+        Alcotest.test_case "generator acyclic+sized (qcheck)" `Quick
+          test_generator_acyclic_and_sized;
+        Alcotest.test_case "generator forward edges (qcheck)" `Quick
+          test_generator_connectivity;
+        Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+        Alcotest.test_case "generator level structure" `Quick
+          test_generator_level_structure;
+        Alcotest.test_case "generator single level" `Quick test_generator_single_level;
+        Alcotest.test_case "generator bad params" `Quick test_generator_rejects_bad_params;
+        Alcotest.test_case "data sizes" `Quick test_data_sizes;
+        Alcotest.test_case "metrics diamond" `Quick test_metrics_diamond;
+        Alcotest.test_case "width per level" `Quick test_width_per_level;
+        Alcotest.test_case "critical path" `Quick test_critical_path;
+        Alcotest.test_case "critical path independent" `Quick
+          test_critical_path_independent;
+        Alcotest.test_case "dot output" `Quick test_dot_output;
+      ] );
+  ]

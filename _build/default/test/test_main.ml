@@ -1,0 +1,9 @@
+(* Aggregated alcotest entry point: one section per library. *)
+
+let () =
+  Alcotest.run "agrid"
+    (Test_prng.suites @ Test_stats.suites @ Test_par.suites @ Test_dag.suites
+   @ Test_platform.suites @ Test_etc.suites @ Test_workload.suites
+   @ Test_timeline.suites @ Test_schedule.suites @ Test_core.suites
+   @ Test_baselines.suites @ Test_tuner.suites @ Test_exper.suites
+   @ Test_dynamic.suites @ Test_lrnn.suites @ Test_report.suites @ Test_sim.suites)

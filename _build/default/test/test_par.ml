@@ -1,0 +1,91 @@
+open Agrid_par
+
+let test_map_matches_sequential () =
+  let arr = Array.init 1000 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int)) "parallel = sequential" (Array.map f arr)
+    (Parallel.map ~domains:4 f arr)
+
+let test_map_preserves_order () =
+  let arr = Array.init 500 (fun i -> 500 - i) in
+  let out = Parallel.map ~domains:3 string_of_int arr in
+  Array.iteri
+    (fun i s -> Alcotest.(check string) "slot" (string_of_int arr.(i)) s)
+    out
+
+let test_map_empty () =
+  Alcotest.(check (array int)) "empty" [||] (Parallel.map (fun x -> x) [||])
+
+let test_map_single_domain () =
+  let arr = Array.init 100 Fun.id in
+  Alcotest.(check (array int)) "domains=1" (Array.map succ arr)
+    (Parallel.map ~domains:1 succ arr)
+
+let test_mapi () =
+  let arr = [| 10; 20; 30 |] in
+  Alcotest.(check (array int)) "mapi" [| 10; 21; 32 |]
+    (Parallel.mapi ~domains:2 (fun i x -> x + i) arr)
+
+let test_init () =
+  Alcotest.(check (array int)) "init" (Array.init 50 (fun i -> 2 * i))
+    (Parallel.init ~domains:3 50 (fun i -> 2 * i))
+
+let test_iter_visits_all () =
+  let n = 200 in
+  let seen = Array.make n (Atomic.make false) in
+  for i = 0 to n - 1 do
+    seen.(i) <- Atomic.make false
+  done;
+  Parallel.iter ~domains:4 (fun i -> Atomic.set seen.(i) true) (Array.init n Fun.id);
+  Array.iteri
+    (fun i a -> Alcotest.(check bool) (Fmt.str "visited %d" i) true (Atomic.get a))
+    seen
+
+let test_exception_propagates () =
+  let raised =
+    try
+      ignore
+        (Parallel.map ~domains:3
+           (fun x -> if x = 37 then failwith "boom" else x)
+           (Array.init 100 Fun.id));
+      false
+    with Parallel.Worker_failure (Failure msg) -> msg = "boom"
+  in
+  Alcotest.(check bool) "worker failure surfaced" true raised
+
+let test_map_reduce () =
+  let arr = Array.init 100 (fun i -> i + 1) in
+  let total =
+    Parallel.map_reduce ~domains:4 ~map:(fun x -> x * 2) ~fold:( + ) ~init:0 arr
+  in
+  Alcotest.(check int) "sum of doubles" (100 * 101) total
+
+let test_heavier_work () =
+  (* results independent of scheduling interleave *)
+  let arr = Array.init 64 (fun i -> i) in
+  let f x =
+    let acc = ref 0 in
+    for k = 1 to 10_000 do
+      acc := (!acc + (x * k)) mod 65521
+    done;
+    !acc
+  in
+  Alcotest.(check (array int)) "heavy map deterministic" (Array.map f arr)
+    (Parallel.map f arr)
+
+let suites =
+  [
+    ( "par",
+      [
+        Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+        Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+        Alcotest.test_case "map empty" `Quick test_map_empty;
+        Alcotest.test_case "single domain" `Quick test_map_single_domain;
+        Alcotest.test_case "mapi" `Quick test_mapi;
+        Alcotest.test_case "init" `Quick test_init;
+        Alcotest.test_case "iter visits all" `Quick test_iter_visits_all;
+        Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+        Alcotest.test_case "heavy work deterministic" `Quick test_heavier_work;
+      ] );
+  ]

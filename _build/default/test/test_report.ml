@@ -1,0 +1,122 @@
+open Agrid_report
+
+(* ---- gantt ---- *)
+
+let test_gantt_renders_lanes () =
+  let g =
+    Gantt.make ~title:"g"
+      [
+        Gantt.lane ~name:"m0" [ (0, 50, 'P'); (60, 100, 's') ];
+        Gantt.lane ~name:"m1 out" [ (10, 20, 'x') ];
+      ]
+  in
+  let s = Gantt.to_string ~width:20 g in
+  Alcotest.(check bool) "title" true (Testlib.contains s "g");
+  Alcotest.(check bool) "lane names" true
+    (Testlib.contains s "m0" && Testlib.contains s "m1 out");
+  Alcotest.(check bool) "primary glyph" true (Testlib.contains s "P");
+  Alcotest.(check bool) "secondary glyph" true (Testlib.contains s "s");
+  Alcotest.(check bool) "transfer glyph" true (Testlib.contains s "x");
+  Alcotest.(check bool) "t_max shown" true (Testlib.contains s "100")
+
+let test_gantt_idle_cells () =
+  let g = Gantt.make ~title:"idle" [ Gantt.lane ~name:"m" [ (90, 100, 'P') ] ] in
+  let s = Gantt.to_string ~width:10 g in
+  Alcotest.(check bool) "leading idle dots" true (Testlib.contains s "........")
+
+let test_gantt_empty_lane () =
+  let g = Gantt.make ~title:"e" [ Gantt.lane ~name:"m" [] ] in
+  let s = Gantt.to_string ~width:8 g in
+  Alcotest.(check bool) "all idle" true (Testlib.contains s "........")
+
+(* ---- csv ---- *)
+
+let test_csv_plain () =
+  let s = Csv.to_string ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  Alcotest.(check string) "plain" "a,b\n1,2\n3,4\n" s
+
+let test_csv_quoting () =
+  let s = Csv.to_string ~header:[ "x" ] [ [ "has,comma" ]; [ "has\"quote" ]; [ "multi\nline" ] ] in
+  Alcotest.(check bool) "comma quoted" true (Testlib.contains s "\"has,comma\"");
+  Alcotest.(check bool) "quote doubled" true (Testlib.contains s "\"has\"\"quote\"");
+  Alcotest.(check bool) "newline quoted" true (Testlib.contains s "\"multi\nline\"")
+
+let test_csv_file_roundtrip () =
+  let path = Filename.temp_file "agrid_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_file path ~header:[ "h" ] [ [ "v1" ]; [ "v2" ] ];
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "file content" "h\nv1\nv2\n" content)
+
+(* ---- trace ---- *)
+
+open Agrid_core
+
+let traced_run () =
+  let tracer = Trace.create () in
+  let weights = Objective.make_weights ~alpha:0.3 ~beta:0.3 in
+  let params = { (Slrh.default_params weights) with Slrh.tracer = Some tracer } in
+  let o = Slrh.run params (Testlib.small_workload ()) in
+  (tracer, o)
+
+let test_trace_counts_assignments () =
+  let tracer, o = traced_run () in
+  let s = Trace.summarize tracer in
+  Alcotest.(check int) "assigned = mapped"
+    (Agrid_sched.Schedule.n_mapped o.Slrh.schedule)
+    s.Trace.n_assigned;
+  Alcotest.(check bool) "events >= assignments" true
+    (Trace.length tracer >= s.Trace.n_assigned)
+
+let test_trace_events_chronological_clocks () =
+  let tracer, _ = traced_run () in
+  let events = Trace.events tracer in
+  let ok = ref true in
+  for i = 1 to Array.length events - 1 do
+    if events.(i).Trace.clock < events.(i - 1).Trace.clock then ok := false
+  done;
+  Alcotest.(check bool) "clocks nondecreasing" true !ok
+
+let test_trace_csv_shape () =
+  let tracer, _ = traced_run () in
+  let rows = Trace.csv_rows tracer in
+  Alcotest.(check int) "one row per event" (Trace.length tracer) (List.length rows);
+  let width = List.length Trace.csv_header in
+  List.iter
+    (fun row -> Alcotest.(check int) "row width" width (List.length row))
+    rows
+
+let test_trace_no_tracer_is_silent () =
+  (* paranoid: running without a tracer must not fail and params default
+     has tracer = None *)
+  let weights = Objective.make_weights ~alpha:0.3 ~beta:0.3 in
+  Alcotest.(check bool) "default tracer none" true
+    ((Slrh.default_params weights).Slrh.tracer = None)
+
+let test_trace_summary_empty () =
+  let t = Trace.create () in
+  let s = Trace.summarize t in
+  Alcotest.(check int) "no events" 0 s.Trace.n_assigned;
+  Alcotest.(check (option int)) "no first" None s.Trace.first_assignment_clock
+
+let suites =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "gantt renders lanes" `Quick test_gantt_renders_lanes;
+        Alcotest.test_case "gantt idle cells" `Quick test_gantt_idle_cells;
+        Alcotest.test_case "gantt empty lane" `Quick test_gantt_empty_lane;
+        Alcotest.test_case "csv plain" `Quick test_csv_plain;
+        Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+        Alcotest.test_case "csv file roundtrip" `Quick test_csv_file_roundtrip;
+        Alcotest.test_case "trace counts assignments" `Quick test_trace_counts_assignments;
+        Alcotest.test_case "trace chronological" `Quick test_trace_events_chronological_clocks;
+        Alcotest.test_case "trace csv shape" `Quick test_trace_csv_shape;
+        Alcotest.test_case "no tracer silent" `Quick test_trace_no_tracer_is_silent;
+        Alcotest.test_case "trace empty summary" `Quick test_trace_summary_empty;
+      ] );
+  ]

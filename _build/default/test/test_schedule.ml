@@ -1,0 +1,517 @@
+open Agrid_workload
+open Agrid_sched
+
+(* Diamond fixture (see Testlib): tasks 0..3, edges (0,1)(0,2)(1,3)(2,3);
+   machines 0,1 fast; 2,3 slow; 1 Mb per edge.
+   Primary cycles: t0 = [100;120;1000;1100], t1 = [200;180;2000;1900],
+   t2 = [300;330;2800;3000], t3 = [140;160;1500;1400].
+   Transfers: fast->fast 2 cycles, fast<->slow 3 cycles. *)
+
+let sched () = Schedule.create (Testlib.diamond_workload ())
+
+let commit_plan s ~task ~version ~machine ~not_before =
+  let p = Schedule.plan s ~task ~version ~machine ~not_before in
+  Schedule.commit s p;
+  p
+
+let test_create_empty () =
+  let s = sched () in
+  Alcotest.(check int) "nothing mapped" 0 (Schedule.n_mapped s);
+  Alcotest.(check int) "t100" 0 (Schedule.n_primary s);
+  Alcotest.(check int) "aet" 0 (Schedule.aet s);
+  Testlib.close "tec" 0. (Schedule.tec s);
+  Alcotest.(check (list int)) "only root ready" [ 0 ] (Schedule.ready_unmapped s)
+
+let test_root_plan () =
+  let s = sched () in
+  let p = Schedule.plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Alcotest.(check int) "start" 0 p.Schedule.pl_start;
+  Alcotest.(check int) "stop" 100 p.Schedule.pl_stop;
+  Alcotest.(check int) "no transfers" 0 (List.length p.Schedule.pl_transfers);
+  Testlib.close "exec energy" 1. p.Schedule.pl_exec_energy;
+  (* planning must not mutate *)
+  Alcotest.(check int) "nothing mapped" 0 (Schedule.n_mapped s)
+
+let test_commit_updates_state () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Alcotest.(check int) "mapped" 1 (Schedule.n_mapped s);
+  Alcotest.(check int) "t100" 1 (Schedule.n_primary s);
+  Alcotest.(check int) "aet" 100 (Schedule.aet s);
+  Testlib.close "tec" 1. (Schedule.tec s);
+  Testlib.close "energy used" 1. (Schedule.energy_used s 0);
+  Testlib.close "energy remaining" 579. (Schedule.energy_remaining s 0);
+  Alcotest.(check bool) "machine busy at 50" false
+    (Schedule.machine_free_at s ~machine:0 ~time:50);
+  Alcotest.(check bool) "machine free at 100" true
+    (Schedule.machine_free_at s ~machine:0 ~time:100);
+  Alcotest.(check (list int)) "children ready" [ 1; 2 ]
+    (List.sort compare (Schedule.ready_unmapped s))
+
+let test_same_machine_no_transfer () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let p = Schedule.plan s ~task:1 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Alcotest.(check int) "starts after parent" 100 p.Schedule.pl_start;
+  Alcotest.(check int) "no transfers" 0 (List.length p.Schedule.pl_transfers);
+  Testlib.close "no comm energy" 0. p.Schedule.pl_comm_energy
+
+let test_cross_machine_transfer () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let p = Schedule.plan s ~task:1 ~version:Version.Primary ~machine:1 ~not_before:0 in
+  (match p.Schedule.pl_transfers with
+  | [ tr ] ->
+      Alcotest.(check int) "transfer departs at parent finish" 100 tr.Schedule.p_start;
+      Alcotest.(check int) "2 cycles fast-fast" 102 tr.Schedule.p_stop;
+      Testlib.close "1 Mb" 1e6 tr.Schedule.p_bits;
+      Testlib.close "0.2 s at 0.2/s" 0.04 tr.Schedule.p_energy
+  | l -> Alcotest.failf "expected 1 transfer, got %d" (List.length l));
+  Alcotest.(check int) "exec after arrival" 102 p.Schedule.pl_start;
+  Alcotest.(check int) "180 cycles on m1" 282 p.Schedule.pl_stop;
+  Testlib.close "comm energy total" 0.04 p.Schedule.pl_comm_energy
+
+let test_commit_transfer_bills_sender () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let _ = commit_plan s ~task:1 ~version:Version.Primary ~machine:1 ~not_before:0 in
+  (* machine 0: 1.0 exec + 0.04 transfer; machine 1: 18 s * 0.1 = 1.8 *)
+  Testlib.close "sender billed" 1.04 (Schedule.energy_used s 0);
+  Testlib.close "receiver exec only" 1.8 (Schedule.energy_used s 1);
+  Testlib.close "tec" 2.84 (Schedule.tec s);
+  Alcotest.(check int) "1 committed transfer" 1 (Array.length (Schedule.transfers s))
+
+let test_secondary_data_volume () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Secondary ~machine:0 ~not_before:0 in
+  let p = Schedule.plan s ~task:1 ~version:Version.Primary ~machine:1 ~not_before:0 in
+  (match p.Schedule.pl_transfers with
+  | [ tr ] ->
+      Testlib.close "10% volume" 1e5 tr.Schedule.p_bits;
+      (* 1e5 bits / 8e6 = 0.0125 s -> 1 cycle *)
+      Alcotest.(check int) "1 cycle" 1 (tr.Schedule.p_stop - tr.Schedule.p_start)
+  | l -> Alcotest.failf "expected 1 transfer, got %d" (List.length l))
+
+let test_in_channel_contention () =
+  (* both parents on different machines feed task 3 on machine 1: their
+     transfers must serialise on machine 1's incoming channel *)
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let _ = commit_plan s ~task:1 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  (* t1 on m0: 100..300 *)
+  let _ = commit_plan s ~task:2 ~version:Version.Primary ~machine:2 ~not_before:0 in
+  (* t2 on m2 (slow): transfer 0->2 at 100..103, exec 103..2903 *)
+  let p = Schedule.plan s ~task:3 ~version:Version.Primary ~machine:1 ~not_before:0 in
+  (match p.Schedule.pl_transfers with
+  | [ a; b ] ->
+      (* parent order: task 1 (m0) then task 2 (m2) *)
+      Alcotest.(check int) "from t1 after t1 finish" 300 a.Schedule.p_start;
+      Alcotest.(check int) "fast-fast 2cy" 302 a.Schedule.p_stop;
+      Alcotest.(check int) "from t2 after t2 finish" 2903 b.Schedule.p_start;
+      Alcotest.(check int) "slow-fast 3cy" 2906 b.Schedule.p_stop
+  | l -> Alcotest.failf "expected 2 transfers, got %d" (List.length l));
+  Alcotest.(check int) "exec after last arrival" 2906 p.Schedule.pl_start
+
+let test_in_channel_serialisation_same_time () =
+  (* force two incoming transfers to contend: parents finish simultaneously *)
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  (* map t1 and t2 on machines 2 and 3 as secondaries so they finish at
+     known times; then map t3 on machine 1 and check its two incoming
+     transfers do not overlap *)
+  let _ = commit_plan s ~task:1 ~version:Version.Secondary ~machine:2 ~not_before:0 in
+  let _ = commit_plan s ~task:2 ~version:Version.Secondary ~machine:3 ~not_before:0 in
+  let p = Schedule.plan s ~task:3 ~version:Version.Primary ~machine:1 ~not_before:0 in
+  (match p.Schedule.pl_transfers with
+  | [ a; b ] ->
+      let disjoint =
+        a.Schedule.p_stop <= b.Schedule.p_start || b.Schedule.p_stop <= a.Schedule.p_start
+      in
+      Alcotest.(check bool) "incoming transfers disjoint" true disjoint
+  | l -> Alcotest.failf "expected 2 transfers, got %d" (List.length l))
+
+let test_not_before_respected () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let p = Schedule.plan s ~task:1 ~version:Version.Primary ~machine:1 ~not_before:500 in
+  (match p.Schedule.pl_transfers with
+  | [ tr ] -> Alcotest.(check int) "transfer not before clock" 500 tr.Schedule.p_start
+  | _ -> Alcotest.fail "expected 1 transfer");
+  Alcotest.(check int) "exec not before clock" 502 p.Schedule.pl_start
+
+let test_plan_rejects_mapped_task () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Alcotest.check_raises "already mapped"
+    (Invalid_argument "Schedule.plan: task already mapped") (fun () ->
+      ignore (Schedule.plan s ~task:0 ~version:Version.Primary ~machine:1 ~not_before:0))
+
+let test_plan_rejects_unmapped_parent () =
+  let s = sched () in
+  let raised =
+    try
+      ignore (Schedule.plan s ~task:3 ~version:Version.Primary ~machine:0 ~not_before:0);
+      false
+    with Schedule.Unmapped_parent { task = 3; parent = _ } -> true
+  in
+  Alcotest.(check bool) "unmapped parent" true raised
+
+let test_exec_machine_contention () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  (* t1 and t2 both on machine 0: must serialise *)
+  let p1 = commit_plan s ~task:1 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let p2 = commit_plan s ~task:2 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Alcotest.(check int) "t1 at 100" 100 p1.Schedule.pl_start;
+  Alcotest.(check int) "t2 after t1" 300 p2.Schedule.pl_start;
+  Alcotest.(check int) "aet" 600 (Schedule.aet s)
+
+let test_totals_after () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let p = Schedule.plan s ~task:1 ~version:Version.Secondary ~machine:0 ~not_before:0 in
+  let t100, tec, aet = Schedule.totals_after s p in
+  Alcotest.(check int) "t100 unchanged by secondary" 1 t100;
+  Alcotest.(check int) "aet extends" 120 aet;
+  (* secondary on m0: 20 cycles = 2 s * 0.1 = 0.2 *)
+  Testlib.close "tec" 1.2 tec
+
+let full_mapping () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let _ = commit_plan s ~task:1 ~version:Version.Primary ~machine:1 ~not_before:0 in
+  let _ = commit_plan s ~task:2 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let _ = commit_plan s ~task:3 ~version:Version.Secondary ~machine:1 ~not_before:0 in
+  s
+
+let test_validator_accepts_clean_schedule () =
+  let s = full_mapping () in
+  let r = Validate.check s in
+  Alcotest.(check bool) "complete" true r.Validate.complete;
+  Alcotest.(check (list string)) "no violations" [] r.Validate.violations;
+  Alcotest.(check bool) "energy ok" true r.Validate.energy_ok;
+  Alcotest.(check bool) "time ok" true r.Validate.time_ok;
+  Alcotest.(check bool) "feasible" true (Validate.feasible r);
+  Alcotest.(check int) "t100 recount" 3 r.Validate.t100;
+  Testlib.close "tec recount" (Schedule.tec s) r.Validate.tec;
+  Alcotest.(check int) "aet recount" (Schedule.aet s) r.Validate.aet
+
+let test_validator_detects_incomplete () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let r = Validate.check s in
+  Alcotest.(check bool) "incomplete" false r.Validate.complete;
+  Alcotest.(check bool) "not feasible" false (Validate.feasible r)
+
+let test_validator_detects_orphan_child () =
+  (* replay a child placement without its parent: precedence violation *)
+  let s = sched () in
+  Schedule.replay_placement s
+    { Schedule.task = 1; version = Version.Primary; machine = 0; start = 0; stop = 200 };
+  let r = Validate.check s in
+  Alcotest.(check bool) "violations found" true (r.Validate.violations <> [])
+
+let test_validator_detects_missing_transfer () =
+  let s = sched () in
+  Schedule.replay_placement s
+    { Schedule.task = 0; version = Version.Primary; machine = 0; start = 0; stop = 100 };
+  (* child on another machine with no transfer *)
+  Schedule.replay_placement s
+    { Schedule.task = 1; version = Version.Primary; machine = 1; start = 100; stop = 280 };
+  let r = Validate.check s in
+  Alcotest.(check bool) "missing transfer caught" true
+    (List.exists (fun v -> Testlib.contains v "no transfer") r.Validate.violations)
+
+let test_validator_detects_wrong_duration () =
+  let s = sched () in
+  Schedule.replay_placement s
+    { Schedule.task = 0; version = Version.Primary; machine = 0; start = 0; stop = 99 };
+  let r = Validate.check s in
+  Alcotest.(check bool) "duration caught" true
+    (List.exists (fun v -> Testlib.contains v "duration") r.Validate.violations)
+
+let test_validator_detects_energy_violation () =
+  (* pile expensive primaries onto slow machine 3 (battery 58): task 2 is
+     3000 cycles = 300 s at 0.001 = 0.3 units — fine; instead shrink the
+     battery via spec scaling to force violation *)
+  let spec = { (Testlib.diamond_spec ()) with Spec.battery_scale = 0.0001 } in
+  let wl =
+    Workload.build spec ~etc:(Testlib.diamond_etc ()) ~dag:(Testlib.diamond_dag ())
+      ~data_bits:(Testlib.diamond_data ()) ~etc_index:0 ~dag_index:0
+      ~case:Agrid_platform.Grid.A
+  in
+  let s = Schedule.create wl in
+  let p = Schedule.plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Schedule.commit s p;
+  let r = Validate.check s in
+  Alcotest.(check bool) "energy flagged" false r.Validate.energy_ok
+
+let test_validator_detects_time_violation () =
+  let wl = Workload.with_tau (Testlib.diamond_workload ()) ~tau_cycles:50 in
+  let s = Schedule.create wl in
+  let p = Schedule.plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Schedule.commit s p;
+  let r = Validate.check s in
+  Alcotest.(check bool) "time flagged" false r.Validate.time_ok
+
+let test_replay_roundtrip () =
+  (* replaying a committed schedule's placements+transfers into a fresh
+     schedule reproduces counters exactly *)
+  let s = full_mapping () in
+  let s' = Schedule.create (Testlib.diamond_workload ()) in
+  Array.iter (Schedule.replay_placement s') (Schedule.placements s);
+  Array.iter (Schedule.replay_transfer s') (Schedule.transfers s);
+  Alcotest.(check int) "t100" (Schedule.n_primary s) (Schedule.n_primary s');
+  Alcotest.(check int) "aet" (Schedule.aet s) (Schedule.aet s');
+  Testlib.close "tec" (Schedule.tec s) (Schedule.tec s') ~eps:1e-9;
+  let r = Validate.check s' in
+  Alcotest.(check bool) "replayed schedule feasible" true (Validate.feasible r)
+
+let test_frontier_progression () =
+  let s = sched () in
+  Alcotest.(check (list int)) "root" [ 0 ] (Schedule.ready_unmapped s);
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Alcotest.(check (list int)) "middle" [ 1; 2 ]
+    (List.sort compare (Schedule.ready_unmapped s));
+  let _ = commit_plan s ~task:1 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Alcotest.(check (list int)) "still waiting for 2" [ 2 ]
+    (List.sort compare (Schedule.ready_unmapped s));
+  let _ = commit_plan s ~task:2 ~version:Version.Primary ~machine:1 ~not_before:0 in
+  Alcotest.(check (list int)) "leaf ready" [ 3 ] (Schedule.ready_unmapped s);
+  let _ = commit_plan s ~task:3 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Alcotest.(check (list int)) "done" [] (Schedule.ready_unmapped s);
+  Alcotest.(check bool) "all mapped" true (Schedule.all_mapped s)
+
+(* qcheck stress: random valid commit sequences keep every engine counter
+   in agreement with the independent validator's recomputation, and every
+   timeline well-formed. *)
+let test_qcheck_random_commits_consistent () =
+  let wl = Testlib.small_workload () in
+  let n = Workload.n_tasks wl and m = Workload.n_machines wl in
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 0 100_000)
+        (list_size (return n) (pair (int_range 0 (m - 1)) bool)))
+  in
+  let prop (extra_seed, choices) =
+    let sched = Schedule.create wl in
+    let choices = Array.of_list choices in
+    (* map tasks in topological order with the generated machine/version
+       choices, at staggered not_before values derived from extra_seed *)
+    let order = Agrid_dag.Dag.topological_order (Workload.dag wl) in
+    Array.iteri
+      (fun idx task ->
+        let machine, primary = choices.(idx mod Array.length choices) in
+        let version = if primary then Version.Primary else Version.Secondary in
+        let not_before = (extra_seed + (idx * 7)) mod 500 in
+        let plan = Schedule.plan sched ~task ~version ~machine ~not_before in
+        Schedule.commit sched plan)
+      order;
+    let r = Validate.check sched in
+    r.Validate.complete
+    && r.Validate.violations = []
+    && r.Validate.t100 = Schedule.n_primary sched
+    && r.Validate.aet = Schedule.aet sched
+    && Float.abs (r.Validate.tec -. Schedule.tec sched) < 1e-6
+    &&
+    let tl_ok = ref true in
+    for j = 0 to m - 1 do
+      if not (Timeline.well_formed (Schedule.exec_timeline sched j)) then tl_ok := false;
+      if not (Timeline.well_formed (Schedule.ch_out_timeline sched j)) then tl_ok := false;
+      if not (Timeline.well_formed (Schedule.ch_in_timeline sched j)) then tl_ok := false
+    done;
+    !tl_ok
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:40 ~name:"random commits: engine = validator" gen prop)
+
+(* qcheck: planning never mutates — interleave plans with commits and check
+   the schedule state only changes at commits *)
+let test_qcheck_plan_purity () =
+  let wl = Testlib.small_workload () in
+  let m = Workload.n_machines wl in
+  let gen = QCheck2.Gen.int_range 0 100_000 in
+  let prop seed =
+    let sched = Schedule.create wl in
+    let rng = Testlib.rng ~seed () in
+    let order = Agrid_dag.Dag.topological_order (Workload.dag wl) in
+    Array.for_all
+      (fun task ->
+        (* several throwaway plans... *)
+        for _ = 1 to 3 do
+          let machine = Agrid_prng.Splitmix64.next_int rng m in
+          ignore (Schedule.plan sched ~task ~version:Version.Primary ~machine ~not_before:0)
+        done;
+        let before = (Schedule.n_mapped sched, Schedule.tec sched, Schedule.aet sched) in
+        let machine = Agrid_prng.Splitmix64.next_int rng m in
+        let probe = Schedule.plan sched ~task ~version:Version.Secondary ~machine ~not_before:0 in
+        let after = (Schedule.n_mapped sched, Schedule.tec sched, Schedule.aet sched) in
+        (* ...must leave the schedule untouched *)
+        let pure = before = after in
+        Schedule.commit sched probe;
+        pure)
+      order
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:30 ~name:"plan is pure" gen prop)
+
+let test_validator_detects_channel_overlap () =
+  (* two transfers overlapping on the same outgoing channel, injected via
+     replay (the engine's own planner would never produce this) *)
+  let s = sched () in
+  Schedule.replay_placement s
+    { Schedule.task = 0; version = Version.Primary; machine = 0; start = 0; stop = 100 };
+  Schedule.replay_placement s
+    { Schedule.task = 1; version = Version.Primary; machine = 1; start = 102; stop = 282 };
+  Schedule.replay_placement s
+    { Schedule.task = 2; version = Version.Primary; machine = 2; start = 103; stop = 2903 };
+  (* both edges 0->1 and 0->2 transferred from machine 0 at the same time;
+     bypass the engine's own channel timelines by replaying into a fresh
+     schedule whose timeline insert would catch it -- so instead check that
+     replay_transfer itself refuses the overlap *)
+  Schedule.replay_transfer s
+    { Schedule.edge = 0; src_task = 0; dst_task = 1; src = 0; dst = 1; start = 100;
+      stop = 102; bits = 1e6; energy = 0.04 };
+  let raised =
+    match
+      Schedule.replay_transfer s
+        { Schedule.edge = 1; src_task = 0; dst_task = 2; src = 0; dst = 2; start = 100;
+          stop = 103; bits = 1e6; energy = 0.06 }
+    with
+    | () -> false
+    | exception Timeline.Overlap _ -> true
+  in
+  Alcotest.(check bool) "outgoing channel overlap rejected" true raised
+
+let test_validator_detects_duplicate_transfer () =
+  let s = sched () in
+  Schedule.replay_placement s
+    { Schedule.task = 0; version = Version.Primary; machine = 0; start = 0; stop = 100 };
+  Schedule.replay_placement s
+    { Schedule.task = 1; version = Version.Primary; machine = 1; start = 104; stop = 284 };
+  Schedule.replay_transfer s
+    { Schedule.edge = 0; src_task = 0; dst_task = 1; src = 0; dst = 1; start = 100;
+      stop = 102; bits = 1e6; energy = 0.04 };
+  Schedule.replay_transfer s
+    { Schedule.edge = 0; src_task = 0; dst_task = 1; src = 0; dst = 1; start = 102;
+      stop = 104; bits = 1e6; energy = 0.04 };
+  let r = Validate.check s in
+  Alcotest.(check bool) "duplicate transfer caught" true
+    (List.exists (fun v -> Testlib.contains v "more than once") r.Validate.violations)
+
+(* ---- failure injection ---- *)
+
+let test_stale_plan_commit_raises () =
+  (* plan two candidates for the same slot against the same state, commit
+     both: the second is stale and must raise Overlap rather than corrupt
+     the timeline *)
+  let s = sched () in
+  let p1 = Schedule.plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Schedule.commit s p1;
+  let p2a = Schedule.plan s ~task:1 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let p2b = Schedule.plan s ~task:2 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Schedule.commit s p2a;
+  (* p2b planned the same gap (starting at 100) which p2a now occupies *)
+  let raised =
+    match Schedule.commit s p2b with
+    | () -> false
+    | exception Timeline.Overlap _ -> true
+  in
+  Alcotest.(check bool) "stale commit raises" true raised
+
+let test_double_commit_rejected () =
+  let s = sched () in
+  let p = Schedule.plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  Schedule.commit s p;
+  Alcotest.check_raises "double commit"
+    (Invalid_argument "Schedule.commit: task already mapped") (fun () ->
+      Schedule.commit s p)
+
+(* ---- metrics ---- *)
+
+let test_metrics_consistency () =
+  let s = full_mapping () in
+  let m = Metrics.compute s in
+  Alcotest.(check int) "t100" (Schedule.n_primary s) m.Metrics.t100;
+  Alcotest.(check int) "aet" (Schedule.aet s) m.Metrics.aet;
+  Testlib.close "tec" (Schedule.tec s) m.Metrics.tec;
+  (* per-machine task counts sum to total *)
+  let total_tasks =
+    List.fold_left (fun acc mm -> acc + mm.Metrics.n_tasks) 0 m.Metrics.per_machine
+  in
+  Alcotest.(check int) "tasks partitioned" (Schedule.n_mapped s) total_tasks;
+  (* busy fraction within [0, 1] *)
+  List.iter
+    (fun mm ->
+      if mm.Metrics.exec_busy_fraction < 0. || mm.Metrics.exec_busy_fraction > 1. then
+        Alcotest.failf "busy fraction %g out of range" mm.Metrics.exec_busy_fraction)
+    m.Metrics.per_machine
+
+let test_metrics_comm_share () =
+  let s = full_mapping () in
+  let m = Metrics.compute s in
+  Alcotest.(check bool) "comm share in [0,1)" true
+    (m.Metrics.comm_energy_fraction >= 0. && m.Metrics.comm_energy_fraction < 1.);
+  (* exec + comm = tec *)
+  let exec_energy =
+    List.fold_left
+      (fun acc mm -> acc +. mm.Metrics.energy_used)
+      0. m.Metrics.per_machine
+  in
+  Testlib.close "energy ledger adds up" m.Metrics.tec exec_energy ~eps:1e-9
+
+let test_latest_parent_finish () =
+  let s = sched () in
+  let _ = commit_plan s ~task:0 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let _ = commit_plan s ~task:1 ~version:Version.Primary ~machine:0 ~not_before:0 in
+  let _ = commit_plan s ~task:2 ~version:Version.Primary ~machine:1 ~not_before:0 in
+  (* t1 finishes at 300 on m0; t2: transfer 100..102, exec 102..432 on m1 *)
+  Alcotest.(check int) "latest parent" 432 (Schedule.latest_parent_finish s 3)
+
+let suites =
+  [
+    ( "schedule",
+      [
+        Alcotest.test_case "create empty" `Quick test_create_empty;
+        Alcotest.test_case "root plan" `Quick test_root_plan;
+        Alcotest.test_case "commit updates state" `Quick test_commit_updates_state;
+        Alcotest.test_case "same-machine no transfer" `Quick test_same_machine_no_transfer;
+        Alcotest.test_case "cross-machine transfer" `Quick test_cross_machine_transfer;
+        Alcotest.test_case "transfer bills sender" `Quick test_commit_transfer_bills_sender;
+        Alcotest.test_case "secondary data volume" `Quick test_secondary_data_volume;
+        Alcotest.test_case "incoming contention" `Quick test_in_channel_contention;
+        Alcotest.test_case "incoming serialisation" `Quick
+          test_in_channel_serialisation_same_time;
+        Alcotest.test_case "not_before respected" `Quick test_not_before_respected;
+        Alcotest.test_case "plan rejects mapped task" `Quick test_plan_rejects_mapped_task;
+        Alcotest.test_case "plan rejects unmapped parent" `Quick
+          test_plan_rejects_unmapped_parent;
+        Alcotest.test_case "exec contention" `Quick test_exec_machine_contention;
+        Alcotest.test_case "totals_after" `Quick test_totals_after;
+        Alcotest.test_case "validator accepts clean" `Quick
+          test_validator_accepts_clean_schedule;
+        Alcotest.test_case "validator incomplete" `Quick test_validator_detects_incomplete;
+        Alcotest.test_case "validator orphan child" `Quick
+          test_validator_detects_orphan_child;
+        Alcotest.test_case "validator missing transfer" `Quick
+          test_validator_detects_missing_transfer;
+        Alcotest.test_case "validator wrong duration" `Quick
+          test_validator_detects_wrong_duration;
+        Alcotest.test_case "validator energy" `Quick test_validator_detects_energy_violation;
+        Alcotest.test_case "validator time" `Quick test_validator_detects_time_violation;
+        Alcotest.test_case "replay roundtrip" `Quick test_replay_roundtrip;
+        Alcotest.test_case "qcheck random commits" `Quick
+          test_qcheck_random_commits_consistent;
+        Alcotest.test_case "qcheck plan purity" `Quick test_qcheck_plan_purity;
+        Alcotest.test_case "channel overlap rejected" `Quick
+          test_validator_detects_channel_overlap;
+        Alcotest.test_case "duplicate transfer caught" `Quick
+          test_validator_detects_duplicate_transfer;
+        Alcotest.test_case "stale plan raises" `Quick test_stale_plan_commit_raises;
+        Alcotest.test_case "double commit rejected" `Quick test_double_commit_rejected;
+        Alcotest.test_case "metrics consistency" `Quick test_metrics_consistency;
+        Alcotest.test_case "metrics comm share" `Quick test_metrics_comm_share;
+        Alcotest.test_case "frontier progression" `Quick test_frontier_progression;
+        Alcotest.test_case "latest parent finish" `Quick test_latest_parent_finish;
+      ] );
+  ]

@@ -1,0 +1,150 @@
+open Agrid_workload
+open Agrid_sched
+open Agrid_core
+open Agrid_sim
+
+let weights = Objective.make_weights ~alpha:0.3 ~beta:0.3
+
+let planned_schedule ?(case = Agrid_platform.Grid.A) () =
+  let wl = Testlib.small_workload ~case () in
+  (Slrh.run (Slrh.default_params weights) wl).Slrh.schedule
+
+let test_zero_noise_reproduces_plan () =
+  (* the strongest cross-check in the suite: executing with exact durations
+     must land every task on its planned start/finish *)
+  let sched = planned_schedule () in
+  let r = Executor.execute sched in
+  Alcotest.(check int) "same AET" (Schedule.aet sched) r.Executor.actual_aet;
+  Testlib.close "inflation 1.0" 1. r.Executor.aet_inflation;
+  Array.iter
+    (fun (p : Schedule.placement) ->
+      Alcotest.(check int)
+        (Fmt.str "task %d start" p.Schedule.task)
+        p.Schedule.start
+        r.Executor.actual_start.(p.Schedule.task);
+      Alcotest.(check int)
+        (Fmt.str "task %d finish" p.Schedule.task)
+        p.Schedule.stop
+        r.Executor.actual_finish.(p.Schedule.task))
+    (Schedule.placements sched)
+
+let test_zero_noise_energy_matches () =
+  let sched = planned_schedule () in
+  let r = Executor.execute sched in
+  let wl = Schedule.workload sched in
+  for j = 0 to Workload.n_machines wl - 1 do
+    Testlib.close (Fmt.str "machine %d energy" j) (Schedule.energy_used sched j)
+      r.Executor.actual_energy.(j) ~eps:1e-9
+  done;
+  Alcotest.(check bool) "energy ok" true r.Executor.energy_ok;
+  Alcotest.(check bool) "deadline met" true r.Executor.deadline_met
+
+let test_zero_noise_all_cases () =
+  List.iter
+    (fun case ->
+      let sched = planned_schedule ~case () in
+      let r = Executor.execute sched in
+      Alcotest.(check int)
+        (Agrid_platform.Grid.case_name case)
+        (Schedule.aet sched) r.Executor.actual_aet)
+    Agrid_platform.Grid.all_cases
+
+let test_noise_changes_timing () =
+  let sched = planned_schedule () in
+  let r =
+    Executor.execute ~rng:(Testlib.rng ~seed:5 ())
+      ~noise:(Executor.noise ~exec_cv:0.3 ())
+      sched
+  in
+  Alcotest.(check bool) "AET moved" true (r.Executor.actual_aet <> r.Executor.planned_aet)
+
+let test_noise_deterministic_given_rng () =
+  let sched = planned_schedule () in
+  let run () =
+    Executor.execute ~rng:(Testlib.rng ~seed:9 ())
+      ~noise:(Executor.noise ~exec_cv:0.2 ~comm_cv:0.2 ())
+      sched
+  in
+  Alcotest.(check int) "same actual AET" (run ()).Executor.actual_aet
+    (run ()).Executor.actual_aet
+
+let test_noise_preserves_precedence () =
+  (* under any noise, actual times must still respect the dependency and
+     resource constraints *)
+  let sched = planned_schedule () in
+  let wl = Schedule.workload sched in
+  let dag = Workload.dag wl in
+  let r =
+    Executor.execute ~rng:(Testlib.rng ~seed:12 ())
+      ~noise:(Executor.noise ~exec_cv:0.5 ~comm_cv:0.5 ())
+      sched
+  in
+  Agrid_dag.Dag.iter_edges
+    (fun _ ~src ~dst ->
+      if r.Executor.actual_finish.(src) > r.Executor.actual_start.(dst) then
+        Alcotest.failf "task %d starts before parent %d finishes (actual)" dst src)
+    dag;
+  (* machine exclusivity: rebuild per-machine interval lists *)
+  let by_machine = Hashtbl.create 8 in
+  Array.iter
+    (fun (p : Schedule.placement) ->
+      Hashtbl.replace by_machine p.Schedule.machine
+        ((r.Executor.actual_start.(p.Schedule.task),
+          r.Executor.actual_finish.(p.Schedule.task))
+        :: (try Hashtbl.find by_machine p.Schedule.machine with Not_found -> [])))
+    (Schedule.placements sched);
+  Hashtbl.iter
+    (fun machine intervals ->
+      let sorted = List.sort compare intervals in
+      let rec scan = function
+        | (_, e1) :: ((s2, _) :: _ as rest) ->
+            if s2 < e1 then Alcotest.failf "machine %d overlap under noise" machine;
+            scan rest
+        | [ _ ] | [] -> ()
+      in
+      scan sorted)
+    by_machine
+
+let test_mean_inflation_grows_with_noise () =
+  (* averaged over seeds, more duration noise inflates the makespan (jitter
+     on a max composes super-linearly) *)
+  let sched = planned_schedule () in
+  let mean_inflation cv =
+    let acc = ref 0. in
+    for seed = 0 to 19 do
+      let r =
+        Executor.execute ~rng:(Testlib.rng ~seed ())
+          ~noise:(Executor.noise ~exec_cv:cv ())
+          sched
+      in
+      acc := !acc +. r.Executor.aet_inflation
+    done;
+    !acc /. 20.
+  in
+  let low = mean_inflation 0.05 and high = mean_inflation 0.4 in
+  Alcotest.(check bool)
+    (Fmt.str "inflation grows (%.3f -> %.3f)" low high)
+    true (high > low)
+
+let test_noise_validation () =
+  Alcotest.check_raises "negative cv" (Invalid_argument "Executor.noise: negative CV")
+    (fun () -> ignore (Executor.noise ~exec_cv:(-0.1) ()))
+
+let suites =
+  [
+    ( "sim",
+      [
+        Alcotest.test_case "zero noise reproduces plan" `Quick
+          test_zero_noise_reproduces_plan;
+        Alcotest.test_case "zero noise energy matches" `Quick
+          test_zero_noise_energy_matches;
+        Alcotest.test_case "zero noise all cases" `Quick test_zero_noise_all_cases;
+        Alcotest.test_case "noise changes timing" `Quick test_noise_changes_timing;
+        Alcotest.test_case "noise deterministic" `Quick test_noise_deterministic_given_rng;
+        Alcotest.test_case "noise preserves constraints" `Quick
+          test_noise_preserves_precedence;
+        Alcotest.test_case "inflation grows with noise" `Quick
+          test_mean_inflation_grows_with_noise;
+        Alcotest.test_case "noise validation" `Quick test_noise_validation;
+      ] );
+  ]

@@ -1,0 +1,196 @@
+open Agrid_stats
+
+let arr l = Array.of_list l
+
+let test_mean () =
+  Testlib.close "mean" 2.5 (Descriptive.mean (arr [ 1.; 2.; 3.; 4. ]));
+  Testlib.close "singleton" 7. (Descriptive.mean (arr [ 7. ]))
+
+let test_variance () =
+  Testlib.close "variance" (5. /. 3.)
+    (Descriptive.variance (arr [ 1.; 2.; 3.; 4. ]));
+  Testlib.close "singleton variance" 0. (Descriptive.variance (arr [ 9. ]))
+
+let test_stddev () =
+  (* [1;3]: mean 2, sample variance (1+1)/1 = 2 *)
+  Testlib.close "stddev" (sqrt 2.) (Descriptive.stddev (arr [ 1.; 3. ]));
+  (* [0;4;0;4]: mean 2, sample variance 16/3 *)
+  Testlib.close "stddev 4pts" (sqrt (16. /. 3.))
+    (Descriptive.stddev (arr [ 0.; 4.; 0.; 4. ]))
+
+let test_extrema () =
+  let xs = arr [ 3.; -1.; 4.; 1.5 ] in
+  Testlib.close "min" (-1.) (Descriptive.min xs);
+  Testlib.close "max" 4. (Descriptive.max xs);
+  Testlib.close "sum" 7.5 (Descriptive.sum xs)
+
+let test_quantile () =
+  let xs = arr [ 10.; 20.; 30.; 40. ] in
+  Testlib.close "q0" 10. (Descriptive.quantile xs 0.);
+  Testlib.close "q1" 40. (Descriptive.quantile xs 1.);
+  Testlib.close "median even" 25. (Descriptive.median xs);
+  Testlib.close "median odd" 20. (Descriptive.median (arr [ 30.; 10.; 20. ]));
+  Testlib.close "interpolated" 17.5 (Descriptive.quantile xs 0.25)
+
+let test_empty_raises () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Descriptive.mean: empty input")
+    (fun () -> ignore (Descriptive.mean [||]))
+
+let test_quantile_bad_q () =
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Descriptive.quantile: q outside [0,1]") (fun () ->
+      ignore (Descriptive.quantile (arr [ 1. ]) 1.5))
+
+let test_summary () =
+  let s = Descriptive.summarize (arr [ 1.; 2.; 3. ]) in
+  Alcotest.(check int) "n" 3 s.Descriptive.n;
+  Testlib.close "summary mean" 2. s.Descriptive.mean;
+  Testlib.close "summary median" 2. s.Descriptive.median
+
+let test_running_matches_descriptive () =
+  let gen = QCheck2.Gen.(list_size (int_range 1 200) (float_range (-1e3) 1e3)) in
+  let prop l =
+    let xs = Array.of_list l in
+    let r = Running.create () in
+    Running.add_all r xs;
+    Float.abs (Running.mean r -. Descriptive.mean xs) < 1e-6
+    && Float.abs (Running.variance r -. Descriptive.variance xs) < 1e-4
+    && Running.min r = Descriptive.min xs
+    && Running.max r = Descriptive.max xs
+    && Running.count r = Array.length xs
+  in
+  QCheck2.Test.check_exn (QCheck2.Test.make ~count:300 ~name:"welford = two-pass" gen prop)
+
+let test_running_merge () =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 100) (float_range (-100.) 100.))
+        (list_size (int_range 1 100) (float_range (-100.) 100.)))
+  in
+  let prop (l1, l2) =
+    let a = Running.create () and b = Running.create () in
+    Running.add_all a (Array.of_list l1);
+    Running.add_all b (Array.of_list l2);
+    let merged = Running.merge a b in
+    let whole = Array.of_list (l1 @ l2) in
+    Float.abs (Running.mean merged -. Descriptive.mean whole) < 1e-6
+    && Float.abs (Running.variance merged -. Descriptive.variance whole) < 1e-4
+    && Running.count merged = Array.length whole
+  in
+  QCheck2.Test.check_exn (QCheck2.Test.make ~count:300 ~name:"merge = concat" gen prop)
+
+let test_running_merge_empty () =
+  let a = Running.create () and b = Running.create () in
+  Running.add b 5.;
+  let m1 = Running.merge a b and m2 = Running.merge b a in
+  Testlib.close "empty-left merge" 5. (Running.mean m1);
+  Testlib.close "empty-right merge" 5. (Running.mean m2)
+
+let test_running_no_samples () =
+  let r = Running.create () in
+  Alcotest.check_raises "no samples" (Invalid_argument "Running.mean: no samples")
+    (fun () -> ignore (Running.mean r))
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  Histogram.add h 0.5;
+  Histogram.add h 9.99;
+  Histogram.add h 5.;
+  Alcotest.(check int) "bin 0" 1 (Histogram.count h 0);
+  Alcotest.(check int) "bin 9" 1 (Histogram.count h 9);
+  Alcotest.(check int) "bin 5" 1 (Histogram.count h 5);
+  Alcotest.(check int) "total" 3 (Histogram.total h)
+
+let test_histogram_clamping () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Histogram.add h (-5.);
+  Histogram.add h 99.;
+  Alcotest.(check int) "low clamp" 1 (Histogram.count h 0);
+  Alcotest.(check int) "high clamp" 1 (Histogram.count h 3)
+
+let test_histogram_edges () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  Testlib.close "bin_lo" 2. (Histogram.bin_lo h 1);
+  Testlib.close "bin_hi" 4. (Histogram.bin_hi h 1)
+
+let test_of_int_array () =
+  Alcotest.(check (array (float 0.)))
+    "conversion" [| 1.; 2. |]
+    (Descriptive.of_int_array [| 1; 2 |])
+
+(* ---- goodness-of-fit utilities ---- *)
+
+let test_ks_statistic_perfect_fit () =
+  (* sample at exact quantiles of U(0,1): D is minimal (1/2n) *)
+  let n = 100 in
+  let sample = Array.init n (fun i -> (float_of_int i +. 0.5) /. float_of_int n) in
+  let d = Goodness.ks_statistic ~cdf:(Goodness.uniform_cdf ~lo:0. ~hi:1.) sample in
+  Testlib.close "minimal D" (0.5 /. float_of_int n) d ~eps:1e-9
+
+let test_ks_detects_wrong_distribution () =
+  let rng = Agrid_prng.Splitmix64.of_int 9 in
+  let sample =
+    Array.init 2000 (fun _ -> Agrid_prng.Dist.exponential rng ~rate:1.)
+  in
+  (* right model: high p; wrong model (uniform): p ~ 0 *)
+  let _, p_good = Goodness.ks_test ~cdf:(Goodness.exponential_cdf ~rate:1.) sample in
+  let _, p_bad = Goodness.ks_test ~cdf:(Goodness.uniform_cdf ~lo:0. ~hi:8.) sample in
+  Alcotest.(check bool) "accepts the true model" true (p_good > 0.01);
+  Alcotest.(check bool) "rejects the wrong model" true (p_bad < 1e-6)
+
+let test_ks_normal_sampler () =
+  let rng = Agrid_prng.Splitmix64.of_int 10 in
+  let sample = Array.init 2000 (fun _ -> Agrid_prng.Dist.normal rng ~mean:3. ~stddev:2.) in
+  let _, p = Goodness.ks_test ~cdf:(Goodness.normal_cdf ~mean:3. ~stddev:2.) sample in
+  Alcotest.(check bool) "normal sampler passes KS" true (p > 0.01)
+
+let test_chi_square_uniformity () =
+  let rng = Agrid_prng.Splitmix64.of_int 11 in
+  let counts = Array.make 16 0 in
+  for _ = 1 to 16_000 do
+    let b = Agrid_prng.Splitmix64.next_int rng 16 in
+    counts.(b) <- counts.(b) + 1
+  done;
+  let _, p = Goodness.chi_square_uniform_test counts in
+  Alcotest.(check bool) "uniform bins accepted" true (p > 0.01);
+  (* a blatantly skewed histogram must be rejected *)
+  let skewed = Array.init 16 (fun i -> if i = 0 then 5000 else 700) in
+  let _, p_bad = Goodness.chi_square_uniform_test skewed in
+  Alcotest.(check bool) "skewed bins rejected" true (p_bad < 1e-6)
+
+let test_chi_square_validation () =
+  Alcotest.check_raises "single bin"
+    (Invalid_argument "Goodness.chi_square_uniform_test: need >= 2 bins") (fun () ->
+      ignore (Goodness.chi_square_uniform_test [| 3 |]))
+
+let suites =
+  [
+    ( "stats",
+      [
+        Alcotest.test_case "mean" `Quick test_mean;
+        Alcotest.test_case "variance" `Quick test_variance;
+        Alcotest.test_case "stddev" `Quick test_stddev;
+        Alcotest.test_case "extrema and sum" `Quick test_extrema;
+        Alcotest.test_case "quantiles" `Quick test_quantile;
+        Alcotest.test_case "empty input raises" `Quick test_empty_raises;
+        Alcotest.test_case "quantile bad q" `Quick test_quantile_bad_q;
+        Alcotest.test_case "summary" `Quick test_summary;
+        Alcotest.test_case "welford matches two-pass (qcheck)" `Quick
+          test_running_matches_descriptive;
+        Alcotest.test_case "merge matches concatenation (qcheck)" `Quick
+          test_running_merge;
+        Alcotest.test_case "merge with empty" `Quick test_running_merge_empty;
+        Alcotest.test_case "running empty raises" `Quick test_running_no_samples;
+        Alcotest.test_case "histogram binning" `Quick test_histogram_binning;
+        Alcotest.test_case "histogram clamping" `Quick test_histogram_clamping;
+        Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+        Alcotest.test_case "int array conversion" `Quick test_of_int_array;
+        Alcotest.test_case "KS perfect fit" `Quick test_ks_statistic_perfect_fit;
+        Alcotest.test_case "KS discriminates models" `Quick
+          test_ks_detects_wrong_distribution;
+        Alcotest.test_case "KS normal sampler" `Quick test_ks_normal_sampler;
+        Alcotest.test_case "chi-square uniformity" `Quick test_chi_square_uniformity;
+        Alcotest.test_case "chi-square validation" `Quick test_chi_square_validation;
+      ] );
+  ]

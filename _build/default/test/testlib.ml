@@ -1,0 +1,66 @@
+(* Shared fixtures for the test suites: tiny hand-built workloads whose
+   every quantity can be checked by hand, plus generated mid-size scenarios
+   for integration tests. *)
+
+open Agrid_platform
+open Agrid_workload
+
+let rng ?(seed = 42) () = Agrid_prng.Splitmix64.of_int seed
+
+(* A 4-task diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3. *)
+let diamond_dag () = Agrid_dag.Dag.of_edges ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+(* Hand-picked ETC over the full Case A machine set (machines 0,1 fast;
+   2,3 slow); seconds. Rows = tasks. Values chosen to be exactly
+   representable in 0.1 s cycles. *)
+let diamond_etc () =
+  Agrid_etc.Etc.of_matrix
+    ~klasses:[| Machine.Fast; Machine.Fast; Machine.Slow; Machine.Slow |]
+    [|
+      [| 10.0; 12.0; 100.0; 110.0 |];
+      [| 20.0; 18.0; 200.0; 190.0 |];
+      [| 30.0; 33.0; 280.0; 300.0 |];
+      [| 14.0; 16.0; 150.0; 140.0 |];
+    |]
+
+(* One megabit on every edge: 0.125 s on an 8 Mb/s fast-fast link. *)
+let diamond_data () = [| 1e6; 1e6; 1e6; 1e6 |]
+
+let diamond_spec () =
+  let base = Spec.paper_scale ~seed:7 () in
+  {
+    base with
+    Spec.n_tasks = 4;
+    etc_params = Agrid_etc.Etc.default_params ~n_tasks:4;
+    dag_params = Agrid_dag.Generate.default_params ~n:4;
+    tau_seconds = 2000.;
+  }
+
+let diamond_workload ?(case = Grid.A) () =
+  Workload.build (diamond_spec ()) ~etc:(diamond_etc ()) ~dag:(diamond_dag ())
+    ~data_bits:(diamond_data ()) ~etc_index:0 ~dag_index:0 ~case
+
+(* A generated scenario small enough for fast integration tests. *)
+let small_spec ?(seed = 11) () = Spec.scaled ~seed ~factor:(48. /. 1024.) ()
+
+let small_workload ?seed ?(case = Grid.A) ?(etc_index = 0) ?(dag_index = 0) () =
+  Workload.build (small_spec ?seed ()) ~etc_index ~dag_index ~case
+
+(* Alcotest helpers *)
+let close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let close_rel ?(rel = 1e-9) msg expected actual =
+  let denom = Float.max 1e-30 (Float.abs expected) in
+  if Float.abs (expected -. actual) /. denom > rel then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let qcheck_case ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Naive substring search (tests only). *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
