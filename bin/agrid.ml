@@ -3,6 +3,7 @@
      agrid run       — map one scenario with a chosen heuristic
      agrid tune      — (alpha, beta) weight search on one scenario
      agrid dynamic   — machine loss mid-run with on-the-fly rescheduling
+     agrid churn     — scripted churn traces / Monte Carlo survivability
      agrid tables    — regenerate paper Tables 1-4
      agrid figure2   — regenerate the paper's delta-T sweep
      agrid ub        — upper-bound details for one scenario
@@ -373,6 +374,103 @@ let import_cmd =
     (Cmd.info "import" ~doc:"Load a pinned scenario file and map it with SLRH-1.")
     Term.(const action $ path_t $ alpha_t $ beta_t)
 
+(* ---- churn ---- *)
+
+let churn_cmd =
+  let action seed scale etc dag case alpha beta events mc intensities policy budget =
+    let weights = Objective.make_weights ~alpha ~beta in
+    let policy =
+      Agrid_churn.Retry.make
+        ~timing:
+          (match policy with
+          | `Immediate -> Agrid_churn.Retry.Immediate
+          | `Defer -> Agrid_churn.Retry.Defer_to_rejoin)
+        ?budget ()
+    in
+    match (events, mc) with
+    | Some _, Some _ ->
+        Fmt.epr "agrid churn: --events and --mc are mutually exclusive@.";
+        2
+    | None, None ->
+        Fmt.epr "agrid churn: pass a scripted trace (--events) or a campaign (--mc N)@.";
+        2
+    | Some trace, None ->
+        let workload = workload_of ~seed ~scale ~etc ~dag ~case in
+        let events = Agrid_churn.Event.parse_trace trace in
+        let o = Dynamic.run_churn ~policy (Slrh.default_params weights) workload events in
+        Fmt.pr "trace: %s@." (Agrid_churn.Event.trace_to_string events);
+        List.iter
+          (fun a -> Fmt.pr "  %a@." Agrid_churn.Engine.pp_applied a)
+          o.Agrid_churn.Engine.applied;
+        Fmt.pr "%a@." Agrid_churn.Engine.pp_outcome o;
+        let audit = Agrid_churn.Engine.audit o in
+        List.iter (fun v -> Fmt.pr "audit: %s@." v) audit;
+        if audit = [] && o.Agrid_churn.Engine.ledger_energy_ok then 0 else 1
+    | None, Some n ->
+        let open Agrid_exper in
+        let config = config_of_options seed scale 1 1 in
+        let levels = Campaign.run ~weights ~policy ?intensities ~replicates:n ~seed config in
+        Fmt.pr "%a@." Agrid_report.Table.pp (Campaign.table levels);
+        0
+  in
+  let events_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"TRACE"
+          ~doc:"Scripted churn trace, e.g. 'leave\\@120:1,shock\\@200:0:0.5,rejoin\\@400:1'. Event kinds: leave\\@AT:M, rejoin\\@AT:M, shock\\@AT:M:FRACTION, degrade\\@AT:M:FACTOR.")
+  in
+  let mc_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mc" ] ~docv:"N"
+          ~doc:"Monte Carlo campaign with N replicates per churn intensity level.")
+  in
+  let intensities_t =
+    let parse s =
+      try
+        Ok
+          (String.split_on_char ',' s
+          |> List.filter_map (fun p ->
+                 let p = String.trim p in
+                 if p = "" then None else Some (float_of_string p)))
+      with Failure _ -> Error (`Msg (Fmt.str "bad intensity list %S" s))
+    in
+    let print ppf l = Fmt.(list ~sep:comma float) ppf l in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "intensities" ] ~docv:"X,Y,..."
+          ~doc:"Churn intensities (expected leaves per machine over tau); default 0,0.5,1,2,4.")
+  in
+  let policy_t =
+    let parse = function
+      | "immediate" -> Ok `Immediate
+      | "defer" | "defer-to-rejoin" -> Ok `Defer
+      | s -> Error (`Msg (Fmt.str "unknown retry policy %S (expected immediate or defer)" s))
+    in
+    let print ppf p = Fmt.string ppf (match p with `Immediate -> "immediate" | `Defer -> "defer") in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Immediate
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Re-execution policy for discarded work: immediate remap or defer until a machine rejoins.")
+  in
+  let budget_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"K"
+          ~doc:"Per-subtask retry budget: after K discards a subtask is abandoned (default: unbounded).")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Drive SLRH through a scripted churn trace, or run a Monte Carlo survivability campaign (extension).")
+    Term.(
+      const action $ seed_t $ scale_t $ etc_t $ dag_t $ case_t $ alpha_t $ beta_t
+      $ events_t $ mc_t $ intensities_t $ policy_t $ budget_t)
+
 (* ---- dot ---- *)
 
 let dot_cmd =
@@ -395,5 +493,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ run_cmd; tune_cmd; dynamic_cmd; tables_cmd; figure2_cmd; ub_cmd;
+          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; tables_cmd; figure2_cmd; ub_cmd;
             calibrate_cmd; export_cmd; import_cmd; dot_cmd ]))

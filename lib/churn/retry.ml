@@ -1,0 +1,23 @@
+(* Retry policy for discarded subtasks: when they become remappable and how
+   many discards a subtask survives before being abandoned. *)
+
+type timing = Immediate | Defer_to_rejoin
+
+type policy = { timing : timing; budget : int option }
+
+let default = { timing = Immediate; budget = None }
+
+let make ?(timing = Immediate) ?budget () =
+  (match budget with
+  | Some b when b < 0 -> invalid_arg "Churn.Retry.make: negative budget"
+  | Some _ | None -> ());
+  { timing; budget }
+
+let timing_to_string = function
+  | Immediate -> "immediate"
+  | Defer_to_rejoin -> "defer-to-rejoin"
+
+let pp ppf p =
+  Fmt.pf ppf "retry<%s budget=%a>" (timing_to_string p.timing)
+    Fmt.(option ~none:(any "unlimited") int)
+    p.budget

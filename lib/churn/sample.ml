@@ -1,0 +1,33 @@
+(* Per-machine alternating renewal sampling: up-time ~ Exp(1/up_mean),
+   outage ~ Exp(1/down_mean), truncated at the horizon. One split stream
+   per machine keeps traces stable under changes to any other machine's
+   draw count. *)
+
+open Agrid_prng
+
+let exponential_trace rng ~n_machines ~horizon ~up_mean ~down_mean =
+  if horizon <= 0 then invalid_arg "Churn.Sample.exponential_trace: nonpositive horizon";
+  let machine_events j =
+    let r = Splitmix64.split rng in
+    let events = ref [] in
+    let t = ref 0. in
+    let up = ref true in
+    let continue_ = ref true in
+    while !continue_ do
+      let mean = if !up then up_mean j else down_mean j in
+      if mean <= 0. then
+        invalid_arg "Churn.Sample.exponential_trace: nonpositive mean duration";
+      t := !t +. Dist.exponential r ~rate:(1. /. mean);
+      let at = int_of_float !t in
+      if at >= horizon then continue_ := false
+      else begin
+        (* forward order per machine: a zero-length outage stays
+           leave-then-rejoin through the stable sort *)
+        events :=
+          { Event.at; kind = (if !up then Event.Leave j else Event.Rejoin j) } :: !events;
+        up := not !up
+      end
+    done;
+    List.rev !events
+  in
+  Event.sort (List.concat (List.init n_machines machine_events))

@@ -1,0 +1,20 @@
+(** Random churn-trace sampling for Monte Carlo survivability campaigns:
+    each machine is an independent alternating renewal process with
+    exponential up-times and outage lengths, the availability model the
+    related grid-scheduling literature uses for ad hoc resources. *)
+
+val exponential_trace :
+  Agrid_prng.Splitmix64.t ->
+  n_machines:int ->
+  horizon:int ->
+  up_mean:(int -> float) ->
+  down_mean:(int -> float) ->
+  Event.t list
+(** Sample a leave/rejoin trace over [\[0, horizon)] cycles. [up_mean j]
+    and [down_mean j] are machine [j]'s mean up-time and outage length in
+    cycles (both must be positive). Each machine draws from its own split
+    of the generator, so the trace for machine [j] does not depend on how
+    many events the other machines produced. The result is sorted and
+    passes {!Event.validate}; a rejoin that would land beyond the horizon
+    is dropped (the outage becomes permanent).
+    @raise Invalid_argument on nonpositive means or horizon. *)

@@ -1,25 +1,29 @@
 (* Dynamic grid events — the ad hoc scenario the paper motivates but defers
    ("assets connected to the grid can — and frequently do — appear and
    disappear at unanticipated times", Section I; dynamic reconfiguration
-   "was not permitted during this initial work", Section III). This module
-   implements the machine-loss transition the three static cases bracket:
-   Case A runs until a machine disappears mid-flight, then SLRH reschedules
-   on-the-fly on the survivors (Case B/C-shaped grids).
+   "was not permitted during this initial work", Section III).
+
+   Both transitions here — permanent machine loss and a temporary outage —
+   are thin wrappers over the general churn engine (Agrid_churn.Engine): a
+   loss is the one-event trace [Leave@at], an outage is
+   [Leave@from_; Rejoin@until_]. The engine masks absent machines rather
+   than renumbering the grid; [run_with_loss] keeps its historical
+   reduced-grid result shape by replaying the engine's final schedule onto
+   [Workload.remove_machine] at the end.
 
    Loss semantics (conservative, no partial-result recovery — the paper
-   notes recovery "may prove too costly"):
-   - work survives iff it finished strictly before the loss instant, ran on
-     a surviving machine, AND all of its ancestors survive (data received
-     from a lost machine is considered unusable because re-executions of
-     the lost ancestor may produce fresher outputs; cascading the discard
-     keeps the precedence invariant checkable);
-   - everything else is unmapped and rescheduled by a fresh SLRH phase that
-     resumes the clock at the loss instant;
-   - energy already burned on surviving machines by discarded executions
-     and transfers is charged as sunk cost: batteries do not refill. *)
+   notes recovery "may prove too costly"): work survives iff it finished
+   strictly before the loss instant, ran on a surviving machine, AND all of
+   its ancestors survive; everything else is rescheduled from the loss
+   instant; energy already burned on surviving machines by discarded work
+   is charged as sunk cost — batteries do not refill. All of this lives in
+   the engine now; see lib/churn/engine.ml. *)
 
 open Agrid_workload
 open Agrid_sched
+module Event = Agrid_churn.Event
+module Retry = Agrid_churn.Retry
+module Engine = Agrid_churn.Engine
 
 type loss = { at : int; machine : int }
 
@@ -38,95 +42,61 @@ type outcome = {
   post_loss : Slrh.outcome;
 }
 
-(* Partial-execution energy of a placement cut at [at] on its machine. *)
-let partial_exec_energy wl (p : Schedule.placement) ~at =
-  let executed = max 0 (min p.stop at - p.start) in
-  if executed <= 0 then 0.
-  else begin
-    let profile = Agrid_platform.Grid.machine (Workload.grid wl) p.machine in
-    Agrid_platform.Machine.compute_energy profile
-      ~seconds:(Agrid_platform.Units.seconds_of_cycles executed)
-  end
+(* The SLRH receding-horizon loop as a churn-engine phase runner. *)
+let slrh_runner params ~start_clock ~until ~mask ~eligible sched =
+  let o = Slrh.continue_run ?until ~start_clock ~mask ~eligible params sched in
+  (o, o.Slrh.final_clock)
 
-let partial_transfer_energy wl (tr : Schedule.transfer) ~at =
-  let sent = max 0 (min tr.stop at - tr.start) in
-  if sent <= 0 then 0.
-  else begin
-    let profile = Agrid_platform.Grid.machine (Workload.grid wl) tr.src in
-    Agrid_platform.Machine.transmit_energy profile
-      ~seconds:(Agrid_platform.Units.seconds_of_cycles sent)
-  end
+let run_churn ?(policy = Retry.default) params workload events =
+  Engine.run ~policy ~runner:(slrh_runner params) workload events
 
 let run_with_loss params workload { at; machine = lost } =
   if at < 0 then invalid_arg "Dynamic.run_with_loss: negative loss time";
   if lost < 0 || lost >= Workload.n_machines workload then
     invalid_arg "Dynamic.run_with_loss: no such machine";
-  (* phase 1: normal SLRH strictly before the loss instant (the machine is
-     already gone at [at]; [continue_run]'s bound is inclusive) *)
-  let sched0 = Schedule.create workload in
-  let pre_loss = Slrh.continue_run ~until:(at - 1) params sched0 in
-  let dag = Workload.dag workload in
-  let n = Workload.n_tasks workload in
-  (* survivor set: finished before [at] on a surviving machine, with all
-     ancestors surviving (computed in topological order) *)
-  let survives = Array.make n false in
-  Array.iter
-    (fun task ->
-      match Schedule.placement sched0 task with
-      | Some p
-        when p.Schedule.machine <> lost
-             && p.Schedule.stop <= at
-             && Array.for_all (fun (q, _) -> survives.(q)) (Agrid_dag.Dag.parent_edges dag task)
-        -> survives.(task) <- true
-      | Some _ | None -> ())
-    (Agrid_dag.Dag.topological_order dag);
-  (* rebuild on the reduced grid *)
+  let eng = run_churn params workload [ { Event.at; kind = Event.Leave lost } ] in
+  let pre_loss, post_loss_eng =
+    match eng.Engine.phases with
+    | [ pre; post ] -> (pre.Engine.ph_outcome, post.Engine.ph_outcome)
+    | [ post ] ->
+        (* loss at t=0: the engine never ran a pre phase; synthesize the
+           zero-iteration run the two-phase story promises *)
+        let pre = Slrh.continue_run ~until:(at - 1) params (Schedule.create workload) in
+        (pre, post.Engine.ph_outcome)
+    | _ -> assert false
+  in
+  (* replay the engine's masked full-grid schedule onto the reduced grid:
+     nothing lives on the lost machine (its work was discarded at the
+     event, and the mask kept the sweep away afterwards) *)
   let reduced = Workload.remove_machine workload ~machine:lost in
   let remap j = if j < lost then j else j - 1 in
   let sched = Schedule.create reduced in
-  let n_survivors = ref 0 and n_discarded = ref 0 in
+  let dag = Workload.dag workload in
   Array.iter
     (fun task ->
-      match Schedule.placement sched0 task with
-      | None -> ()
+      match Schedule.placement eng.Engine.schedule task with
       | Some p ->
-          if survives.(task) then begin
-            incr n_survivors;
-            Schedule.replay_placement sched
-              { p with Schedule.machine = remap p.Schedule.machine }
-          end
-          else incr n_discarded)
+          Schedule.replay_placement sched
+            { p with Schedule.machine = remap p.Schedule.machine }
+      | None -> ())
     (Agrid_dag.Dag.topological_order dag);
-  let sunk = ref 0. in
-  let charge machine amount =
-    if amount > 0. then begin
-      Schedule.charge_energy sched ~machine amount;
-      sunk := !sunk +. amount
-    end
-  in
-  (* transfers: keep those whose destination task survives (their sources
-     survive by ancestor closure); charge partially-sent discarded ones *)
   Array.iter
     (fun (tr : Schedule.transfer) ->
-      if survives.(tr.Schedule.dst_task) then
-        Schedule.replay_transfer sched
-          { tr with Schedule.src = remap tr.Schedule.src; dst = remap tr.Schedule.dst }
-      else if tr.Schedule.src <> lost then
-        charge (remap tr.Schedule.src) (partial_transfer_energy workload tr ~at))
-    (Schedule.transfers sched0);
-  (* sunk execution energy of discarded placements on surviving machines *)
-  for task = 0 to n - 1 do
-    match Schedule.placement sched0 task with
-    | Some p when (not survives.(task)) && p.Schedule.machine <> lost ->
-        charge (remap p.Schedule.machine) (partial_exec_energy workload p ~at)
-    | Some _ | None -> ()
+      Schedule.replay_transfer sched
+        { tr with Schedule.src = remap tr.Schedule.src; dst = remap tr.Schedule.dst })
+    (Schedule.transfers eng.Engine.schedule);
+  for j = 0 to Workload.n_machines workload - 1 do
+    if j <> lost then begin
+      let c = Schedule.energy_charged eng.Engine.schedule j in
+      if c > 0. then Schedule.charge_energy sched ~machine:(remap j) c
+    end
   done;
-  (* phase 2: resume the receding-horizon loop at the loss instant *)
-  let post_loss = Slrh.continue_run ~start_clock:at params sched in
-  let m = Workload.n_machines reduced in
+  let leave =
+    match eng.Engine.applied with [ a ] -> a | _ -> assert false
+  in
   let ledger_energy_ok =
     let ok = ref true in
-    for j = 0 to m - 1 do
+    for j = 0 to Workload.n_machines reduced - 1 do
       if Schedule.energy_remaining sched j < -1e-9 then ok := false
     done;
     !ok
@@ -135,12 +105,12 @@ let run_with_loss params workload { at; machine = lost } =
     schedule = sched;
     workload = reduced;
     completed = Schedule.all_mapped sched;
-    n_survivors = !n_survivors;
-    n_discarded = !n_discarded;
-    sunk_energy = !sunk;
+    n_survivors = leave.Engine.ev_survivors;
+    n_discarded = leave.Engine.ev_discarded;
+    sunk_energy = eng.Engine.sunk_energy;
     ledger_energy_ok;
     pre_loss;
-    post_loss;
+    post_loss = { post_loss_eng with Slrh.schedule = sched };
   }
 
 let pp_outcome ppf o =
@@ -152,12 +122,10 @@ let pp_outcome ppf o =
 (* ------------------------------------------------------------------ *)
 (* Temporary outage: the machine disappears during [from_, until_) and
    then REJOINS — the paper's "assets can appear and disappear" scenario
-   in full. Phase 1 runs on the whole grid, phase 2 on the reduced grid
-   (via run_with_loss), and at the rejoin instant every placement carries
-   over to the original grid (nothing is lost when capacity returns); the
-   returning machine is billed for the energy it burned on discarded
-   pre-outage work, and a final SLRH phase finishes the mapping with the
-   machine available again. *)
+   in full. One engine run over [Leave; Rejoin]: the rejoin flips the mask
+   back and bills the returning machine for the energy it burned on its
+   discarded pre-outage work, and the final phase finishes the mapping
+   with the machine available again. *)
 
 type outage_outcome = {
   o_schedule : Schedule.t;  (** final schedule, original grid and indices *)
@@ -166,94 +134,48 @@ type outage_outcome = {
   o_sunk_energy : float;
   o_ledger_energy_ok : bool;
   o_during : outcome;  (** the loss-phase outcome (reduced grid) *)
+  o_final : Slrh.outcome;  (** the post-rejoin SLRH phase *)
 }
 
 let run_with_outage params workload ~machine ~from_ ~until_ =
   if until_ < from_ then invalid_arg "Dynamic.run_with_outage: until before from";
-  (* loss + reduced-grid phase, bounded at the rejoin instant *)
-  let reduced_params = params in
+  if from_ < 0 then invalid_arg "Dynamic.run_with_outage: negative outage start";
+  if machine < 0 || machine >= Workload.n_machines workload then
+    invalid_arg "Dynamic.run_with_outage: no such machine";
+  let eng =
+    run_churn params workload
+      [
+        { Event.at = from_; kind = Event.Leave machine };
+        { Event.at = until_; kind = Event.Rejoin machine };
+      ]
+  in
+  (* the reduced-grid view of the outage window, for callers comparing
+     against a permanent loss: a bounded loss run on its own trace *)
   let during =
-    (* run_with_loss phase 2 runs to tau; bound it at [until_] by driving
-       the phases manually: reuse run_with_loss for the rebuild, then cut
-       its post phase by rerunning continue_run ourselves. Simpler and
-       exact: temporarily lower tau to [until_ - 1] for the reduced run. *)
     let bounded = Workload.with_tau workload ~tau_cycles:(max 1 (until_ - 1)) in
-    run_with_loss reduced_params bounded { at = from_; machine }
+    run_with_loss params bounded { at = from_; machine }
   in
-  (* rejoin: replay everything onto the original grid *)
-  let sched = Schedule.create workload in
-  let unmap j = if j < machine then j else j + 1 in
-  let dag = Workload.dag workload in
-  Array.iter
-    (fun task ->
-      match Schedule.placement during.schedule task with
-      | None -> ()
-      | Some p ->
-          Schedule.replay_placement sched
-            { p with Schedule.machine = unmap p.Schedule.machine })
-    (Agrid_dag.Dag.topological_order dag);
-  Array.iter
-    (fun (tr : Schedule.transfer) ->
-      Schedule.replay_transfer sched
-        { tr with Schedule.src = unmap tr.Schedule.src; dst = unmap tr.Schedule.dst })
-    (Schedule.transfers during.schedule);
-  (* carry sunk costs: what surviving machines burned on discarded work,
-     plus what the returning machine burned before the outage *)
-  let m_reduced = Workload.n_machines during.workload in
-  for j = 0 to m_reduced - 1 do
-    let sunk_j =
-      Schedule.energy_used during.schedule j
-      -. (let acc = ref 0. in
-          Array.iter
-            (fun (p : Schedule.placement) ->
-              if p.Schedule.machine = j then
-                acc :=
-                  !acc
-                  +. Workload.exec_energy during.workload ~task:p.Schedule.task
-                       ~machine:j ~version:p.Schedule.version)
-            (Schedule.placements during.schedule);
-          Array.iter
-            (fun (tr : Schedule.transfer) ->
-              if tr.Schedule.src = j then acc := !acc +. tr.Schedule.energy)
-            (Schedule.transfers during.schedule);
-          !acc)
-    in
-    if sunk_j > 1e-12 then Schedule.charge_energy sched ~machine:(unmap j) sunk_j
-  done;
-  let returning_burn =
-    let pre = during.pre_loss.Slrh.schedule in
-    let acc = ref 0. in
-    Array.iter
-      (fun (p : Schedule.placement) ->
-        if p.Schedule.machine = machine then
-          acc := !acc +. partial_exec_energy workload p ~at:from_)
-      (Schedule.placements pre);
-    Array.iter
-      (fun (tr : Schedule.transfer) ->
-        (* all of the lost machine's pre-outage work was discarded, so the
-           energy behind every byte it sent is sunk *)
-        if tr.Schedule.src = machine then
-          acc := !acc +. partial_transfer_energy workload tr ~at:from_)
-      (Schedule.transfers pre);
-    !acc
+  let o_final =
+    match List.rev eng.Engine.phases with
+    | last :: _ -> last.Engine.ph_outcome
+    | [] -> assert false
   in
-  if returning_burn > 0. then Schedule.charge_energy sched ~machine returning_burn;
-  (* final phase: all machines back *)
-  let _final = Slrh.continue_run ~start_clock:until_ params sched in
-  let ledger_energy_ok =
-    let ok = ref true in
-    for j = 0 to Workload.n_machines workload - 1 do
-      if Schedule.energy_remaining sched j < -1e-9 then ok := false
-    done;
-    !ok
+  let o_n_discarded =
+    List.fold_left
+      (fun acc (a : Engine.applied) ->
+        match a.Engine.ev.Event.kind with
+        | Event.Leave _ -> acc + a.Engine.ev_discarded
+        | _ -> acc)
+      0 eng.Engine.applied
   in
   {
-    o_schedule = sched;
-    o_completed = Schedule.all_mapped sched;
-    o_n_discarded = during.n_discarded;
-    o_sunk_energy = during.sunk_energy +. returning_burn;
-    o_ledger_energy_ok = ledger_energy_ok;
+    o_schedule = eng.Engine.schedule;
+    o_completed = eng.Engine.completed;
+    o_n_discarded;
+    o_sunk_energy = eng.Engine.sunk_energy;
+    o_ledger_energy_ok = eng.Engine.ledger_energy_ok;
     o_during = during;
+    o_final;
   }
 
 let pp_outage ppf o =

@@ -1,11 +1,17 @@
 (** Dynamic grid events: machine loss mid-run with on-the-fly SLRH
     rescheduling — the ad hoc transition the paper's three static cases
-    bracket (extension; see DESIGN.md S14).
+    bracket (extension; see DESIGN.md section 6).
+
+    Both runs are thin wrappers over the general churn engine
+    ({!Agrid_churn.Engine}): a loss is the trace [Leave\@at], an outage
+    [Leave\@from_; Rejoin\@until_]. Arbitrary multi-event traces, retry
+    policies and Monte Carlo churn campaigns live in [Agrid_churn] /
+    [Agrid_exper.Campaign]; use {!run_churn} to drive them with SLRH.
 
     Loss semantics: work survives iff it finished before the loss on a
     surviving machine and all its ancestors survive; everything else is
-    rescheduled from the loss instant on the reduced grid; energy burned by
-    discarded work on surviving machines is charged as sunk cost. *)
+    rescheduled from the loss instant; energy burned by discarded work on
+    surviving machines is charged as sunk cost. *)
 
 open Agrid_sched
 
@@ -25,6 +31,22 @@ type outcome = {
   post_loss : Slrh.outcome;
 }
 
+val slrh_runner : Slrh.params -> Slrh.outcome Agrid_churn.Engine.runner
+(** The SLRH receding-horizon loop packaged as a churn-engine phase
+    runner ({!Slrh.continue_run} with the engine's mask and eligibility
+    filter). *)
+
+val run_churn :
+  ?policy:Agrid_churn.Retry.policy ->
+  Slrh.params ->
+  Agrid_workload.Workload.t ->
+  Agrid_churn.Event.t list ->
+  Slrh.outcome Agrid_churn.Engine.outcome
+(** Run the churn engine over an arbitrary event trace with SLRH phases.
+    [policy] defaults to {!Agrid_churn.Retry.default} (immediate remap,
+    unbounded retries). With an empty trace this is a single uninterrupted
+    SLRH run. *)
+
 val run_with_loss : Slrh.params -> Agrid_workload.Workload.t -> loss -> outcome
 
 val pp_outcome : Format.formatter -> outcome -> unit
@@ -36,6 +58,7 @@ type outage_outcome = {
   o_sunk_energy : float;
   o_ledger_energy_ok : bool;
   o_during : outcome;  (** the loss-phase outcome (reduced grid) *)
+  o_final : Slrh.outcome;  (** the post-rejoin SLRH phase *)
 }
 
 val run_with_outage :
@@ -47,7 +70,8 @@ val run_with_outage :
   outage_outcome
 (** Temporary outage: [machine] disappears during [\[from_, until_)] and
     rejoins (with its battery debited for pre-outage burn). Phases: full
-    grid, reduced grid, full grid again.
-    @raise Invalid_argument when [until_ < from_]. *)
+    grid, masked grid, full grid again.
+    @raise Invalid_argument when [until_ < from_], [from_] is negative, or
+    [machine] is out of range. *)
 
 val pp_outage : Format.formatter -> outage_outcome -> unit

@@ -115,8 +115,10 @@ type outcome = {
    decreasing objective. Scoring reads the schedule without mutating it, so
    it can fan out over domains (the paper's parallel-hardware note); the
    sort ties break on task id either way, keeping results identical. *)
-let scored_pool params sched ~machine ~now stats_candidates =
-  let pool = Feasibility.candidate_pool ~mode:params.feas_mode sched ~machine in
+let scored_pool params ~eligible sched ~machine ~now stats_candidates =
+  let pool =
+    List.filter eligible (Feasibility.candidate_pool ~mode:params.feas_mode sched ~machine)
+  in
   let score task =
     let version, score =
       Objective.best_version params.weights sched ~task ~machine ~now
@@ -182,13 +184,25 @@ let validate_params params =
 
 (* Drive the clock loop over an existing schedule from [start_clock] until
    [until] (inclusive) or completion — the dynamic-grid extension resumes a
-   partially executed schedule on a reduced grid this way. *)
-let continue_run ?until ?(start_clock = 0) params sched =
+   partially executed schedule on a reduced grid this way. [mask] marks the
+   machines currently part of the grid (churn engine: down machines are
+   skipped by the sweep but keep their indices); [eligible] filters the
+   candidate pool (churn engine: deferred or permanently failed subtasks
+   are not remappable). *)
+let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) params sched =
   validate_params params;
   if start_clock < 0 then invalid_arg "Slrh: negative start clock";
   let t0 = Unix.gettimeofday () in
   let workload = Schedule.workload sched in
   let n_machines = Workload.n_machines workload in
+  let up =
+    match mask with
+    | None -> fun _ -> true
+    | Some a ->
+        if Array.length a <> n_machines then
+          invalid_arg "Slrh: mask length does not match machine count";
+        fun j -> a.(j)
+  in
   let tau = match until with Some u -> u | None -> Workload.tau workload in
   let clock_steps = ref 0 in
   let pools_built = ref 0 in
@@ -198,15 +212,19 @@ let continue_run ?until ?(start_clock = 0) params sched =
   let now = ref start_clock in
   while (not (Schedule.all_mapped sched)) && !now <= tau do
     incr clock_steps;
-    let sequence = machine_sequence params sched ~n_machines in
+    let sequence =
+      Array.of_list
+        (List.filter up (Array.to_list (machine_sequence params sched ~n_machines)))
+    in
+    let n_swept = Array.length sequence in
     let machine = ref 0 in
-    while (not (Schedule.all_mapped sched)) && !machine < n_machines do
+    while (not (Schedule.all_mapped sched)) && !machine < n_swept do
       let j = sequence.(!machine) in
       if Schedule.machine_free_at sched ~machine:j ~time:!now then begin
         match params.variant with
         | V1 ->
             incr pools_built;
-            let scored = scored_pool params sched ~machine:j ~now:!now candidates_scored in
+            let scored = scored_pool params ~eligible sched ~machine:j ~now:!now candidates_scored in
             (match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
             | Some _ -> incr assignments
             | None -> ())
@@ -214,7 +232,7 @@ let continue_run ?until ?(start_clock = 0) params sched =
             (* one stale pool, drained as far as the horizon allows *)
             incr pools_built;
             let scored =
-              ref (scored_pool params sched ~machine:j ~now:!now candidates_scored)
+              ref (scored_pool params ~eligible sched ~machine:j ~now:!now candidates_scored)
             in
             let continue_ = ref true in
             while !continue_ do
@@ -229,7 +247,7 @@ let continue_run ?until ?(start_clock = 0) params sched =
             let continue_ = ref true in
             while !continue_ do
               incr pools_built;
-              let scored = scored_pool params sched ~machine:j ~now:!now candidates_scored in
+              let scored = scored_pool params ~eligible sched ~machine:j ~now:!now candidates_scored in
               match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
               | Some _ -> incr assignments
               | None -> continue_ := false

@@ -57,10 +57,23 @@ type outcome = {
 val run : params -> Agrid_workload.Workload.t -> outcome
 
 val continue_run :
-  ?until:int -> ?start_clock:int -> params -> Schedule.t -> outcome
+  ?until:int ->
+  ?start_clock:int ->
+  ?mask:bool array ->
+  ?eligible:(int -> bool) ->
+  params ->
+  Schedule.t ->
+  outcome
 (** Drive the clock loop over an existing schedule from [start_clock] until
     [until] (default: the workload's tau) or completion. Used by the
-    dynamic-grid extension ({!Dynamic}). *)
+    dynamic-grid extension ({!Dynamic}) and the churn engine.
+
+    [mask.(j) = false] removes machine [j] from the per-timestep sweep
+    without renumbering the grid (churn: machines currently down);
+    [eligible] filters the candidate pool (churn: subtasks deferred to a
+    rejoin or out of retry budget). Defaults leave behaviour identical to
+    the unmasked loop.
+    @raise Invalid_argument when [mask] length differs from the grid. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,46 @@
+(** Monte Carlo churn campaign: survivability of the SLRH resource manager
+    under random machine churn (extension; the paper defers dynamic
+    reconfiguration, Section III).
+
+    Each churn intensity level runs [replicates] independent seeded traces
+    — per-machine alternating renewal processes with exponential up-times
+    ({!Agrid_churn.Sample.exponential_trace}) — through the churn engine
+    and reports degradation curves: completion probability, deadline-miss
+    rate, mean T100, mean sunk energy. Replicates fan out over
+    {!Agrid_par.Parallel}; every draw derives from [seed], so a campaign
+    is exactly reproducible. *)
+
+type level = {
+  intensity : float;  (** expected leaves per machine over the deadline *)
+  n_replicates : int;
+  completion_rate : float;  (** fraction of replicates mapping all subtasks *)
+  deadline_miss_rate : float;
+      (** fraction incomplete or finishing past tau *)
+  mean_t100 : float;  (** mean primary versions mapped *)
+  mean_sunk : float;  (** mean sunk energy (discarded work + debits) *)
+  mean_events : float;  (** mean churn events per trace *)
+  mean_discards : float;  (** mean placements discarded per run *)
+}
+
+val default_intensities : float list
+(** [0; 0.5; 1; 2; 4] expected leaves per machine. *)
+
+val run :
+  ?weights:Agrid_core.Objective.weights ->
+  ?policy:Agrid_churn.Retry.policy ->
+  ?intensities:float list ->
+  ?replicates:int ->
+  ?down_fraction:float ->
+  seed:int ->
+  Config.t ->
+  level list
+(** Run the campaign on the Case A workload of [config]. [down_fraction]
+    (default 0.15) sets the mean outage length as a fraction of tau;
+    intensity [x] gives mean up-time [tau / x] (intensity 0 is the static
+    baseline: no events are sampled). [replicates] defaults to 32.
+    @raise Invalid_argument on a nonpositive replicate count or negative
+    intensity. *)
+
+val table : level list -> Agrid_report.Table.t
+
+val pp_level : Format.formatter -> level -> unit

@@ -57,6 +57,17 @@ let remove_machine t j =
   in
   { name = t.name ^ Fmt.str "-m%d" j; machines }
 
+(* Degrade (or restore) one machine's link mid-run — the churn engine's
+   bandwidth event. The grid is otherwise unchanged: indices are stable. *)
+let scale_bandwidth t ~machine ~factor =
+  if machine < 0 || machine >= n_machines t then invalid_arg "Grid.scale_bandwidth";
+  let machines =
+    Array.mapi
+      (fun i m -> if i = machine then Machine.scale_bandwidth factor m else m)
+      t.machines
+  in
+  { t with machines }
+
 let pp ppf t =
   Fmt.pf ppf "%s: %a" t.name
     Fmt.(array ~sep:(any ", ") Machine.pp)

@@ -29,4 +29,9 @@ val remove_machine : t -> int -> t
 (** Dynamic-grid extension; remaining machines keep their relative order.
     @raise Invalid_argument when out of range or on the last machine. *)
 
+val scale_bandwidth : t -> machine:int -> factor:float -> t
+(** Scale one machine's bandwidth in place (churn engine's link-degrade
+    event); indices are stable.
+    @raise Invalid_argument when out of range or on nonpositive factors. *)
+
 val pp : Format.formatter -> t -> unit

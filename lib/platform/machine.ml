@@ -32,6 +32,12 @@ let scale_battery factor p =
   if factor <= 0. then invalid_arg "Machine.scale_battery: factor must be positive";
   { p with battery = p.battery *. factor }
 
+(* Bandwidth scaling models link-quality churn (interference, mobility):
+   the churn engine degrades a machine's link mid-run by a factor. *)
+let scale_bandwidth factor p =
+  if factor <= 0. then invalid_arg "Machine.scale_bandwidth: factor must be positive";
+  { p with bandwidth = p.bandwidth *. factor }
+
 let compute_energy p ~seconds = p.compute_rate *. seconds
 let transmit_energy p ~seconds = p.transmit_rate *. seconds
 

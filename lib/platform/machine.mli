@@ -24,6 +24,10 @@ val scale_battery : float -> profile -> profile
 (** Proportional workload scaling (DESIGN.md section 3).
     @raise Invalid_argument on nonpositive factors. *)
 
+val scale_bandwidth : float -> profile -> profile
+(** Link-quality churn (churn engine's [Bandwidth_degrade] event).
+    @raise Invalid_argument on nonpositive factors. *)
+
 val compute_energy : profile -> seconds:float -> float
 val transmit_energy : profile -> seconds:float -> float
 

@@ -40,6 +40,7 @@ type t = {
   ch_out : Timeline.t array;
   ch_in : Timeline.t array;
   energy_used : float array;
+  charged : float array; (* non-work charges (sunk energy) per machine *)
   mutable transfers : transfer list; (* reverse commit order *)
   mutable n_mapped : int;
   mutable n_primary : int;
@@ -68,6 +69,7 @@ let create workload =
     ch_out = Array.init m (fun _ -> Timeline.create ());
     ch_in = Array.init m (fun _ -> Timeline.create ());
     energy_used = Array.make m 0.;
+    charged = Array.make m 0.;
     transfers = [];
     n_mapped = 0;
     n_primary = 0;
@@ -318,7 +320,10 @@ let replay_placement t (pl : placement) =
 let charge_energy t ~machine amount =
   if amount < 0. then invalid_arg "Schedule.charge_energy: negative amount";
   t.energy_used.(machine) <- t.energy_used.(machine) +. amount;
+  t.charged.(machine) <- t.charged.(machine) +. amount;
   t.tec <- t.tec +. amount
+
+let energy_charged t machine = t.charged.(machine)
 
 let replay_transfer t (tr : transfer) =
   Timeline.insert t.ch_out.(tr.src) ~start:tr.start ~stop:tr.stop;

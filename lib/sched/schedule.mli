@@ -119,4 +119,8 @@ val charge_energy : t -> machine:int -> float -> unit
 (** Bill sunk energy (work lost with a failed machine). Counts against the
     battery and TEC but is invisible to {!Validate.check}. *)
 
+val energy_charged : t -> int -> float
+(** Total {!charge_energy} billed to a machine so far — the non-work part
+    of its ledger. Churn-engine rebuilds carry it across replays. *)
+
 val pp : Format.formatter -> t -> unit

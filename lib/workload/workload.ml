@@ -112,6 +112,12 @@ let remove_machine t ~machine =
       Array.map (fun row -> Array.map (fun j -> row.(j)) keep) t.exec_cycles_cache;
   }
 
+(* Scale one machine's bandwidth mid-run (churn extension): the ETC matrix
+   and execution-cycle cache are unaffected — only communication durations
+   and energies computed against the grid change for future plans. *)
+let degrade_bandwidth t ~machine ~factor =
+  { t with grid = Grid.scale_bandwidth t.grid ~machine ~factor }
+
 let n_tasks t = t.spec.Spec.n_tasks
 let n_machines t = Grid.n_machines t.grid
 let grid t = t.grid

@@ -32,6 +32,11 @@ val remove_machine : t -> machine:int -> t
 (** Drop one machine (dynamic-grid extension). Remaining machines keep
     their relative order: old index [j] becomes [j - 1] for [j > machine]. *)
 
+val degrade_bandwidth : t -> machine:int -> factor:float -> t
+(** Scale one machine's bandwidth (churn extension). Indices are stable;
+    the ETC matrix is unaffected.
+    @raise Invalid_argument when out of range or on nonpositive factors. *)
+
 val n_tasks : t -> int
 val n_machines : t -> int
 val grid : t -> Agrid_platform.Grid.t
