@@ -396,6 +396,42 @@ let report_tau_calibration config =
     (float_of_int tau /. float_of_int (max 1 calibrated))
 
 (* ------------------------------------------------------------------ *)
+(* Observability profile                                               *)
+
+(* One instrumented SLRH-1 run plus one churn run (leave + rejoin) through
+   the telemetry sink; the span and counter aggregates land in
+   BENCH_obs.json (format documented in DESIGN.md, "Observability"). *)
+let run_obs_profile config ~total_seconds =
+  section "Observability profile (BENCH_obs.json)";
+  let open Agrid_workload in
+  let workload =
+    Workload.build config.Config.spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A
+  in
+  let weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3 in
+  let sink = Agrid_obs.Sink.create ~stride:8 () in
+  let params =
+    {
+      (Agrid_core.Slrh.default_params weights) with
+      Agrid_core.Slrh.delta_t = config.Config.delta_t;
+      horizon = config.Config.horizon;
+      obs = sink;
+    }
+  in
+  ignore (Agrid_core.Slrh.run params workload);
+  let tau = Workload.tau workload in
+  ignore
+    (Agrid_core.Dynamic.run_churn params workload
+       [
+         { Agrid_churn.Event.at = tau / 8; kind = Agrid_churn.Event.Leave 1 };
+         { Agrid_churn.Event.at = tau / 2; kind = Agrid_churn.Event.Rejoin 1 };
+       ]);
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Agrid_obs.Export.summary_json ~total_seconds sink);
+  close_out oc;
+  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics)@."
+    (Agrid_obs.Sink.n_spans sink) (Agrid_obs.Sink.n_metrics sink)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let bechamel_suite config =
@@ -497,4 +533,5 @@ let () =
   ablation_robustness config;
   ablation_dynamic config;
   if not options.skip_bechamel then bechamel_suite config;
+  run_obs_profile config ~total_seconds:(Unix.gettimeofday () -. t0);
   Fmt.pr "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -4,6 +4,7 @@
      agrid tune      — (alpha, beta) weight search on one scenario
      agrid dynamic   — machine loss mid-run with on-the-fly rescheduling
      agrid churn     — scripted churn traces / Monte Carlo survivability
+     agrid prof      — profile the SLRH hot paths (spans, metrics, snapshots)
      agrid tables    — regenerate paper Tables 1-4
      agrid figure2   — regenerate the paper's delta-T sweep
      agrid ub        — upper-bound details for one scenario
@@ -86,6 +87,29 @@ let spec_of ~seed ~scale =
 let workload_of ~seed ~scale ~etc ~dag ~case =
   Workload.build (spec_of ~seed ~scale) ~etc_index:etc ~dag_index:dag ~case
 
+(* ---- telemetry plumbing shared by run / dynamic / churn / prof ---- *)
+
+let obs_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs" ] ~docv:"FILE"
+        ~doc:"Write telemetry (span timings, metrics, per-timestep snapshots) as JSONL (SLRH paths only).")
+
+(* An active sink when telemetry was requested, the inert no-op otherwise. *)
+let sink_for ?(stride = 1) = function
+  | None -> Agrid_obs.Sink.noop
+  | Some _ -> Agrid_obs.Sink.create ~stride ()
+
+let write_obs obs_file sink =
+  match obs_file with
+  | None -> ()
+  | Some path ->
+      Agrid_obs.Export.write_jsonl path sink;
+      Fmt.pr "obs: %d spans, %d metrics, %d snapshots -> %s@."
+        (Agrid_obs.Sink.n_spans sink) (Agrid_obs.Sink.n_metrics sink)
+        (Agrid_obs.Sink.n_snapshots sink) path
+
 (* ---- run ---- *)
 
 (* ASCII Gantt of a finished schedule: one lane per machine execution slot
@@ -127,13 +151,14 @@ let print_gantt schedule =
     (Agrid_report.Gantt.make ~title:"schedule (P primary, s secondary, x transfer)" lanes)
 
 let run_cmd =
-  let action seed scale case etc dag heuristic alpha beta delta_t horizon gantt trace_file =
+  let action seed scale case etc dag heuristic alpha beta delta_t horizon gantt trace_file obs_file =
     let workload = workload_of ~seed ~scale ~etc ~dag ~case in
     let weights = Objective.make_weights ~alpha ~beta in
     Fmt.pr "%a@." Workload.pp workload;
     let tracer =
       match trace_file with None -> None | Some _ -> Some (Trace.create ())
     in
+    let sink = sink_for obs_file in
     let schedule, wall =
       match heuristic with
       | (`Slrh1 | `Slrh2 | `Slrh3) as h ->
@@ -141,7 +166,13 @@ let run_cmd =
             match h with `Slrh1 -> Slrh.V1 | `Slrh2 -> Slrh.V2 | `Slrh3 -> Slrh.V3
           in
           let params =
-            { (Slrh.default_params ~variant weights) with Slrh.delta_t; horizon; tracer }
+            {
+              (Slrh.default_params ~variant weights) with
+              Slrh.delta_t;
+              horizon;
+              tracer;
+              obs = sink;
+            }
           in
           let o = Slrh.run params workload in
           Fmt.pr "%s: %a@." (Slrh.variant_to_string variant) Slrh.pp_outcome o;
@@ -179,6 +210,7 @@ let run_cmd =
         Agrid_report.Csv.write_file path ~header:Trace.csv_header (Trace.csv_rows t);
         Fmt.pr "trace: %a -> %s@." Trace.pp_summary (Trace.summarize t) path
     | _ -> ());
+    write_obs obs_file sink;
     if Validate.feasible r then 0 else 1
   in
   let gantt_t = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.") in
@@ -191,7 +223,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ heuristic_t $ alpha_t
-      $ beta_t $ delta_t_t $ horizon_t $ gantt_t $ trace_t)
+      $ beta_t $ delta_t_t $ horizon_t $ gantt_t $ trace_t $ obs_t)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Map one scenario with a chosen heuristic and validate the result.")
@@ -246,14 +278,17 @@ let tune_cmd =
 (* ---- dynamic ---- *)
 
 let dynamic_cmd =
-  let action seed scale etc dag alpha beta machine at_fraction =
+  let action seed scale etc dag alpha beta machine at_fraction obs_file =
     let workload = workload_of ~seed ~scale ~etc ~dag ~case:Agrid_platform.Grid.A in
     let weights = Objective.make_weights ~alpha ~beta in
     let at = int_of_float (float_of_int (Workload.tau workload) *. at_fraction) in
-    let o = Dynamic.run_with_loss (Slrh.default_params weights) workload { Dynamic.at; machine } in
+    let sink = sink_for obs_file in
+    let params = { (Slrh.default_params weights) with Slrh.obs = sink } in
+    let o = Dynamic.run_with_loss params workload { Dynamic.at; machine } in
     Fmt.pr "%a@." Dynamic.pp_outcome o;
     let r = Validate.check o.Dynamic.schedule in
     Fmt.pr "validation: %a@." Validate.pp_report r;
+    write_obs obs_file sink;
     if Validate.feasible r && o.Dynamic.ledger_energy_ok then 0 else 1
   in
   let machine_t =
@@ -264,7 +299,9 @@ let dynamic_cmd =
   in
   Cmd.v
     (Cmd.info "dynamic" ~doc:"Lose a machine mid-run and reschedule on-the-fly (extension).")
-    Term.(const action $ seed_t $ scale_t $ etc_t $ dag_t $ alpha_t $ beta_t $ machine_t $ at_t)
+    Term.(
+      const action $ seed_t $ scale_t $ etc_t $ dag_t $ alpha_t $ beta_t $ machine_t
+      $ at_t $ obs_t)
 
 (* ---- tables ---- *)
 
@@ -377,7 +414,7 @@ let import_cmd =
 (* ---- churn ---- *)
 
 let churn_cmd =
-  let action seed scale etc dag case alpha beta events mc intensities policy budget =
+  let action seed scale etc dag case alpha beta events mc intensities policy budget obs_file =
     let weights = Objective.make_weights ~alpha ~beta in
     let policy =
       Agrid_churn.Retry.make
@@ -397,7 +434,9 @@ let churn_cmd =
     | Some trace, None ->
         let workload = workload_of ~seed ~scale ~etc ~dag ~case in
         let events = Agrid_churn.Event.parse_trace trace in
-        let o = Dynamic.run_churn ~policy (Slrh.default_params weights) workload events in
+        let sink = sink_for obs_file in
+        let params = { (Slrh.default_params weights) with Slrh.obs = sink } in
+        let o = Dynamic.run_churn ~policy params workload events in
         Fmt.pr "trace: %s@." (Agrid_churn.Event.trace_to_string events);
         List.iter
           (fun a -> Fmt.pr "  %a@." Agrid_churn.Engine.pp_applied a)
@@ -405,12 +444,17 @@ let churn_cmd =
         Fmt.pr "%a@." Agrid_churn.Engine.pp_outcome o;
         let audit = Agrid_churn.Engine.audit o in
         List.iter (fun v -> Fmt.pr "audit: %s@." v) audit;
+        write_obs obs_file sink;
         if audit = [] && o.Agrid_churn.Engine.ledger_energy_ok then 0 else 1
     | None, Some n ->
         let open Agrid_exper in
         let config = config_of_options seed scale 1 1 in
-        let levels = Campaign.run ~weights ~policy ?intensities ~replicates:n ~seed config in
+        let sink = sink_for obs_file in
+        let levels =
+          Campaign.run ~obs:sink ~weights ~policy ?intensities ~replicates:n ~seed config
+        in
         Fmt.pr "%a@." Agrid_report.Table.pp (Campaign.table levels);
+        write_obs obs_file sink;
         0
   in
   let events_t =
@@ -469,7 +513,126 @@ let churn_cmd =
        ~doc:"Drive SLRH through a scripted churn trace, or run a Monte Carlo survivability campaign (extension).")
     Term.(
       const action $ seed_t $ scale_t $ etc_t $ dag_t $ case_t $ alpha_t $ beta_t
-      $ events_t $ mc_t $ intensities_t $ policy_t $ budget_t)
+      $ events_t $ mc_t $ intensities_t $ policy_t $ budget_t $ obs_t)
+
+(* ---- prof ---- *)
+
+let span_table sink =
+  Agrid_report.Table.make ~title:"span timings (wall seconds)"
+    ~columns:[ "span"; "count"; "total"; "mean"; "p50"; "p95"; "max" ]
+    ~rows:
+      (List.map
+         (fun (s : Agrid_obs.Span.stats) ->
+           [
+             s.Agrid_obs.Span.name;
+             string_of_int s.Agrid_obs.Span.count;
+             Fmt.str "%.4f" s.Agrid_obs.Span.total_s;
+             Fmt.str "%.6f" s.Agrid_obs.Span.mean_s;
+             Fmt.str "%.6f" s.Agrid_obs.Span.p50_s;
+             Fmt.str "%.6f" s.Agrid_obs.Span.p95_s;
+             Fmt.str "%.6f" s.Agrid_obs.Span.max_s;
+           ])
+         (Agrid_obs.Sink.span_stats sink))
+
+let metric_table sink =
+  Agrid_report.Table.make ~title:"metrics"
+    ~columns:[ "metric"; "kind"; "value" ]
+    ~rows:
+      (List.map
+         (fun (name, m) ->
+           match m with
+           | Agrid_obs.Registry.Counter c -> [ name; "counter"; string_of_int c ]
+           | Agrid_obs.Registry.Gauge g -> [ name; "gauge"; Fmt.str "%.4g" g ]
+           | Agrid_obs.Registry.Histogram h ->
+               [
+                 name;
+                 "histogram";
+                 Fmt.str "n=%d mean=%.4g p95=%.4g" (Agrid_obs.Hist.count h)
+                   (Agrid_obs.Hist.mean h)
+                   (Agrid_obs.Hist.quantile h 0.95);
+               ])
+         (Agrid_obs.Sink.metrics sink))
+
+let prof_cmd =
+  let action seed scale case etc dag heuristic alpha beta delta_t horizon events stride out csv =
+    let variant =
+      match heuristic with
+      | `Slrh1 -> Slrh.V1
+      | `Slrh2 -> Slrh.V2
+      | `Slrh3 -> Slrh.V3
+      | `Maxmax | `Minmin | `Lrnn | `Greedy | `Random ->
+          Fmt.epr "agrid prof: only the SLRH variants are instrumented@.";
+          exit 2
+    in
+    if stride <= 0 then begin
+      Fmt.epr "agrid prof: --stride must be positive@.";
+      exit 2
+    end;
+    let workload = workload_of ~seed ~scale ~etc ~dag ~case in
+    let weights = Objective.make_weights ~alpha ~beta in
+    let sink = Agrid_obs.Sink.create ~stride () in
+    let params =
+      { (Slrh.default_params ~variant weights) with Slrh.delta_t; horizon; obs = sink }
+    in
+    (match events with
+    | None ->
+        let o = Slrh.run params workload in
+        Fmt.pr "%s: %a@." (Slrh.variant_to_string variant) Slrh.pp_outcome o
+    | Some trace ->
+        let evs = Agrid_churn.Event.parse_trace trace in
+        let o = Dynamic.run_churn params workload evs in
+        Fmt.pr "trace: %s@." (Agrid_churn.Event.trace_to_string evs);
+        Fmt.pr "%a@." Agrid_churn.Engine.pp_outcome o);
+    Fmt.pr "%a@.@." Agrid_report.Table.pp (span_table sink);
+    Fmt.pr "%a@." Agrid_report.Table.pp (metric_table sink);
+    Fmt.pr "snapshots: %d retained (%d dropped), stride %d@."
+      (Agrid_obs.Sink.n_snapshots sink)
+      (Agrid_obs.Sink.snapshots_dropped sink)
+      stride;
+    (match out with
+    | None -> ()
+    | Some path ->
+        Agrid_obs.Export.write_jsonl path sink;
+        Fmt.pr "jsonl -> %s@." path);
+    (match csv with
+    | None -> ()
+    | Some prefix ->
+        let files = Agrid_obs.Export.write_csv_files ~prefix sink in
+        List.iter (fun f -> Fmt.pr "csv -> %s@." f) files);
+    0
+  in
+  let events_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"TRACE"
+          ~doc:"Profile a churn run over this scripted trace instead of a static run (same syntax as `agrid churn --events`).")
+  in
+  let stride_t =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "stride" ] ~docv:"N" ~doc:"Take a scheduler snapshot every N timesteps.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the full telemetry as JSONL.")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PREFIX"
+          ~doc:"Write <PREFIX>_metrics.csv, <PREFIX>_spans.csv and <PREFIX>_snapshots.csv.")
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:"Profile the SLRH hot paths: span timings, metrics and per-timestep snapshots (extension).")
+    Term.(
+      const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ heuristic_t $ alpha_t
+      $ beta_t $ delta_t_t $ horizon_t $ events_t $ stride_t $ out_t $ csv_t)
 
 (* ---- dot ---- *)
 
@@ -493,5 +656,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; tables_cmd; figure2_cmd; ub_cmd;
-            calibrate_cmd; export_cmd; import_cmd; dot_cmd ]))
+          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; prof_cmd; tables_cmd; figure2_cmd;
+            ub_cmd; calibrate_cmd; export_cmd; import_cmd; dot_cmd ]))

@@ -228,7 +228,7 @@ let apply_degrade st j factor =
      plans see the degraded link *)
   rebuild st ~keep:(fun _ -> true) ~keep_transfer:(fun _ -> true)
 
-let run ~policy ~runner workload events =
+let run ?(obs = Agrid_obs.Sink.noop) ~policy ~runner workload events =
   let m = Workload.n_machines workload in
   let n = Workload.n_tasks workload in
   let events = Event.sort events in
@@ -255,8 +255,10 @@ let run ~policy ~runner workload events =
   let applied = ref [] in
   let run_phase ?until () =
     let o, phase_clock =
-      runner ~start_clock:!clock ~until ~mask:st.up ~eligible st.sched
+      Agrid_obs.Sink.span obs "churn/phase" (fun () ->
+          runner ~start_clock:!clock ~until ~mask:st.up ~eligible st.sched)
     in
+    Agrid_obs.Sink.incr obs "churn/phases";
     fclock := phase_clock;
     phases :=
       { ph_from = !clock; ph_until = until; ph_up = Array.copy st.up; ph_outcome = o }
@@ -269,16 +271,29 @@ let run ~policy ~runner workload events =
         clock := ev.Event.at
       end;
       let ev_survivors, ev_discarded, ev_deferred, ev_failed, ev_sunk =
-        match ev.Event.kind with
-        | Event.Leave j ->
-            let s, d, held, failed, sunk = apply_leave st ~at:ev.Event.at j in
-            (s, d, held, failed, sunk)
-        | Event.Rejoin j -> (0, 0, 0, 0, apply_rejoin st j)
-        | Event.Battery_shock (j, f) -> (0, 0, 0, 0, apply_shock st j f)
-        | Event.Bandwidth_degrade (j, f) ->
-            apply_degrade st j f;
-            (0, 0, 0, 0, 0.)
+        Agrid_obs.Sink.span obs "churn/event" (fun () ->
+            match ev.Event.kind with
+            | Event.Leave j ->
+                let s, d, held, failed, sunk = apply_leave st ~at:ev.Event.at j in
+                (s, d, held, failed, sunk)
+            | Event.Rejoin j -> (0, 0, 0, 0, apply_rejoin st j)
+            | Event.Battery_shock (j, f) -> (0, 0, 0, 0, apply_shock st j f)
+            | Event.Bandwidth_degrade (j, f) ->
+                apply_degrade st j f;
+                (0, 0, 0, 0, 0.))
       in
+      if Agrid_obs.Sink.enabled obs then begin
+        Agrid_obs.Sink.incr obs "churn/events";
+        Agrid_obs.Sink.incr obs
+          (match ev.Event.kind with
+          | Event.Leave _ -> "churn/leaves"
+          | Event.Rejoin _ -> "churn/rejoins"
+          | Event.Battery_shock _ -> "churn/shocks"
+          | Event.Bandwidth_degrade _ -> "churn/degrades");
+        Agrid_obs.Sink.add obs "churn/discarded" ev_discarded;
+        Agrid_obs.Sink.add obs "churn/deferred" ev_deferred;
+        Agrid_obs.Sink.add obs "churn/failed" ev_failed
+      end;
       applied := { ev; ev_survivors; ev_discarded; ev_deferred; ev_failed; ev_sunk } :: !applied)
     events;
   run_phase ();
@@ -291,6 +306,11 @@ let run ~policy ~runner workload events =
     !ok
   in
   let count a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a in
+  if Agrid_obs.Sink.enabled obs then begin
+    Agrid_obs.Sink.set_gauge obs "churn/sunk_energy" st.sunk;
+    Agrid_obs.Sink.set_gauge obs "churn/shock_energy" st.shock;
+    Agrid_obs.Sink.set_gauge obs "churn/final_clock" (float_of_int final_clock)
+  end;
   {
     schedule = st.sched;
     workload = st.wl;

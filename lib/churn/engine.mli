@@ -75,6 +75,7 @@ type 'a outcome = {
 }
 
 val run :
+  ?obs:Agrid_obs.Sink.t ->
   policy:Retry.policy ->
   runner:'a runner ->
   Agrid_workload.Workload.t ->
@@ -83,6 +84,11 @@ val run :
 (** Run the full loop over the scripted trace (sorted internally; see
     {!Event.sort} for same-instant ordering). With an empty trace this is
     exactly one uninterrupted runner phase.
+
+    [?obs] (default: the inert no-op sink) times scheduler phases
+    (["churn/phase"]) and event application (["churn/event"]) and counts
+    events by kind plus discard/defer/fail totals; the run's sunk and
+    shock energy land as gauges. Telemetry never alters the outcome.
     @raise Invalid_argument on an inapplicable trace ({!Event.validate}). *)
 
 val audit : 'a outcome -> string list

@@ -48,7 +48,9 @@ let slrh_runner params ~start_clock ~until ~mask ~eligible sched =
   (o, o.Slrh.final_clock)
 
 let run_churn ?(policy = Retry.default) params workload events =
-  Engine.run ~policy ~runner:(slrh_runner params) workload events
+  (* the engine and the per-phase SLRH loop report into the same sink *)
+  Engine.run ~obs:params.Slrh.obs ~policy ~runner:(slrh_runner params) workload
+    events
 
 let run_with_loss params workload { at; machine = lost } =
   if at < 0 then invalid_arg "Dynamic.run_with_loss: negative loss time";

@@ -42,7 +42,15 @@ let feasible ?mode sched ~task ~machine =
   version_feasible ?mode sched ~task ~machine ~version:Version.Secondary
 
 (* The pool U for [machine]: ready (parents mapped), unmapped, and
-   energy-admissible tasks. *)
-let candidate_pool ?mode sched ~machine =
-  List.filter (fun task -> feasible ?mode sched ~task ~machine)
-    (Schedule.ready_unmapped sched)
+   energy-admissible tasks. Telemetry (admission counters under the
+   "feasibility/filter" span) is guarded on [Sink.enabled] so the no-op
+   path never pays the list-length walks. *)
+let candidate_pool ?mode ?(obs = Agrid_obs.Sink.noop) sched ~machine =
+  Agrid_obs.Sink.span obs "feasibility/filter" (fun () ->
+      let ready = Schedule.ready_unmapped sched in
+      let pool = List.filter (fun task -> feasible ?mode sched ~task ~machine) ready in
+      if Agrid_obs.Sink.enabled obs then begin
+        Agrid_obs.Sink.add obs "feasibility/checked" (List.length ready);
+        Agrid_obs.Sink.add obs "feasibility/admitted" (List.length pool)
+      end;
+      pool)

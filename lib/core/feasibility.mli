@@ -22,5 +22,8 @@ val version_feasible :
 val feasible : ?mode:mode -> Schedule.t -> task:int -> machine:int -> bool
 (** SLRH admissibility: the secondary version fits. *)
 
-val candidate_pool : ?mode:mode -> Schedule.t -> machine:int -> int list
-(** The pool U: ready, unmapped, energy-admissible tasks for a machine. *)
+val candidate_pool :
+  ?mode:mode -> ?obs:Agrid_obs.Sink.t -> Schedule.t -> machine:int -> int list
+(** The pool U: ready, unmapped, energy-admissible tasks for a machine.
+    [?obs] (default: inert) times the filter under ["feasibility/filter"]
+    and counts ["feasibility/checked"] / ["feasibility/admitted"]. *)

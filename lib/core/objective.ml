@@ -118,7 +118,13 @@ let estimate w sched ~task ~version ~machine ~now =
 (* Best version for a candidate under the objective: evaluate both and keep
    the maximiser (paper Section IV: "selected the version that maximised
    the value of the objective function"). *)
-let best_version w sched ~task ~machine ~now =
+let best_version ?(obs = Agrid_obs.Sink.noop) w sched ~task ~machine ~now =
+  Agrid_obs.Sink.add obs "objective/version_evals" 2;
   let ep = estimate w sched ~task ~version:Version.Primary ~machine ~now in
   let es = estimate w sched ~task ~version:Version.Secondary ~machine ~now in
   if ep >= es then (Version.Primary, ep) else (Version.Secondary, es)
+
+(* Histogram bucket bounds covering the objective's analytic range [-1, 1]
+   (the weights are nonnegative and sum to 1, and every term is
+   normalised), for score-distribution telemetry. *)
+let score_bounds = Agrid_obs.Hist.linear_bounds ~lo:(-1.) ~hi:1. ~n:40

@@ -51,5 +51,17 @@ val estimate :
     parents. *)
 
 val best_version :
-  weights -> Schedule.t -> task:int -> machine:int -> now:int -> Version.t * float
-(** Evaluate both versions, keep the maximiser (ties favour primary). *)
+  ?obs:Agrid_obs.Sink.t ->
+  weights ->
+  Schedule.t ->
+  task:int ->
+  machine:int ->
+  now:int ->
+  Version.t * float
+(** Evaluate both versions, keep the maximiser (ties favour primary).
+    [?obs] (default: inert) counts ["objective/version_evals"]. *)
+
+val score_bounds : float array
+(** Histogram bucket bounds spanning the objective's analytic range
+    [[-1, 1]], for score-distribution telemetry
+    ({!Agrid_obs.Hist.make}-compatible). *)

@@ -56,6 +56,10 @@ type params = {
   tracer : Trace.t option;
       (** record the paper's "historical record of all critical
           parameters" (one event per decision point) *)
+  obs : Agrid_obs.Sink.t;
+      (** telemetry sink for spans, counters and per-timestep snapshots;
+          the default no-op sink is provably inert — the scheduler's
+          output is bit-identical with or without it (tested) *)
 }
 
 let default_params ?(variant = V1) weights =
@@ -68,7 +72,12 @@ let default_params ?(variant = V1) weights =
     machine_order = Numerical;
     parallel_scoring = None;
     tracer = None;
+    obs = Agrid_obs.Sink.noop;
   }
+
+(* Pool sizes live well under a hundred for every workload here; linear
+   buckets of 4 keep the histogram readable. *)
+let pool_size_bounds = Agrid_obs.Hist.linear_bounds ~lo:0. ~hi:64. ~n:16
 
 (* Visit order of the machines for one timestep. Sorting keys are stable
    (ties fall back to the numerical order). *)
@@ -116,9 +125,16 @@ type outcome = {
    it can fan out over domains (the paper's parallel-hardware note); the
    sort ties break on task id either way, keeping results identical. *)
 let scored_pool params ~eligible sched ~machine ~now stats_candidates =
+  let obs = params.obs in
   let pool =
-    List.filter eligible (Feasibility.candidate_pool ~mode:params.feas_mode sched ~machine)
+    Agrid_obs.Sink.span obs "slrh/pool_build" (fun () ->
+        List.filter eligible
+          (Feasibility.candidate_pool ~mode:params.feas_mode ~obs sched ~machine))
   in
+  (* Scoring is pure, so the parallel path fans it out over domains. The
+     sink stays out of the workers (it is single-domain): version-eval
+     counts and score observations are recorded here, after the map, which
+     also keeps the metrics identical between the two paths. *)
   let score task =
     let version, score =
       Objective.best_version params.weights sched ~task ~machine ~now
@@ -127,11 +143,22 @@ let scored_pool params ~eligible sched ~machine ~now stats_candidates =
   in
   stats_candidates := !stats_candidates + List.length pool;
   let scored =
-    match params.parallel_scoring with
-    | Some domains when domains > 1 && List.length pool > 1 ->
-        Array.to_list (Agrid_par.Parallel.map ~domains score (Array.of_list pool))
-    | Some _ | None -> List.map score pool
+    Agrid_obs.Sink.span obs "slrh/score" (fun () ->
+        match params.parallel_scoring with
+        | Some domains when domains > 1 && List.length pool > 1 ->
+            Array.to_list (Agrid_par.Parallel.map ~domains score (Array.of_list pool))
+        | Some _ | None -> List.map score pool)
   in
+  if Agrid_obs.Sink.enabled obs then begin
+    let n = List.length pool in
+    Agrid_obs.Sink.observe obs "slrh/pool_size" ~bounds:pool_size_bounds
+      (float_of_int n);
+    Agrid_obs.Sink.add obs "objective/version_evals" (2 * n);
+    List.iter
+      (fun (_, _, s) ->
+        Agrid_obs.Sink.observe obs "slrh/score_value" ~bounds:Objective.score_bounds s)
+      scored
+  end;
   List.sort
     (fun (ta, _, a) (tb, _, b) ->
       let c = Float.compare b a in
@@ -142,6 +169,7 @@ let scored_pool params ~eligible sched ~machine ~now stats_candidates =
    whose start fits the horizon. Returns the committed task, if any, and
    traces the decision. *)
 let try_assign params sched ~machine ~now ~scored plans_attempted =
+  let obs = params.obs in
   let pool_size = List.length scored in
   let trace kind =
     match params.tracer with
@@ -150,14 +178,23 @@ let try_assign params sched ~machine ~now ~scored plans_attempted =
   in
   let rec walk = function
     | [] ->
-        if pool_size = 0 then trace Trace.Pool_empty
-        else trace (Trace.Horizon_miss { pool_size });
+        if pool_size = 0 then begin
+          Agrid_obs.Sink.incr obs "slrh/pool_empty";
+          trace Trace.Pool_empty
+        end
+        else begin
+          Agrid_obs.Sink.incr obs "slrh/horizon_miss";
+          trace (Trace.Horizon_miss { pool_size })
+        end;
         None
     | (task, version, score) :: rest ->
         if Schedule.is_mapped sched task then walk rest
         else begin
           incr plans_attempted;
-          let plan = Schedule.plan sched ~task ~version ~machine ~not_before:now in
+          let plan =
+            Agrid_obs.Sink.span obs "slrh/plan" (fun () ->
+                Schedule.plan sched ~task ~version ~machine ~not_before:now)
+          in
           if plan.Schedule.pl_start <= now + params.horizon then begin
             Schedule.commit sched plan;
             trace
@@ -209,6 +246,10 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
   let candidates_scored = ref 0 in
   let plans_attempted = ref 0 in
   let assignments = ref 0 in
+  let obs = params.obs in
+  (* snapshot deltas: pools/candidates since the previous sample *)
+  let snap_pools = ref 0 in
+  let snap_cands = ref 0 in
   let now = ref start_clock in
   while (not (Schedule.all_mapped sched)) && !now <= tau do
     incr clock_steps;
@@ -255,9 +296,33 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
       end;
       incr machine
     done;
+    let sampled =
+      Agrid_obs.Sink.tick_snapshot obs ~make:(fun () ->
+          {
+            Agrid_obs.Snapshot.clock = !now;
+            mapped = Schedule.n_mapped sched;
+            t100 = Schedule.n_primary sched;
+            pools_built = !pools_built - !snap_pools;
+            pool_candidates = !candidates_scored - !snap_cands;
+            energy = Array.init n_machines (Schedule.energy_remaining sched);
+          })
+    in
+    if sampled then begin
+      snap_pools := !pools_built;
+      snap_cands := !candidates_scored
+    end;
     if not (Schedule.all_mapped sched) then now := !now + params.delta_t
   done;
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  if Agrid_obs.Sink.enabled obs then begin
+    Agrid_obs.Sink.record_span obs "slrh/run" wall_seconds;
+    Agrid_obs.Sink.add obs "slrh/clock_steps" !clock_steps;
+    Agrid_obs.Sink.add obs "slrh/pools_built" !pools_built;
+    Agrid_obs.Sink.add obs "slrh/candidates_scored" !candidates_scored;
+    Agrid_obs.Sink.add obs "slrh/plans_attempted" !plans_attempted;
+    Agrid_obs.Sink.add obs "slrh/assignments" !assignments;
+    Agrid_obs.Sink.max_gauge obs "slrh/final_clock" (float_of_int !now)
+  end;
   {
     schedule = sched;
     completed = Schedule.all_mapped sched;

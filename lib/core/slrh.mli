@@ -34,6 +34,13 @@ type params = {
           SLRH "is amenable to a parallel hardware implementation");
           results are identical to the sequential path *)
   tracer : Trace.t option;  (** record one event per decision point *)
+  obs : Agrid_obs.Sink.t;
+      (** telemetry sink — spans over the hot paths ([slrh/run],
+          [slrh/pool_build], [slrh/score], [slrh/plan],
+          [feasibility/filter]), counters mirroring {!stats}, score and
+          pool-size histograms, and one {!Agrid_obs.Snapshot.t} per
+          timestep (stride-gated by the sink). The default no-op sink is
+          inert: scheduler output is bit-identical with or without it. *)
 }
 
 val default_params : ?variant:variant -> Objective.weights -> params

@@ -94,6 +94,57 @@ let csv_rows t =
          | Horizon_miss { pool_size } ->
              base @ [ "horizon_miss"; ""; ""; ""; ""; ""; string_of_int pool_size; "" ])
 
+(* Inverse of [csv_rows] (header excluded), for re-importing an exported
+   trace. Floats round-trip through the writer's %.6f, so scores and
+   energies are recovered to 1e-6, not bit-exactly. *)
+let of_csv_rows rows =
+  let t = create () in
+  let fail i msg = invalid_arg (Fmt.str "Trace.of_csv_rows: row %d: %s" i msg) in
+  let int_of i what s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail i (Fmt.str "bad %s %S" what s)
+  in
+  let float_of i what s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> fail i (Fmt.str "bad %s %S" what s)
+  in
+  List.iteri
+    (fun i row ->
+      match row with
+      | [ clock; machine; event; task; version; start; stop; score; pool_size;
+          energy_remaining ] ->
+          let clock = int_of i "clock" clock in
+          let machine = int_of i "machine" machine in
+          let kind =
+            match event with
+            | "assigned" ->
+                let version =
+                  match Version.of_string version with
+                  | Some v -> v
+                  | None -> fail i (Fmt.str "bad version %S" version)
+                in
+                Assigned
+                  {
+                    task = int_of i "task" task;
+                    version;
+                    start = int_of i "start" start;
+                    stop = int_of i "stop" stop;
+                    score = float_of i "score" score;
+                    pool_size = int_of i "pool_size" pool_size;
+                    energy_remaining = float_of i "energy_remaining" energy_remaining;
+                  }
+            | "pool_empty" -> Pool_empty
+            | "horizon_miss" ->
+                Horizon_miss { pool_size = int_of i "pool_size" pool_size }
+            | other -> fail i (Fmt.str "unknown event %S" other)
+          in
+          record t ~clock ~machine kind
+      | _ -> fail i (Fmt.str "expected %d fields, got %d" (List.length csv_header) (List.length row)))
+    rows;
+  t
+
 let pp_summary ppf s =
   Fmt.pf ppf
     "assigned=%d pool_empty=%d horizon_miss=%d mean_pool=%.1f span=%a..%a"

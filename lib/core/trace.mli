@@ -41,4 +41,12 @@ val pp_summary : Format.formatter -> summary -> unit
 
 val csv_header : string list
 val csv_rows : t -> string list list
-(** Pair with {!Agrid_report.Csv}. *)
+(** Pair with {!Agrid_report.Csv}. Every event kind exports: [assigned]
+    rows carry the full record, [pool_empty] a pool size of 0,
+    [horizon_miss] its pool size. *)
+
+val of_csv_rows : string list list -> t
+(** Inverse of {!csv_rows} (header excluded). Floats round-trip through
+    the writer's [%.6f], so scores and energies are recovered to 1e-6
+    rather than bit-exactly.
+    @raise Invalid_argument on a malformed row. *)

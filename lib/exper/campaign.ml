@@ -36,7 +36,8 @@ let rng_for ~seed ~level ~rep =
         (mul (of_int seed) 0x9E3779B97F4A7C15L)
         (add (mul (of_int level) 0xBF58476D1CE4E5B9L) (of_int (rep + 1))))
 
-let run ?(weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3)
+let run ?(obs = Agrid_obs.Sink.noop)
+    ?(weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3)
     ?(policy = Agrid_churn.Retry.default) ?(intensities = default_intensities)
     ?(replicates = 32) ?(down_fraction = 0.15) ~seed (config : Config.t) =
   if replicates <= 0 then invalid_arg "Campaign.run: nonpositive replicate count";
@@ -53,7 +54,16 @@ let run ?(weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3)
   in
   let tau = Workload.tau workload in
   let n_machines = Workload.n_machines workload in
+  (* Replicates run on worker domains, and a sink is single-domain: each
+     replicate records into a private sink returned with its result; the
+     calling domain merges them after the join (merging is associative and
+     commutative, so replicate order never matters). *)
   let one_replicate ~level ~intensity rep =
+    let rsink =
+      if Agrid_obs.Sink.enabled obs then Agrid_obs.Sink.create ~capacity:256 ()
+      else Agrid_obs.Sink.noop
+    in
+    let rparams = { params with Agrid_core.Slrh.obs = rsink } in
     let trace =
       if intensity = 0. then []
       else
@@ -62,24 +72,33 @@ let run ?(weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3)
           ~up_mean:(fun _ -> float_of_int tau /. intensity)
           ~down_mean:(fun _ -> down_fraction *. float_of_int tau)
     in
-    let o = Agrid_core.Dynamic.run_churn ~policy params workload trace in
+    let o =
+      Agrid_obs.Sink.span rsink "campaign/replicate" (fun () ->
+          Agrid_core.Dynamic.run_churn ~policy rparams workload trace)
+    in
     let sched = o.Agrid_churn.Engine.schedule in
     let completed = o.Agrid_churn.Engine.completed in
-    {
-      r_completed = completed;
-      r_deadline_miss = (not completed) || Agrid_sched.Schedule.aet sched > tau;
-      r_t100 = Agrid_sched.Schedule.n_primary sched;
-      r_sunk = o.Agrid_churn.Engine.sunk_energy;
-      r_events = List.length trace;
-      r_discards = o.Agrid_churn.Engine.n_discarded;
-    }
+    ( {
+        r_completed = completed;
+        r_deadline_miss = (not completed) || Agrid_sched.Schedule.aet sched > tau;
+        r_t100 = Agrid_sched.Schedule.n_primary sched;
+        r_sunk = o.Agrid_churn.Engine.sunk_energy;
+        r_events = List.length trace;
+        r_discards = o.Agrid_churn.Engine.n_discarded;
+      },
+      rsink )
   in
   List.mapi
     (fun level intensity ->
-      let results =
-        Agrid_par.Parallel.init ?domains:config.Config.domains replicates
-          (one_replicate ~level ~intensity)
+      let pairs =
+        Agrid_obs.Sink.span obs "campaign/level" (fun () ->
+            Agrid_par.Parallel.init ~obs ?domains:config.Config.domains
+              replicates
+              (one_replicate ~level ~intensity))
       in
+      Array.iter (fun (_, rsink) -> Agrid_obs.Sink.merge_into ~into:obs rsink) pairs;
+      Agrid_obs.Sink.add obs "campaign/replicates" replicates;
+      let results = Array.map fst pairs in
       let n = float_of_int replicates in
       let count f = Array.fold_left (fun acc r -> if f r then acc + 1 else acc) 0 results in
       let mean f = Array.fold_left (fun acc r -> acc +. f r) 0. results /. n in

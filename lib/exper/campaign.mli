@@ -26,6 +26,7 @@ val default_intensities : float list
 (** [0; 0.5; 1; 2; 4] expected leaves per machine. *)
 
 val run :
+  ?obs:Agrid_obs.Sink.t ->
   ?weights:Agrid_core.Objective.weights ->
   ?policy:Agrid_churn.Retry.policy ->
   ?intensities:float list ->
@@ -38,6 +39,12 @@ val run :
     (default 0.15) sets the mean outage length as a fraction of tau;
     intensity [x] gives mean up-time [tau / x] (intensity 0 is the static
     baseline: no events are sampled). [replicates] defaults to 32.
+
+    [?obs] (default: inert): each replicate records scheduler and engine
+    telemetry into a private sink on its worker domain; the calling domain
+    merges them all into [obs] after each level joins, and times levels
+    under the ["campaign/level"] span (replicate wall time lands under
+    ["campaign/replicate"]).
     @raise Invalid_argument on a nonpositive replicate count or negative
     intensity. *)
 

@@ -1,0 +1,230 @@
+(* Exporters: JSONL (one self-describing JSON object per line — the
+   machine-readable artefact `agrid run --obs` and `agrid prof` emit) and
+   CSV via Agrid_report.Csv for spreadsheet-side analysis. The JSON
+   emitter is hand-rolled: values are only strings, finite numbers,
+   arrays and flat objects, and nothing in this repository may depend on
+   an external JSON package. *)
+
+(* ---- minimal JSON emission ---- *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* NaN / infinity have no JSON representation; they export as null (the
+   only places they can appear are quantiles of empty histograms). *)
+let json_float x = if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
+
+type json =
+  | Str of string
+  | Int of int
+  | Flt of float
+  | Arr of json list
+
+let rec buf_add_json b = function
+  | Str s -> buf_add_json_string b s
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Flt x -> Buffer.add_string b (json_float x)
+  | Arr l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          buf_add_json b v)
+        l;
+      Buffer.add_char b ']'
+
+let obj fields =
+  let b = Buffer.create 128 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_add_json_string b k;
+      Buffer.add_char b ':';
+      buf_add_json b v)
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let floats a = Arr (List.map (fun x -> Flt x) (Array.to_list a))
+let ints a = Arr (List.map (fun x -> Int x) (Array.to_list a))
+
+(* ---- JSONL ---- *)
+
+let schema = "agrid-obs/1"
+
+let metric_line (name, m) =
+  match m with
+  | Registry.Counter c -> obj [ ("type", Str "counter"); ("name", Str name); ("value", Int c) ]
+  | Registry.Gauge g -> obj [ ("type", Str "gauge"); ("name", Str name); ("value", Flt g) ]
+  | Registry.Histogram h ->
+      obj
+        [
+          ("type", Str "histogram");
+          ("name", Str name);
+          ("count", Int (Hist.count h));
+          ("sum", Flt (Hist.sum h));
+          ("mean", Flt (Hist.mean h));
+          ("p50", Flt (Hist.quantile h 0.5));
+          ("p95", Flt (Hist.quantile h 0.95));
+          ("nan", Int (Hist.nan_count h));
+          ("bounds", floats (Hist.bounds h));
+          ("counts", ints (Hist.counts h));
+        ]
+
+let span_fields (s : Span.stats) =
+  [
+    ("name", Str s.Span.name);
+    ("count", Int s.Span.count);
+    ("total_s", Flt s.Span.total_s);
+    ("mean_s", Flt s.Span.mean_s);
+    ("p50_s", Flt s.Span.p50_s);
+    ("p95_s", Flt s.Span.p95_s);
+    ("min_s", Flt s.Span.min_s);
+    ("max_s", Flt s.Span.max_s);
+  ]
+
+let span_line s = obj (("type", Str "span") :: span_fields s)
+
+let snapshot_line (s : Snapshot.t) =
+  obj
+    [
+      ("type", Str "snapshot");
+      ("clock", Int s.Snapshot.clock);
+      ("mapped", Int s.Snapshot.mapped);
+      ("t100", Int s.Snapshot.t100);
+      ("pools_built", Int s.Snapshot.pools_built);
+      ("pool_candidates", Int s.Snapshot.pool_candidates);
+      ("energy", floats s.Snapshot.energy);
+    ]
+
+let jsonl_lines sink =
+  let meta =
+    obj
+      [
+        ("type", Str "meta");
+        ("schema", Str schema);
+        ("spans", Int (Sink.n_spans sink));
+        ("metrics", Int (Sink.n_metrics sink));
+        ("snapshots", Int (Sink.n_snapshots sink));
+        ("snapshots_dropped", Int (Sink.snapshots_dropped sink));
+      ]
+  in
+  (meta :: List.map metric_line (Sink.metrics sink))
+  @ List.map span_line (Sink.span_stats sink)
+  @ List.map snapshot_line (Sink.snapshots sink)
+
+let to_jsonl sink = String.concat "\n" (jsonl_lines sink) ^ "\n"
+
+let write_jsonl path sink =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl sink))
+
+(* ---- one-document JSON summary (BENCH_obs.json) ---- *)
+
+let summary_json ?total_seconds sink =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": ";
+  buf_add_json_string b "agrid-bench-obs/1";
+  (match total_seconds with
+  | Some t ->
+      Buffer.add_string b ",\n  \"total_seconds\": ";
+      Buffer.add_string b (json_float t)
+  | None -> ());
+  Buffer.add_string b ",\n  \"spans\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "    ";
+      Buffer.add_string b (obj (span_fields s)))
+    (Sink.span_stats sink);
+  Buffer.add_string b "\n  ],\n  \"counters\": {";
+  let first = ref true in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Registry.Counter c ->
+          if not !first then Buffer.add_char b ',';
+          first := false;
+          Buffer.add_string b "\n    ";
+          buf_add_json_string b name;
+          Buffer.add_string b ": ";
+          Buffer.add_string b (string_of_int c)
+      | Registry.Gauge _ | Registry.Histogram _ -> ())
+    (Sink.metrics sink);
+  Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+(* ---- CSV via Agrid_report.Csv ---- *)
+
+let metrics_csv_header = [ "name"; "kind"; "value"; "count"; "sum"; "mean" ]
+
+let metrics_csv_rows sink =
+  List.map
+    (fun (name, m) ->
+      match m with
+      | Registry.Counter c -> [ name; "counter"; string_of_int c; ""; ""; "" ]
+      | Registry.Gauge g -> [ name; "gauge"; Fmt.str "%.9g" g; ""; ""; "" ]
+      | Registry.Histogram h ->
+          [
+            name; "histogram"; ""; string_of_int (Hist.count h);
+            Fmt.str "%.9g" (Hist.sum h); Fmt.str "%.9g" (Hist.mean h);
+          ])
+    (Sink.metrics sink)
+
+let spans_csv_header =
+  [ "name"; "count"; "total_s"; "mean_s"; "p50_s"; "p95_s"; "min_s"; "max_s" ]
+
+let spans_csv_rows sink =
+  List.map
+    (fun (s : Span.stats) ->
+      [
+        s.Span.name; string_of_int s.Span.count; Fmt.str "%.9g" s.Span.total_s;
+        Fmt.str "%.9g" s.Span.mean_s; Fmt.str "%.9g" s.Span.p50_s;
+        Fmt.str "%.9g" s.Span.p95_s; Fmt.str "%.9g" s.Span.min_s;
+        Fmt.str "%.9g" s.Span.max_s;
+      ])
+    (Sink.span_stats sink)
+
+let snapshots_csv_header =
+  [ "clock"; "mapped"; "t100"; "pools_built"; "pool_candidates"; "energy" ]
+
+let snapshots_csv_rows sink =
+  List.map
+    (fun (s : Snapshot.t) ->
+      [
+        string_of_int s.Snapshot.clock; string_of_int s.Snapshot.mapped;
+        string_of_int s.Snapshot.t100; string_of_int s.Snapshot.pools_built;
+        string_of_int s.Snapshot.pool_candidates;
+        String.concat ";"
+          (List.map (Fmt.str "%.6g") (Array.to_list s.Snapshot.energy));
+      ])
+    (Sink.snapshots sink)
+
+let write_csv_files ~prefix sink =
+  let files =
+    [
+      (prefix ^ "_metrics.csv", metrics_csv_header, metrics_csv_rows sink);
+      (prefix ^ "_spans.csv", spans_csv_header, spans_csv_rows sink);
+      (prefix ^ "_snapshots.csv", snapshots_csv_header, snapshots_csv_rows sink);
+    ]
+  in
+  List.iter
+    (fun (path, header, rows) -> Agrid_report.Csv.write_file path ~header rows)
+    files;
+  List.map (fun (path, _, _) -> path) files

@@ -1,0 +1,106 @@
+(* Named-metric registry: counters, gauges and fixed-bucket histograms
+   under slash-separated names ("slrh/assignments"). Registries merge —
+   counters add, gauges keep the maximum, histograms add bucket-wise — and
+   the merge is associative and commutative (tested), so parallel workers
+   can each fill a private registry with no locks and the results fold in
+   any grouping after the join. *)
+
+type metric =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Hist.t
+
+(* Internal mutable cells; [metric] above is the read-only view. *)
+type cell =
+  | C of { mutable c : int }
+  | G of { mutable g : float }
+  | H of Hist.t
+
+type t = { cells : (string, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 32 }
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let kind_error name cell want =
+  invalid_arg (Fmt.str "Registry: %s is a %s, not a %s" name (kind_name cell) want)
+
+let add t name by =
+  match Hashtbl.find_opt t.cells name with
+  | Some (C r) -> r.c <- r.c + by
+  | Some cell -> kind_error name cell "counter"
+  | None -> Hashtbl.add t.cells name (C { c = by })
+
+let incr t name = add t name 1
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.cells name with
+  | Some (G r) -> r.g <- v
+  | Some cell -> kind_error name cell "gauge"
+  | None -> Hashtbl.add t.cells name (G { g = v })
+
+let max_gauge t name v =
+  match Hashtbl.find_opt t.cells name with
+  | Some (G r) -> r.g <- Float.max r.g v
+  | Some cell -> kind_error name cell "gauge"
+  | None -> Hashtbl.add t.cells name (G { g = v })
+
+(* [bounds] applies on first observation only; the histogram's buckets are
+   fixed from then on (checking equality per call would put an O(buckets)
+   scan on the hot path). *)
+let observe t name ~bounds x =
+  match Hashtbl.find_opt t.cells name with
+  | Some (H h) -> Hist.observe h x
+  | Some cell -> kind_error name cell "histogram"
+  | None ->
+      let h = Hist.make ~bounds in
+      Hist.observe h x;
+      Hashtbl.add t.cells name (H h)
+
+let find t name =
+  match Hashtbl.find_opt t.cells name with
+  | None -> None
+  | Some (C r) -> Some (Counter r.c)
+  | Some (G r) -> Some (Gauge r.g)
+  | Some (H h) -> Some (Histogram h)
+
+let cardinal t = Hashtbl.length t.cells
+
+(* Name-sorted association list — the deterministic view every exporter
+   and comparison uses. Histograms are exposed live (not copied). *)
+let to_alist t =
+  Hashtbl.fold
+    (fun name cell acc ->
+      let m =
+        match cell with C r -> Counter r.c | G r -> Gauge r.g | H h -> Histogram h
+      in
+      (name, m) :: acc)
+    t.cells []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let fold f t init =
+  List.fold_left (fun acc (name, m) -> f name m acc) init (to_alist t)
+
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun name cell ->
+      match (Hashtbl.find_opt into.cells name, cell) with
+      | None, C r -> Hashtbl.add into.cells name (C { c = r.c })
+      | None, G r -> Hashtbl.add into.cells name (G { g = r.g })
+      | None, H h -> Hashtbl.add into.cells name (H (Hist.copy h))
+      | Some (C d), C s -> d.c <- d.c + s.c
+      | Some (G d), G s -> d.g <- Float.max d.g s.g
+      | Some (H d), H s -> Hist.merge_into ~into:d s
+      | Some d, s ->
+          invalid_arg
+            (Fmt.str "Registry.merge_into: %s is a %s here, a %s there" name
+               (kind_name d) (kind_name s)))
+    src.cells
+
+let pp_metric ppf = function
+  | Counter c -> Fmt.pf ppf "%d" c
+  | Gauge g -> Fmt.pf ppf "%.6g" g
+  | Histogram h -> Hist.pp ppf h
+
+let pp ppf t =
+  List.iter (fun (name, m) -> Fmt.pf ppf "%s = %a@." name pp_metric m) (to_alist t)

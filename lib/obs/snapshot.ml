@@ -1,0 +1,59 @@
+(* Per-cycle scheduler snapshots — the paper's "historical record of all
+   critical parameters" (Section IV) as a time series rather than per-
+   decision events (that is Agrid_core.Trace's job). One record per sampled
+   timestep: clock, mapping progress, T100 so far, per-machine energy
+   remaining, and the cycle's pool activity. Records live in a bounded
+   ring so a long run keeps the most recent window at fixed memory. *)
+
+type t = {
+  clock : int;
+  mapped : int;  (** subtasks mapped so far *)
+  t100 : int;  (** primary versions mapped so far *)
+  pools_built : int;  (** candidate pools built since the last snapshot *)
+  pool_candidates : int;  (** candidates across those pools *)
+  energy : float array;  (** per-machine energy remaining *)
+}
+
+let pp ppf s =
+  Fmt.pf ppf "clock=%d mapped=%d t100=%d pools=%d candidates=%d energy=[%a]" s.clock
+    s.mapped s.t100 s.pools_built s.pool_candidates
+    Fmt.(array ~sep:(any ";") (fmt "%.2f"))
+    s.energy
+
+(* Bounded ring buffer: pushes beyond [capacity] overwrite the oldest
+   entry; [to_list] replays the retained window oldest-first. *)
+module Ring = struct
+  type 'a t = {
+    slots : 'a option array;
+    mutable next : int;  (* slot the next push writes *)
+    mutable len : int;  (* retained entries, <= capacity *)
+    mutable pushed : int;  (* lifetime pushes, for drop accounting *)
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+    { slots = Array.make capacity None; next = 0; len = 0; pushed = 0 }
+
+  let capacity r = Array.length r.slots
+
+  let push r x =
+    let cap = capacity r in
+    r.slots.(r.next) <- Some x;
+    r.next <- (r.next + 1) mod cap;
+    if r.len < cap then r.len <- r.len + 1;
+    r.pushed <- r.pushed + 1
+
+  let length r = r.len
+  let pushed r = r.pushed
+  let dropped r = r.pushed - r.len
+
+  let to_list r =
+    let cap = capacity r in
+    let start = (r.next - r.len + cap) mod cap in
+    List.init r.len (fun i ->
+        match r.slots.((start + i) mod cap) with
+        | Some x -> x
+        | None -> assert false (* len counts filled slots *))
+
+  let iter f r = List.iter f (to_list r)
+end

@@ -1,0 +1,37 @@
+(** Per-cycle scheduler snapshots — the paper's "historical record of all
+    critical parameters" (Section IV) as a sampled time series (the
+    per-decision log is [Agrid_core.Trace]). Stored in a bounded ring so a
+    long run retains the most recent window at fixed memory. *)
+
+type t = {
+  clock : int;
+  mapped : int;  (** subtasks mapped so far *)
+  t100 : int;  (** primary versions mapped so far *)
+  pools_built : int;  (** candidate pools built since the last snapshot *)
+  pool_candidates : int;  (** candidates across those pools *)
+  energy : float array;  (** per-machine energy remaining *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** Bounded ring buffer; pushes beyond capacity overwrite the oldest
+    entry. *)
+module Ring : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** @raise Invalid_argument on a nonpositive capacity. *)
+
+  val push : 'a t -> 'a -> unit
+  val capacity : 'a t -> int
+  val length : 'a t -> int
+  val pushed : 'a t -> int
+  (** Lifetime pushes, retained or not. *)
+
+  val dropped : 'a t -> int
+
+  val to_list : 'a t -> 'a list
+  (** Retained window, oldest first. *)
+
+  val iter : ('a -> unit) -> 'a t -> unit
+end

@@ -1,0 +1,95 @@
+(* Span profiler: named wall-clock sections ("slrh/pool_build") aggregated
+   in place — count, total, min, max and a log-bucket histogram of
+   durations for percentile estimates. Nothing is recorded per invocation
+   beyond the aggregate update, so profiling a hot path costs two clock
+   reads and one histogram insert per call. *)
+
+type agg = {
+  mutable count : int;
+  mutable total_s : float;
+  mutable min_s : float;
+  mutable max_s : float;
+  hist : Hist.t;
+}
+
+type t = (string, agg) Hashtbl.t
+
+(* 1 us .. ~2.3 min in 27 doubling buckets: spans here range from a single
+   feasibility filter (~us) to a full campaign level (~minutes). *)
+let duration_bounds = Hist.exponential_bounds ~lo:1e-6 ~factor:2.0 ~n:27
+
+let create () : t = Hashtbl.create 16
+
+let agg_for (t : t) name =
+  match Hashtbl.find_opt t name with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          count = 0;
+          total_s = 0.;
+          min_s = Float.infinity;
+          max_s = Float.neg_infinity;
+          hist = Hist.make ~bounds:duration_bounds;
+        }
+      in
+      Hashtbl.add t name a;
+      a
+
+let record t name seconds =
+  let a = agg_for t name in
+  a.count <- a.count + 1;
+  a.total_s <- a.total_s +. seconds;
+  if seconds < a.min_s then a.min_s <- seconds;
+  if seconds > a.max_s then a.max_s <- seconds;
+  Hist.observe a.hist seconds
+
+(* The duration is recorded even when [f] raises: a span that dies half-way
+   through still spent the time. *)
+let time t name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record t name (Unix.gettimeofday () -. t0)) f
+
+type stats = {
+  name : string;
+  count : int;
+  total_s : float;
+  mean_s : float;
+  p50_s : float;
+  p95_s : float;
+  min_s : float;
+  max_s : float;
+}
+
+let stats_of name (a : agg) =
+  {
+    name;
+    count = a.count;
+    total_s = a.total_s;
+    mean_s = (if a.count = 0 then Float.nan else a.total_s /. float_of_int a.count);
+    p50_s = Hist.quantile a.hist 0.5;
+    p95_s = Hist.quantile a.hist 0.95;
+    min_s = a.min_s;
+    max_s = a.max_s;
+  }
+
+let stats (t : t) =
+  Hashtbl.fold (fun name a acc -> stats_of name a :: acc) t []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let cardinal (t : t) = Hashtbl.length t
+
+let merge_into ~(into : t) (src : t) =
+  Hashtbl.iter
+    (fun name (s : agg) ->
+      let d = agg_for into name in
+      d.count <- d.count + s.count;
+      d.total_s <- d.total_s +. s.total_s;
+      if s.min_s < d.min_s then d.min_s <- s.min_s;
+      if s.max_s > d.max_s then d.max_s <- s.max_s;
+      Hist.merge_into ~into:d.hist s.hist)
+    src
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%-24s n=%-6d total=%.4fs mean=%.6fs p50=%.6fs p95=%.6fs" s.name s.count
+    s.total_s s.mean_s s.p50_s s.p95_s

@@ -1,0 +1,37 @@
+(** Span profiler: named wall-clock sections aggregated in place — count,
+    total, min, max, plus a log-bucket duration histogram for percentile
+    estimates. Per-invocation cost is two clock reads and one histogram
+    insert; nothing is allocated per call after a name's first use. *)
+
+type t
+
+val create : unit -> t
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk and record its wall-clock duration under the name. The
+    duration is recorded even when the thunk raises. *)
+
+val record : t -> string -> float -> unit
+(** Record an externally measured duration (seconds). *)
+
+type stats = {
+  name : string;
+  count : int;
+  total_s : float;
+  mean_s : float;
+  p50_s : float;  (** histogram estimate; see {!Hist.quantile} *)
+  p95_s : float;
+  min_s : float;
+  max_s : float;
+}
+
+val stats : t -> stats list
+(** Name-sorted. *)
+
+val cardinal : t -> int
+
+val merge_into : into:t -> t -> unit
+(** Aggregate-wise merge (associative, commutative) for per-domain span
+    tables. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -6,7 +6,11 @@
    counter (dynamic scheduling — scenario runtimes vary by an order of
    magnitude, so static chunking would leave domains idle), does a share of
    the work on the calling domain too, then joins everything. Domain spawn
-   costs microseconds; the work items here are milliseconds to seconds. *)
+   costs microseconds; the work items here are milliseconds to seconds.
+
+   Telemetry ([?obs]) is recorded on the calling domain only — before the
+   spawn and after the join — so the sink needs no synchronisation and the
+   workers never observe it. *)
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
@@ -37,28 +41,40 @@ let run_workers ~domains ~n work =
   List.iter Domain.join spawned;
   match Atomic.get failure with None -> () | Some e -> raise (Worker_failure e)
 
-let map ?domains f arr =
+let note_fanout obs ~n ~domains =
+  if Agrid_obs.Sink.enabled obs then begin
+    Agrid_obs.Sink.add obs "par/items" n;
+    Agrid_obs.Sink.incr obs "par/calls";
+    Agrid_obs.Sink.max_gauge obs "par/domains" (float_of_int domains)
+  end
+
+let map ?(obs = Agrid_obs.Sink.noop) ?domains f arr =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let n = Array.length arr in
   if n = 0 then [||]
-  else if domains = 1 || n = 1 then Array.map f arr
+  else if domains = 1 || n = 1 then begin
+    note_fanout obs ~n ~domains:1;
+    Agrid_obs.Sink.span obs "par/map" (fun () -> Array.map f arr)
+  end
   else begin
-    let out = Array.make n None in
-    run_workers ~domains ~n (fun i -> out.(i) <- Some (f arr.(i)));
-    Array.map
-      (function Some v -> v | None -> assert false (* every index was processed *))
-      out
+    note_fanout obs ~n ~domains;
+    Agrid_obs.Sink.span obs "par/map" (fun () ->
+        let out = Array.make n None in
+        run_workers ~domains ~n (fun i -> out.(i) <- Some (f arr.(i)));
+        Array.map
+          (function Some v -> v | None -> assert false (* every index was processed *))
+          out)
   end
 
-let mapi ?domains f arr =
+let mapi ?obs ?domains f arr =
   let indexed = Array.mapi (fun i x -> (i, x)) arr in
-  map ?domains (fun (i, x) -> f i x) indexed
+  map ?obs ?domains (fun (i, x) -> f i x) indexed
 
-let iter ?domains f arr = ignore (map ?domains (fun x -> f x; ()) arr)
+let iter ?obs ?domains f arr = ignore (map ?obs ?domains (fun x -> f x; ()) arr)
 
-let init ?domains n f = map ?domains f (Array.init n Fun.id)
+let init ?obs ?domains n f = map ?obs ?domains f (Array.init n Fun.id)
 
 (* Map then sequential fold — the reduce is cheap in every use here
    (summaries over a few hundred results). *)
-let map_reduce ?domains ~map:f ~fold ~init:acc0 arr =
-  Array.fold_left fold acc0 (map ?domains f arr)
+let map_reduce ?obs ?domains ~map:f ~fold ~init:acc0 arr =
+  Array.fold_left fold acc0 (map ?obs ?domains f arr)

@@ -3,7 +3,13 @@
     available in this environment.
 
     [?domains] caps the total number of domains used, including the calling
-    one; the default is [Domain.recommended_domain_count ()]. *)
+    one; the default is [Domain.recommended_domain_count ()].
+
+    [?obs] (default: the inert {!Agrid_obs.Sink.noop}) times each call
+    under the span ["par/map"] and counts fan-out (["par/items"],
+    ["par/calls"], high-water gauge ["par/domains"]) — recorded on the
+    calling domain only, never inside workers, so any sink is safe to
+    pass. *)
 
 exception Worker_failure of exn
 (** Wraps the first exception raised by any worker; raised only after all
@@ -11,12 +17,13 @@ exception Worker_failure of exn
 
 val default_domains : unit -> int
 
-val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
-val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
-val iter : ?domains:int -> ('a -> unit) -> 'a array -> unit
-val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+val map : ?obs:Agrid_obs.Sink.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val mapi : ?obs:Agrid_obs.Sink.t -> ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val iter : ?obs:Agrid_obs.Sink.t -> ?domains:int -> ('a -> unit) -> 'a array -> unit
+val init : ?obs:Agrid_obs.Sink.t -> ?domains:int -> int -> (int -> 'a) -> 'a array
 
 val map_reduce :
+  ?obs:Agrid_obs.Sink.t ->
   ?domains:int ->
   map:('a -> 'b) ->
   fold:('c -> 'b -> 'c) ->

@@ -12,6 +12,11 @@ let is_primary = function Primary -> true | Secondary -> false
 
 let to_string = function Primary -> "primary" | Secondary -> "secondary"
 
+let of_string = function
+  | "primary" -> Some Primary
+  | "secondary" -> Some Secondary
+  | _ -> None
+
 let pp ppf v = Fmt.string ppf (to_string v)
 
 let equal a b =

@@ -8,6 +8,10 @@ type t = Primary | Secondary
 val all : t list
 val is_primary : t -> bool
 val to_string : t -> string
+
+(** Inverse of {!to_string}: ["primary"] / ["secondary"], [None]
+    otherwise. *)
+val of_string : string -> t option
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 val compare : t -> t -> int

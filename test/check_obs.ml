@@ -1,0 +1,57 @@
+(* Standalone validator for an --obs JSONL file, run by CI after
+   `agrid run --obs`. Checks the structural contract without a JSON
+   dependency: every line is a JSON object carrying a "type" field, the
+   first line is the meta record with the expected schema, and the file
+   holds at least 3 span aggregates, 5 metrics and 1 snapshot (the
+   acceptance floor for an instrumented run). Exits nonzero with a
+   diagnostic on any violation. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("check_obs: " ^ msg); exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: check_obs FILE.jsonl";
+        exit 2
+  in
+  let ic = try open_in path with Sys_error e -> fail "%s" e in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev (List.filter (fun l -> String.trim l <> "") !lines) in
+  if lines = [] then fail "%s is empty" path;
+  List.iteri
+    (fun i l ->
+      let n = String.length l in
+      if n < 2 || l.[0] <> '{' || l.[n - 1] <> '}' then
+        fail "line %d is not a JSON object: %s" (i + 1) l;
+      if not (contains l "\"type\":") then fail "line %d has no \"type\" field" (i + 1))
+    lines;
+  (match lines with
+  | meta :: _ ->
+      if not (contains meta "\"type\":\"meta\"") then
+        fail "first line is not the meta record";
+      if not (contains meta "\"schema\":\"agrid-obs/1\"") then
+        fail "meta line lacks schema agrid-obs/1"
+  | [] -> assert false);
+  let count tag =
+    List.length (List.filter (fun l -> contains l (Printf.sprintf "\"type\":\"%s\"" tag)) lines)
+  in
+  let spans = count "span" in
+  let metrics = count "counter" + count "gauge" + count "histogram" in
+  let snapshots = count "snapshot" in
+  if spans < 3 then fail "expected >= 3 spans, found %d" spans;
+  if metrics < 5 then fail "expected >= 5 metrics, found %d" metrics;
+  if snapshots < 1 then fail "expected >= 1 snapshot, found %d" snapshots;
+  Printf.printf "check_obs: %s ok (%d lines, %d spans, %d metrics, %d snapshots)\n"
+    path (List.length lines) spans metrics snapshots

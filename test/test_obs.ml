@@ -1,0 +1,354 @@
+(* Tests for the telemetry subsystem (lib/obs): histogram edge cases,
+   registry merge algebra, ring wraparound, span exception safety, sink
+   stride gating, JSONL export shape — and the load-bearing guarantee that
+   instrumentation is inert: scheduler output is bit-identical with an
+   active sink and with the no-op sink. *)
+
+open Agrid_obs
+
+(* ---- hist ---- *)
+
+let test_hist_buckets () =
+  let h = Hist.make ~bounds:[| 1.; 2.; 4. |] in
+  List.iter (Hist.observe h) [ 0.5; 1.5; 3.0; 3.9 ];
+  Alcotest.(check (array int)) "bucket counts" [| 1; 1; 2; 0 |] (Hist.counts h);
+  Alcotest.(check int) "count" 4 (Hist.count h);
+  Testlib.close "sum" 8.9 (Hist.sum h)
+
+let test_hist_underflow_overflow () =
+  let h = Hist.make ~bounds:[| 1.; 2. |] in
+  Hist.observe h (-5.);
+  Hist.observe h 2.;
+  Hist.observe h 1e9;
+  (* below the first bound -> bucket 0; at/above the last bound -> the
+     overflow bucket *)
+  Alcotest.(check (array int)) "under/overflow" [| 1; 0; 2 |] (Hist.counts h);
+  Alcotest.(check int) "count includes extremes" 3 (Hist.count h)
+
+let test_hist_nan_quarantined () =
+  let h = Hist.make ~bounds:[| 1.; 2. |] in
+  Hist.observe h Float.nan;
+  Hist.observe h 1.5;
+  Alcotest.(check int) "nan not counted" 1 (Hist.count h);
+  Alcotest.(check int) "nan quarantined" 1 (Hist.nan_count h);
+  Testlib.close "sum untouched by nan" 1.5 (Hist.sum h)
+
+let test_hist_quantile_empty_and_order () =
+  let h = Hist.make ~bounds:[| 1.; 2.; 4.; 8. |] in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Hist.quantile h 0.5));
+  for i = 1 to 100 do
+    Hist.observe h (float_of_int i /. 100. *. 7.)
+  done;
+  let p10 = Hist.quantile h 0.1 and p50 = Hist.quantile h 0.5 and p95 = Hist.quantile h 0.95 in
+  Alcotest.(check bool) "quantiles ordered" true (p10 <= p50 && p50 <= p95);
+  Alcotest.(check bool) "p95 within range" true (p95 <= 8.)
+
+let test_hist_invalid_bounds () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Hist.make: bounds must be strictly increasing")
+    (fun () -> ignore (Hist.make ~bounds:[| 2.; 1. |]))
+
+let test_hist_merge_bounds_mismatch () =
+  let a = Hist.make ~bounds:[| 1.; 2. |] in
+  let b = Hist.make ~bounds:[| 1.; 3. |] in
+  Alcotest.(check bool) "merge with other bounds raises" true
+    (try
+       Hist.merge_into ~into:a b;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- registry merge algebra ---- *)
+
+let metric_repr (name, m) =
+  match m with
+  | Registry.Counter c -> (name, "c", float_of_int c, [])
+  | Registry.Gauge g -> (name, "g", g, [])
+  | Registry.Histogram h ->
+      (name, "h", Hist.sum h, Array.to_list (Hist.counts h))
+
+let registry_repr r = List.map metric_repr (Registry.to_alist r)
+let registry_repr_of_sink s = List.map metric_repr (Sink.metrics s)
+
+let sample_registry ~counter ~gauge ~obs_list () =
+  let r = Registry.create () in
+  Registry.add r "n" counter;
+  Registry.set_gauge r "g" gauge;
+  List.iter (Registry.observe r "h" ~bounds:[| 1.; 10. |]) obs_list;
+  r
+
+let test_registry_merge_commutative () =
+  let spec1 = (3, 5., [ 0.5; 2. ]) and spec2 = (4, 9., [ 20. ]) in
+  let build (c, g, o) = sample_registry ~counter:c ~gauge:g ~obs_list:o () in
+  let ab = build spec1 in
+  Registry.merge_into ~into:ab (build spec2);
+  let ba = build spec2 in
+  Registry.merge_into ~into:ba (build spec1);
+  Alcotest.(check bool) "a+b = b+a" true (registry_repr ab = registry_repr ba);
+  (match Registry.find ab "n" with
+  | Some (Registry.Counter c) -> Alcotest.(check int) "counters add" 7 c
+  | _ -> Alcotest.fail "counter missing");
+  match Registry.find ab "g" with
+  | Some (Registry.Gauge g) -> Testlib.close "gauges max-merge" 9. g
+  | _ -> Alcotest.fail "gauge missing"
+
+let test_registry_merge_associative () =
+  let specs = [ (1, 2., [ 0.1 ]); (10, 1., [ 5.; 50. ]); (100, 7., []) ] in
+  let build (c, g, o) = sample_registry ~counter:c ~gauge:g ~obs_list:o () in
+  let left =
+    match List.map build specs with
+    | [ a; b; c ] ->
+        Registry.merge_into ~into:a b;
+        Registry.merge_into ~into:a c;
+        a
+    | _ -> assert false
+  in
+  let right =
+    match List.map build specs with
+    | [ a; b; c ] ->
+        Registry.merge_into ~into:b c;
+        Registry.merge_into ~into:a b;
+        a
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "(a+b)+c = a+(b+c)" true (registry_repr left = registry_repr right)
+
+let test_registry_kind_mismatch () =
+  let r = Registry.create () in
+  Registry.incr r "x";
+  Alcotest.(check bool) "gauge write to counter raises" true
+    (try
+       Registry.set_gauge r "x" 1.;
+       false
+     with Invalid_argument _ -> true);
+  let other = Registry.create () in
+  Registry.set_gauge other "x" 1.;
+  Alcotest.(check bool) "merge kind clash raises" true
+    (try
+       Registry.merge_into ~into:r other;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- snapshot ring ---- *)
+
+let test_ring_wraparound () =
+  let r = Snapshot.Ring.create ~capacity:4 in
+  for i = 0 to 9 do
+    Snapshot.Ring.push r i
+  done;
+  Alcotest.(check int) "length capped" 4 (Snapshot.Ring.length r);
+  Alcotest.(check int) "pushed counts all" 10 (Snapshot.Ring.pushed r);
+  Alcotest.(check int) "dropped" 6 (Snapshot.Ring.dropped r);
+  Alcotest.(check (list int)) "oldest first, newest kept" [ 6; 7; 8; 9 ]
+    (Snapshot.Ring.to_list r)
+
+let test_ring_partial_fill () =
+  let r = Snapshot.Ring.create ~capacity:8 in
+  Snapshot.Ring.push r "a";
+  Snapshot.Ring.push r "b";
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b" ] (Snapshot.Ring.to_list r);
+  Alcotest.(check int) "nothing dropped" 0 (Snapshot.Ring.dropped r)
+
+(* ---- span ---- *)
+
+let test_span_records_on_raise () =
+  let t = Span.create () in
+  (try Span.time t "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  ignore (Span.time t "boom" (fun () -> 42));
+  match Span.stats t with
+  | [ s ] ->
+      Alcotest.(check string) "name" "boom" s.Span.name;
+      Alcotest.(check int) "raise still recorded" 2 s.Span.count;
+      Alcotest.(check bool) "durations nonnegative" true (s.Span.total_s >= 0.)
+  | l -> Alcotest.failf "expected one span, got %d" (List.length l)
+
+(* ---- sink ---- *)
+
+let test_sink_noop_inert () =
+  let s = Sink.noop in
+  Alcotest.(check bool) "not enabled" false (Sink.enabled s);
+  Sink.incr s "x";
+  Sink.observe s "h" ~bounds:[| 1. |] 0.5;
+  Alcotest.(check int) "span passes value through" 9 (Sink.span s "sp" (fun () -> 9));
+  Alcotest.(check bool) "tick never samples" false
+    (Sink.tick_snapshot s ~make:(fun () -> Alcotest.fail "thunk must not run"));
+  Alcotest.(check int) "no metrics" 0 (Sink.n_metrics s);
+  Alcotest.(check int) "no spans" 0 (Sink.n_spans s)
+
+let snap clock =
+  {
+    Snapshot.clock;
+    mapped = 0;
+    t100 = 0;
+    pools_built = 0;
+    pool_candidates = 0;
+    energy = [||];
+  }
+
+let test_sink_stride () =
+  let s = Sink.create ~stride:3 ~capacity:16 () in
+  let sampled = ref 0 in
+  for i = 0 to 7 do
+    if Sink.tick_snapshot s ~make:(fun () -> snap i) then incr sampled
+  done;
+  (* ticks 0, 3, 6 *)
+  Alcotest.(check int) "sampled every third tick" 3 !sampled;
+  Alcotest.(check (list int)) "sampled clocks" [ 0; 3; 6 ]
+    (List.map (fun (x : Snapshot.t) -> x.Snapshot.clock) (Sink.snapshots s))
+
+let test_sink_merge () =
+  let a = Sink.create () and b = Sink.create () in
+  Sink.add a "n" 2;
+  Sink.add b "n" 5;
+  Sink.record_span b "sp" 0.25;
+  Sink.push_snapshot b (snap 7);
+  Sink.merge_into ~into:a b;
+  (match List.assoc "n" (Sink.metrics a) with
+  | Registry.Counter c -> Alcotest.(check int) "counters add" 7 c
+  | _ -> Alcotest.fail "expected counter");
+  Alcotest.(check int) "spans merged" 1 (Sink.n_spans a);
+  Alcotest.(check int) "snapshots merged" 1 (Sink.n_snapshots a);
+  Alcotest.(check bool) "active into noop raises" true
+    (try
+       Sink.merge_into ~into:Sink.noop b;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- instrumentation is inert: bit-identical scheduler output ---- *)
+
+open Agrid_core
+
+let schedule_fingerprint sched =
+  ( Array.to_list (Agrid_sched.Schedule.placements sched),
+    Array.to_list (Agrid_sched.Schedule.transfers sched),
+    Agrid_sched.Schedule.tec sched,
+    Agrid_sched.Schedule.aet sched,
+    Agrid_sched.Schedule.n_primary sched )
+
+let params_with obs =
+  let weights = Objective.make_weights ~alpha:0.3 ~beta:0.3 in
+  { (Slrh.default_params weights) with Slrh.obs }
+
+let test_slrh_bit_identical_with_obs () =
+  let workload = Testlib.small_workload () in
+  let plain = Slrh.run (params_with Sink.noop) workload in
+  let sink = Sink.create () in
+  let obs = Slrh.run (params_with sink) workload in
+  Alcotest.(check bool) "identical schedules" true
+    (schedule_fingerprint plain.Slrh.schedule = schedule_fingerprint obs.Slrh.schedule);
+  Alcotest.(check bool) "identical stats" true (plain.Slrh.stats = obs.Slrh.stats);
+  Alcotest.(check int) "identical final clock" plain.Slrh.final_clock obs.Slrh.final_clock;
+  (* and the sink actually saw the run *)
+  Alcotest.(check bool) "spans recorded" true (Sink.n_spans sink >= 3);
+  Alcotest.(check bool) "metrics recorded" true (Sink.n_metrics sink >= 5);
+  Alcotest.(check bool) "snapshots recorded" true (Sink.n_snapshots sink >= 1)
+
+let test_churn_bit_identical_with_obs () =
+  let workload = Testlib.small_workload () in
+  let tau = Agrid_workload.Workload.tau workload in
+  let events =
+    [
+      { Agrid_churn.Event.at = tau / 8; kind = Agrid_churn.Event.Leave 1 };
+      { Agrid_churn.Event.at = tau / 2; kind = Agrid_churn.Event.Rejoin 1 };
+    ]
+  in
+  let plain = Dynamic.run_churn (params_with Sink.noop) workload events in
+  let sink = Sink.create () in
+  let obs = Dynamic.run_churn (params_with sink) workload events in
+  Alcotest.(check bool) "identical schedules" true
+    (schedule_fingerprint plain.Agrid_churn.Engine.schedule
+    = schedule_fingerprint obs.Agrid_churn.Engine.schedule);
+  Testlib.close "identical sunk energy" plain.Agrid_churn.Engine.sunk_energy
+    obs.Agrid_churn.Engine.sunk_energy;
+  Alcotest.(check int) "identical discards" plain.Agrid_churn.Engine.n_discarded
+    obs.Agrid_churn.Engine.n_discarded;
+  Alcotest.(check bool) "churn spans present" true
+    (List.exists
+       (fun (s : Span.stats) -> s.Span.name = "churn/phase")
+       (Sink.span_stats sink))
+
+let test_parallel_scoring_same_metrics () =
+  let workload = Testlib.small_workload () in
+  let seq_sink = Sink.create () in
+  ignore (Slrh.run (params_with seq_sink) workload);
+  let par_sink = Sink.create () in
+  let par_params =
+    { (params_with par_sink) with Slrh.parallel_scoring = Some 2 }
+  in
+  ignore (Slrh.run par_params workload);
+  Alcotest.(check bool) "sequential and parallel scoring record the same metrics"
+    true
+    (registry_repr_of_sink seq_sink = registry_repr_of_sink par_sink)
+
+(* ---- export ---- *)
+
+let test_jsonl_shape () =
+  let workload = Testlib.small_workload () in
+  let sink = Sink.create ~stride:4 () in
+  ignore (Slrh.run (params_with sink) workload);
+  let lines =
+    String.split_on_char '\n' (Export.to_jsonl sink)
+    |> List.filter (fun l -> l <> "")
+  in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is a JSON object" true
+        (String.length l >= 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  (match lines with
+  | meta :: _ ->
+      Alcotest.(check bool) "meta first" true (Testlib.contains meta "\"type\":\"meta\"");
+      Alcotest.(check bool) "schema tagged" true (Testlib.contains meta Export.schema)
+  | [] -> Alcotest.fail "no lines");
+  let count tag =
+    List.length
+      (List.filter (fun l -> Testlib.contains l (Fmt.str "\"type\":%S" tag)) lines)
+  in
+  Alcotest.(check bool) "some spans" true (count "span" >= 3);
+  Alcotest.(check bool) "some metrics" true
+    (count "counter" + count "gauge" + count "histogram" >= 5);
+  Alcotest.(check bool) "some snapshots" true (count "snapshot" >= 1)
+
+let test_summary_json_counters () =
+  let sink = Sink.create () in
+  Sink.add sink "a/b" 3;
+  Sink.record_span sink "sp" 0.5;
+  let s = Export.summary_json ~total_seconds:1.25 sink in
+  Alcotest.(check bool) "total" true (Testlib.contains s "\"total_seconds\": 1.25");
+  Alcotest.(check bool) "counter" true (Testlib.contains s "\"a/b\": 3");
+  Alcotest.(check bool) "span name" true (Testlib.contains s "\"name\":\"sp\"")
+
+let test_nonfinite_floats_export_null () =
+  let sink = Sink.create () in
+  Sink.set_gauge sink "g" Float.infinity;
+  let s = Export.to_jsonl sink in
+  Alcotest.(check bool) "infinity becomes null" true
+    (Testlib.contains s "\"value\":null")
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "hist buckets" `Quick test_hist_buckets;
+        Alcotest.test_case "hist under/overflow" `Quick test_hist_underflow_overflow;
+        Alcotest.test_case "hist nan quarantined" `Quick test_hist_nan_quarantined;
+        Alcotest.test_case "hist quantiles" `Quick test_hist_quantile_empty_and_order;
+        Alcotest.test_case "hist invalid bounds" `Quick test_hist_invalid_bounds;
+        Alcotest.test_case "hist merge mismatch" `Quick test_hist_merge_bounds_mismatch;
+        Alcotest.test_case "registry merge commutative" `Quick test_registry_merge_commutative;
+        Alcotest.test_case "registry merge associative" `Quick test_registry_merge_associative;
+        Alcotest.test_case "registry kind mismatch" `Quick test_registry_kind_mismatch;
+        Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+        Alcotest.test_case "ring partial fill" `Quick test_ring_partial_fill;
+        Alcotest.test_case "span records on raise" `Quick test_span_records_on_raise;
+        Alcotest.test_case "sink noop inert" `Quick test_sink_noop_inert;
+        Alcotest.test_case "sink stride" `Quick test_sink_stride;
+        Alcotest.test_case "sink merge" `Quick test_sink_merge;
+        Alcotest.test_case "slrh bit-identical with obs" `Quick test_slrh_bit_identical_with_obs;
+        Alcotest.test_case "churn bit-identical with obs" `Quick test_churn_bit_identical_with_obs;
+        Alcotest.test_case "parallel scoring same metrics" `Quick test_parallel_scoring_same_metrics;
+        Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
+        Alcotest.test_case "summary json" `Quick test_summary_json_counters;
+        Alcotest.test_case "non-finite floats null" `Quick test_nonfinite_floats_export_null;
+      ] );
+  ]

@@ -90,6 +90,56 @@ let test_trace_csv_shape () =
     (fun row -> Alcotest.(check int) "row width" width (List.length row))
     rows
 
+let test_trace_csv_roundtrip () =
+  (* export -> re-import recovers every event; floats to the writer's
+     %.6f precision *)
+  let tracer, _ = traced_run () in
+  (* make sure all three event kinds are exercised, even if the run
+     happened not to produce the rare ones *)
+  Trace.record tracer ~clock:9999 ~machine:2 Trace.Pool_empty;
+  Trace.record tracer ~clock:9999 ~machine:3 (Trace.Horizon_miss { pool_size = 4 });
+  let back = Trace.of_csv_rows (Trace.csv_rows tracer) in
+  Alcotest.(check int) "length preserved" (Trace.length tracer) (Trace.length back);
+  let orig = Trace.events tracer and got = Trace.events back in
+  Array.iteri
+    (fun i (e : Trace.event) ->
+      let g = got.(i) in
+      Alcotest.(check int) "clock" e.Trace.clock g.Trace.clock;
+      Alcotest.(check int) "machine" e.Trace.machine g.Trace.machine;
+      match (e.Trace.kind, g.Trace.kind) with
+      | Trace.Pool_empty, Trace.Pool_empty -> ()
+      | Trace.Horizon_miss a, Trace.Horizon_miss b ->
+          Alcotest.(check int) "pool size" a.pool_size b.pool_size
+      | Trace.Assigned a, Trace.Assigned b ->
+          Alcotest.(check int) "task" a.task b.task;
+          Alcotest.(check bool) "version" true
+            (Agrid_workload.Version.equal a.version b.version);
+          Alcotest.(check int) "start" a.start b.start;
+          Alcotest.(check int) "stop" a.stop b.stop;
+          Alcotest.(check int) "pool size" a.pool_size b.pool_size;
+          Testlib.close ~eps:1e-6 "score" a.score b.score;
+          Testlib.close ~eps:1e-6 "energy" a.energy_remaining b.energy_remaining
+      | _ -> Alcotest.failf "event %d: kind changed across round-trip" i)
+    orig;
+  (* both recorded kinds survived *)
+  let s = Trace.summarize back in
+  Alcotest.(check bool) "pool_empty kept" true (s.Trace.n_pool_empty >= 1);
+  Alcotest.(check bool) "horizon_miss kept" true (s.Trace.n_horizon_miss >= 1)
+
+let test_trace_of_csv_rejects_malformed () =
+  Alcotest.(check bool) "short row raises" true
+    (try
+       ignore (Trace.of_csv_rows [ [ "1"; "2"; "assigned" ] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown event raises" true
+    (try
+       ignore
+         (Trace.of_csv_rows
+            [ [ "1"; "2"; "exploded"; ""; ""; ""; ""; ""; "0"; "" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
 let test_trace_no_tracer_is_silent () =
   (* paranoid: running without a tracer must not fail and params default
      has tracer = None *)
@@ -116,6 +166,8 @@ let suites =
         Alcotest.test_case "trace counts assignments" `Quick test_trace_counts_assignments;
         Alcotest.test_case "trace chronological" `Quick test_trace_events_chronological_clocks;
         Alcotest.test_case "trace csv shape" `Quick test_trace_csv_shape;
+        Alcotest.test_case "trace csv roundtrip" `Quick test_trace_csv_roundtrip;
+        Alcotest.test_case "trace csv malformed" `Quick test_trace_of_csv_rejects_malformed;
         Alcotest.test_case "no tracer silent" `Quick test_trace_no_tracer_is_silent;
         Alcotest.test_case "trace empty summary" `Quick test_trace_summary_empty;
       ] );
