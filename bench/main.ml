@@ -17,11 +17,20 @@ type options = {
   quick : bool; (* smoke scale, used by CI *)
   skip_bechamel : bool;
   skip_figures : bool;
+  obs_only : bool; (* just the observability profile (the CI perf gate input) *)
 }
 
 let parse_options () =
   let opts =
-    ref { full = false; seed = 2004; quick = false; skip_bechamel = false; skip_figures = false }
+    ref
+      {
+        full = false;
+        seed = 2004;
+        quick = false;
+        skip_bechamel = false;
+        skip_figures = false;
+        obs_only = false;
+      }
   in
   let rec walk = function
     | [] -> ()
@@ -37,12 +46,16 @@ let parse_options () =
     | "--skip-figures" :: rest ->
         opts := { !opts with skip_figures = true };
         walk rest
+    | "--obs-only" :: rest ->
+        opts := { !opts with obs_only = true };
+        walk rest
     | "--seed" :: v :: rest ->
         opts := { !opts with seed = int_of_string v };
         walk rest
     | arg :: _ ->
         Fmt.epr "unknown argument %S@." arg;
-        Fmt.epr "usage: main.exe [--full|--quick] [--seed N] [--skip-bechamel] [--skip-figures]@.";
+        Fmt.epr
+          "usage: main.exe [--full|--quick] [--seed N] [--skip-bechamel] [--skip-figures] [--obs-only]@.";
         exit 2
   in
   walk (List.tl (Array.to_list Sys.argv));
@@ -417,7 +430,14 @@ let run_obs_profile config ~total_seconds =
       obs = sink;
     }
   in
-  ignore (Agrid_core.Slrh.run params workload);
+  let o = Agrid_core.Slrh.run params workload in
+  (* Scheduler-quality counters for the CI regression gate: T100 and the
+     mapped count are seed-deterministic, so check_regression compares
+     them exactly while span timings get a hardware tolerance. *)
+  Agrid_obs.Sink.add sink "bench/t100"
+    (Agrid_sched.Schedule.n_primary o.Agrid_core.Slrh.schedule);
+  Agrid_obs.Sink.add sink "bench/mapped"
+    (Agrid_sched.Schedule.n_mapped o.Agrid_core.Slrh.schedule);
   let tau = Workload.tau workload in
   ignore
     (Agrid_core.Dynamic.run_churn params workload
@@ -515,6 +535,10 @@ let () =
   let config = config_of options in
   Fmt.pr "agrid reproduction bench — %a@." Config.pp config;
   let t0 = Unix.gettimeofday () in
+  if options.obs_only then begin
+    run_obs_profile config ~total_seconds:(Unix.gettimeofday () -. t0);
+    exit 0
+  end;
   run_tables config;
   if not options.skip_figures then begin
     run_figure2 config;

@@ -96,10 +96,19 @@ let obs_t =
     & info [ "obs" ] ~docv:"FILE"
         ~doc:"Write telemetry (span timings, metrics, per-timestep snapshots) as JSONL (SLRH paths only).")
 
-(* An active sink when telemetry was requested, the inert no-op otherwise. *)
-let sink_for ?(stride = 1) = function
-  | None -> Agrid_obs.Sink.noop
-  | Some _ -> Agrid_obs.Sink.create ~stride ()
+let ledger_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:"Write the decision ledger (per-candidate rejection reasons, commit score decompositions, idle causes) as JSONL, for `agrid explain` and `agrid ledger-diff` (SLRH paths only).")
+
+(* An active sink when telemetry or a decision ledger was requested, the
+   inert no-op otherwise. *)
+let sink_for ?(stride = 1) ?(ledger = None) obs_file =
+  match (obs_file, ledger) with
+  | None, None -> Agrid_obs.Sink.noop
+  | _ -> Agrid_obs.Sink.create ~stride ~ledger:(ledger <> None) ()
 
 let write_obs obs_file sink =
   match obs_file with
@@ -109,6 +118,18 @@ let write_obs obs_file sink =
       Fmt.pr "obs: %d spans, %d metrics, %d snapshots -> %s@."
         (Agrid_obs.Sink.n_spans sink) (Agrid_obs.Sink.n_metrics sink)
         (Agrid_obs.Sink.n_snapshots sink) path
+
+let write_ledger ledger_file sink =
+  match (ledger_file, Agrid_obs.Sink.ledger sink) with
+  | None, _ | _, None -> ()
+  | Some path, Some led ->
+      Agrid_obs.Ledger.write_jsonl path led;
+      Fmt.pr "ledger: %d entries -> %s@." (Agrid_obs.Ledger.length led) path
+
+let load_ledger path =
+  try Ok (Agrid_obs.Ledger.load_jsonl path) with
+  | Invalid_argument msg -> Error msg
+  | Sys_error msg -> Error msg
 
 (* ---- run ---- *)
 
@@ -151,14 +172,14 @@ let print_gantt schedule =
     (Agrid_report.Gantt.make ~title:"schedule (P primary, s secondary, x transfer)" lanes)
 
 let run_cmd =
-  let action seed scale case etc dag heuristic alpha beta delta_t horizon gantt trace_file obs_file =
+  let action seed scale case etc dag heuristic alpha beta delta_t horizon gantt trace_file obs_file ledger_file =
     let workload = workload_of ~seed ~scale ~etc ~dag ~case in
     let weights = Objective.make_weights ~alpha ~beta in
     Fmt.pr "%a@." Workload.pp workload;
     let tracer =
       match trace_file with None -> None | Some _ -> Some (Trace.create ())
     in
-    let sink = sink_for obs_file in
+    let sink = sink_for ~ledger:ledger_file obs_file in
     let schedule, wall =
       match heuristic with
       | (`Slrh1 | `Slrh2 | `Slrh3) as h ->
@@ -211,6 +232,7 @@ let run_cmd =
         Fmt.pr "trace: %a -> %s@." Trace.pp_summary (Trace.summarize t) path
     | _ -> ());
     write_obs obs_file sink;
+    write_ledger ledger_file sink;
     if Validate.feasible r then 0 else 1
   in
   let gantt_t = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.") in
@@ -223,7 +245,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ heuristic_t $ alpha_t
-      $ beta_t $ delta_t_t $ horizon_t $ gantt_t $ trace_t $ obs_t)
+      $ beta_t $ delta_t_t $ horizon_t $ gantt_t $ trace_t $ obs_t $ ledger_t)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Map one scenario with a chosen heuristic and validate the result.")
@@ -414,7 +436,7 @@ let import_cmd =
 (* ---- churn ---- *)
 
 let churn_cmd =
-  let action seed scale etc dag case alpha beta events mc intensities policy budget obs_file =
+  let action seed scale etc dag case alpha beta events mc intensities policy budget obs_file ledger_file =
     let weights = Objective.make_weights ~alpha ~beta in
     let policy =
       Agrid_churn.Retry.make
@@ -434,7 +456,7 @@ let churn_cmd =
     | Some trace, None ->
         let workload = workload_of ~seed ~scale ~etc ~dag ~case in
         let events = Agrid_churn.Event.parse_trace trace in
-        let sink = sink_for obs_file in
+        let sink = sink_for ~ledger:ledger_file obs_file in
         let params = { (Slrh.default_params weights) with Slrh.obs = sink } in
         let o = Dynamic.run_churn ~policy params workload events in
         Fmt.pr "trace: %s@." (Agrid_churn.Event.trace_to_string events);
@@ -445,6 +467,7 @@ let churn_cmd =
         let audit = Agrid_churn.Engine.audit o in
         List.iter (fun v -> Fmt.pr "audit: %s@." v) audit;
         write_obs obs_file sink;
+        write_ledger ledger_file sink;
         if audit = [] && o.Agrid_churn.Engine.ledger_energy_ok then 0 else 1
     | None, Some n ->
         let open Agrid_exper in
@@ -513,7 +536,7 @@ let churn_cmd =
        ~doc:"Drive SLRH through a scripted churn trace, or run a Monte Carlo survivability campaign (extension).")
     Term.(
       const action $ seed_t $ scale_t $ etc_t $ dag_t $ case_t $ alpha_t $ beta_t
-      $ events_t $ mc_t $ intensities_t $ policy_t $ budget_t $ obs_t)
+      $ events_t $ mc_t $ intensities_t $ policy_t $ budget_t $ obs_t $ ledger_t)
 
 (* ---- prof ---- *)
 
@@ -634,6 +657,136 @@ let prof_cmd =
       const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ heuristic_t $ alpha_t
       $ beta_t $ delta_t_t $ horizon_t $ events_t $ stride_t $ out_t $ csv_t)
 
+(* ---- explain ---- *)
+
+let ledger_pos_t ~docv ~doc idx =
+  Arg.(required & pos idx (some string) None & info [] ~docv ~doc)
+
+let explain_cmd =
+  let action path task machine clock =
+    match load_ledger path with
+    | Error msg ->
+        Fmt.epr "agrid explain: %s@." msg;
+        2
+    | Ok led -> (
+        match (task, machine, clock) with
+        | Some task, None, None -> (
+            match Agrid_obs.Ledger.explain_task led ~task with
+            | Some report ->
+                Fmt.pr "%s@." report;
+                0
+            | None ->
+                Fmt.pr "subtask %d: no record in this ledger@." task;
+                1)
+        | None, Some machine, Some clock -> (
+            match Agrid_obs.Ledger.explain_idle led ~machine ~clock with
+            | Some report ->
+                Fmt.pr "%s@." report;
+                0
+            | None ->
+                Fmt.pr "machine %d at clock %d: no record in this ledger@." machine clock;
+                1)
+        | _ ->
+            Fmt.epr
+              "agrid explain: ask one question — either --task N (why did this subtask \
+               map where it did?) or --machine J --clock K (why was this machine idle \
+               there?)@.";
+            2)
+  in
+  let task_t =
+    Arg.(value & opt (some int) None & info [ "task" ] ~docv:"N" ~doc:"Explain subtask N's mapping decision.")
+  in
+  let machine_t =
+    Arg.(value & opt (some int) None & info [ "machine" ] ~docv:"J" ~doc:"With --clock: explain why machine J sat idle.")
+  in
+  let clock_t =
+    Arg.(value & opt (some int) None & info [ "clock" ] ~docv:"K" ~doc:"With --machine: the timestep to explain.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Answer mapping questions from a decision ledger (written by `agrid run --ledger` or `agrid churn --ledger`): why a subtask mapped where it did, or why a machine sat idle at a timestep.")
+    Term.(
+      const action
+      $ ledger_pos_t ~docv:"LEDGER" ~doc:"Decision-ledger JSONL file." 0
+      $ task_t $ machine_t $ clock_t)
+
+(* ---- ledger-diff ---- *)
+
+let ledger_diff_cmd =
+  let action left right =
+    match (load_ledger left, load_ledger right) with
+    | Error msg, _ ->
+        Fmt.epr "agrid ledger-diff: %s: %s@." left msg;
+        2
+    | _, Error msg ->
+        Fmt.epr "agrid ledger-diff: %s: %s@." right msg;
+        2
+    | Ok l, Ok r -> (
+        match Agrid_obs.Ledger.first_divergence l r with
+        | None ->
+            Fmt.pr "identical decision streams (%d decisions)@."
+              (List.length (Agrid_obs.Ledger.decisions l));
+            0
+        | Some d ->
+            Fmt.pr "%a@." Agrid_obs.Ledger.pp_divergence d;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "ledger-diff"
+       ~doc:"Localise where two runs' decision streams first part ways: reports the first divergent commit/idle decision with both sides' score decompositions. Exit 0 when identical, 1 on divergence.")
+    Term.(
+      const action
+      $ ledger_pos_t ~docv:"LEFT" ~doc:"Baseline decision-ledger JSONL file." 0
+      $ ledger_pos_t ~docv:"RIGHT" ~doc:"Decision-ledger JSONL file to compare." 1)
+
+(* ---- trace ---- *)
+
+let trace_lint_cmd =
+  let action path =
+    match
+      try Ok (Agrid_report.Csv.read_file path) with
+      | Sys_error msg | Invalid_argument msg -> Error msg
+    with
+    | Error msg ->
+        Fmt.epr "agrid trace lint: %s@." msg;
+        2
+    | Ok [] ->
+        Fmt.epr "agrid trace lint: %s is empty (expected a header row)@." path;
+        2
+    | Ok (header :: rows) ->
+        if header <> Trace.csv_header then
+          Fmt.pr "header mismatch:@.  expected %s@.  found    %s@."
+            (String.concat "," Trace.csv_header)
+            (String.concat "," header);
+        let problems = Trace.lint_csv_rows rows in
+        List.iter
+          (fun (i, msg) ->
+            (* +2: 1-based, counting the header line like an editor would *)
+            Fmt.pr "%s:%d: %s@." path (i + 2) msg)
+          problems;
+        if header = Trace.csv_header && problems = [] then begin
+          Fmt.pr "%s: %d rows, all well-formed@." path (List.length rows);
+          0
+        end
+        else begin
+          Fmt.pr "%s: %d of %d rows malformed@." path (List.length problems)
+            (List.length rows);
+          1
+        end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Check an exported SLRH trace CSV (from `agrid run --trace`): reports every malformed row with its diagnostic instead of stopping at the first.")
+    Term.(
+      const action
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace CSV file."))
+
+let trace_cmd =
+  let default = Term.(ret (const (`Help (`Pager, Some "trace")))) in
+  Cmd.group ~default
+    (Cmd.info "trace" ~doc:"Operate on exported SLRH decision traces.")
+    [ trace_lint_cmd ]
+
 (* ---- dot ---- *)
 
 let dot_cmd =
@@ -656,5 +809,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; prof_cmd; tables_cmd; figure2_cmd;
-            ub_cmd; calibrate_cmd; export_cmd; import_cmd; dot_cmd ]))
+          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; prof_cmd; explain_cmd;
+            ledger_diff_cmd; trace_cmd; tables_cmd; figure2_cmd; ub_cmd; calibrate_cmd;
+            export_cmd; import_cmd; dot_cmd ]))

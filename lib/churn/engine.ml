@@ -282,6 +282,20 @@ let run ?(obs = Agrid_obs.Sink.noop) ~policy ~runner workload events =
                 apply_degrade st j f;
                 (0, 0, 0, 0, 0.))
       in
+      (* decision-ledger churn marker: lets explain/diff anchor idle and
+         rejection entries to the grid transition that caused them *)
+      (match Agrid_obs.Sink.ledger obs with
+      | None -> ()
+      | Some led ->
+          let machine, event, detail =
+            match ev.Event.kind with
+            | Event.Leave j -> (j, "leave", ev_sunk)
+            | Event.Rejoin j -> (j, "rejoin", ev_sunk)
+            | Event.Battery_shock (j, f) -> (j, "shock", f)
+            | Event.Bandwidth_degrade (j, f) -> (j, "degrade", f)
+          in
+          Agrid_obs.Ledger.record led
+            (Agrid_obs.Ledger.Churn { clock = ev.Event.at; machine; event; detail }));
       if Agrid_obs.Sink.enabled obs then begin
         Agrid_obs.Sink.incr obs "churn/events";
         Agrid_obs.Sink.incr obs

@@ -19,6 +19,26 @@ let mode_to_string = function
   | Conservative -> "conservative"
   | Optimistic -> "optimistic"
 
+(* Typed admissibility verdicts. The pool check used to answer only
+   yes/no; the decision ledger needs to know WHY a subtask stayed out of
+   U, so the primitive now produces the reason — which parent was
+   unmapped, or which side of the energy bound (bare execution vs the
+   worst-case child-communication surcharge) overflowed the battery — and
+   the bare-bool API derives from it. *)
+type infeasibility =
+  | Parent_unmapped of { parent : int }
+  | Exec_energy of { version : Version.t; required : float; available : float }
+  | Comm_energy of { version : Version.t; exec : float; comm : float; available : float }
+
+let pp_infeasibility ppf = function
+  | Parent_unmapped { parent } -> Fmt.pf ppf "parent %d unmapped" parent
+  | Exec_energy { version; required; available } ->
+      Fmt.pf ppf "%a execution energy %.3f exceeds remaining %.3f" Version.pp version
+        required available
+  | Comm_energy { version; exec; comm; available } ->
+      Fmt.pf ppf "%a exec %.3f + worst-case child comm %.3f exceeds remaining %.3f"
+        Version.pp version exec comm available
+
 (* Energy machine [j] must still hold for (task, version) to be admissible:
    the version's execution energy plus its child-communication bound. *)
 let required_energy ?(mode = Conservative) sched ~task ~machine ~version =
@@ -32,12 +52,44 @@ let required_energy ?(mode = Conservative) sched ~task ~machine ~version =
   in
   exec +. comm
 
-let version_feasible ?mode sched ~task ~machine ~version =
-  Schedule.energy_remaining sched machine
-  >= required_energy ?mode sched ~task ~machine ~version
+let version_verdict ?(mode = Conservative) sched ~task ~machine ~version =
+  let wl = Schedule.workload sched in
+  let exec = Workload.exec_energy wl ~task ~machine ~version in
+  let comm =
+    match mode with
+    | Optimistic -> 0.
+    | Conservative ->
+        Workload.worst_case_child_comm_energy wl ~task ~machine ~version
+  in
+  let available = Schedule.energy_remaining sched machine in
+  if available >= exec +. comm then Ok ()
+  else if available < exec then Error (Exec_energy { version; required = exec; available })
+  else Error (Comm_energy { version; exec; comm; available })
 
-(* SLRH admissibility: at least the secondary version must fit (the
-   primary-vs-secondary decision is made later, by the objective). *)
+let version_feasible ?mode sched ~task ~machine ~version =
+  match version_verdict ?mode sched ~task ~machine ~version with
+  | Ok () -> true
+  | Error _ -> false
+
+(* SLRH admissibility: parents mapped, and at least the secondary version
+   must fit (the primary-vs-secondary decision is made later, by the
+   objective). [verdict] spells out the failure; [feasible] keeps the
+   historical bool for the pool filter, whose input is already ready. *)
+let verdict ?mode sched ~task ~machine =
+  let dag = Workload.dag (Schedule.workload sched) in
+  let unmapped_parent =
+    Array.fold_left
+      (fun acc (p, _) ->
+        match acc with
+        | Some _ -> acc
+        | None -> if Schedule.is_mapped sched p then None else Some p)
+      None
+      (Agrid_dag.Dag.parent_edges dag task)
+  in
+  match unmapped_parent with
+  | Some parent -> Error (Parent_unmapped { parent })
+  | None -> version_verdict ?mode sched ~task ~machine ~version:Version.Secondary
+
 let feasible ?mode sched ~task ~machine =
   version_feasible ?mode sched ~task ~machine ~version:Version.Secondary
 
@@ -54,3 +106,20 @@ let candidate_pool ?mode ?(obs = Agrid_obs.Sink.noop) sched ~machine =
         Agrid_obs.Sink.add obs "feasibility/admitted" (List.length pool)
       end;
       pool)
+
+(* Every unmapped task the pool turned away for [machine], with its
+   verdict — the decision ledger's per-candidate rejection record. This
+   walks the whole task set and re-prices energies, so callers only run it
+   when a ledger is attached; the pool itself is computed by
+   [candidate_pool] exactly as before. *)
+let explain_rejections ?mode sched ~machine =
+  let wl = Schedule.workload sched in
+  let n = Workload.n_tasks wl in
+  let rejected = ref [] in
+  for task = n - 1 downto 0 do
+    if not (Schedule.is_mapped sched task) then
+      match verdict ?mode sched ~task ~machine with
+      | Ok () -> ()
+      | Error why -> rejected := (task, why) :: !rejected
+  done;
+  !rejected

@@ -11,13 +11,42 @@ type mode =
 
 val mode_to_string : mode -> string
 
+type infeasibility =
+  | Parent_unmapped of { parent : int }
+      (** not ready: this parent had not been mapped yet *)
+  | Exec_energy of { version : Version.t; required : float; available : float }
+      (** the version's execution energy alone exceeds the battery *)
+  | Comm_energy of { version : Version.t; exec : float; comm : float; available : float }
+      (** execution fits, but the worst-case child-communication bound
+          overflows the battery *)
+(** Why a subtask stayed out of the pool U — the decision ledger's typed
+    rejection reasons. The bare-bool checks below derive from these. *)
+
+val pp_infeasibility : Format.formatter -> infeasibility -> unit
+
 val required_energy :
   ?mode:mode -> Schedule.t -> task:int -> machine:int -> version:Version.t -> float
+
+val version_verdict :
+  ?mode:mode ->
+  Schedule.t ->
+  task:int ->
+  machine:int ->
+  version:Version.t ->
+  (unit, infeasibility) result
+(** Energy admissibility of this specific version, with the failing side
+    of the bound on rejection ({!Exec_energy} or {!Comm_energy}). *)
 
 val version_feasible :
   ?mode:mode -> Schedule.t -> task:int -> machine:int -> version:Version.t -> bool
 (** Does the machine retain enough energy for this specific version? (The
-    Max-Max pool assesses versions independently.) *)
+    Max-Max pool assesses versions independently.)
+    [= Result.is_ok (version_verdict ...)] *)
+
+val verdict :
+  ?mode:mode -> Schedule.t -> task:int -> machine:int -> (unit, infeasibility) result
+(** SLRH admissibility with the reason on rejection: first unmapped
+    parent, else the secondary version's energy verdict. *)
 
 val feasible : ?mode:mode -> Schedule.t -> task:int -> machine:int -> bool
 (** SLRH admissibility: the secondary version fits. *)
@@ -27,3 +56,9 @@ val candidate_pool :
 (** The pool U: ready, unmapped, energy-admissible tasks for a machine.
     [?obs] (default: inert) times the filter under ["feasibility/filter"]
     and counts ["feasibility/checked"] / ["feasibility/admitted"]. *)
+
+val explain_rejections :
+  ?mode:mode -> Schedule.t -> machine:int -> (int * infeasibility) list
+(** Every unmapped task the pool turned away for [machine], with its
+    verdict, in task order. O(unmapped tasks) with energy pricing per
+    task — meant for ledger-attached runs, not the hot path. *)

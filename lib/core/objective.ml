@@ -48,11 +48,27 @@ let pp_weights ppf w =
     (match w.aet_sign with Reward -> "" | Penalise -> "-")
     w.gamma
 
+(* The objective split into its three weighted terms, for the decision
+   ledger's commit records. [total] is computed with the exact operation
+   order the scalar [value] always used (t100 term, minus energy term,
+   plus signed AET term), so deriving [value] from [value_parts] is
+   bit-identical — pinned by the no-op-sink regression tests. *)
+type parts = {
+  t100_term : float;  (* alpha * T100/|T| *)
+  energy_term : float;  (* beta * TEC/TSE, subtracted in the total *)
+  aet_term : float;  (* gamma * AET/tau, already carrying aet_sign *)
+  total : float;
+}
+
+let value_parts w ~t100 ~n_tasks ~tec ~tse ~aet ~tau =
+  let aet_raw = w.gamma *. (float_of_int aet /. float_of_int tau) in
+  let aet_term = match w.aet_sign with Reward -> aet_raw | Penalise -> -.aet_raw in
+  let t100_term = w.alpha *. (float_of_int t100 /. float_of_int n_tasks) in
+  let energy_term = w.beta *. (tec /. tse) in
+  { t100_term; energy_term; aet_term; total = t100_term -. energy_term +. aet_term }
+
 let value w ~t100 ~n_tasks ~tec ~tse ~aet ~tau =
-  let aet_term = w.gamma *. (float_of_int aet /. float_of_int tau) in
-  (w.alpha *. (float_of_int t100 /. float_of_int n_tasks))
-  -. (w.beta *. (tec /. tse))
-  +. (match w.aet_sign with Reward -> aet_term | Penalise -> -.aet_term)
+  (value_parts w ~t100 ~n_tasks ~tec ~tse ~aet ~tau).total
 
 let of_schedule w sched =
   let wl = Schedule.workload sched in
@@ -74,8 +90,9 @@ let after_plan w sched plan =
    scores the pool before computing exact start times; see DESIGN.md
    section 5). The finish estimate is a lower bound: latest parent finish
    plus that parent's transfer time if it sits on another machine, ignoring
-   channel contention and machine busy gaps. *)
-let estimate w sched ~task ~version ~machine ~now =
+   channel contention and machine busy gaps. [estimate_parts] keeps the
+   term decomposition for the ledger; [estimate] is its total. *)
+let estimate_parts w sched ~task ~version ~machine ~now =
   let wl = Schedule.workload sched in
   let grid = Workload.grid wl in
   let dag = Workload.dag wl in
@@ -111,9 +128,12 @@ let estimate w sched ~task ~version ~machine ~now =
     +. !comm_energy
   in
   let aet = max (Schedule.aet sched) finish in
-  value w ~t100 ~n_tasks:(Workload.n_tasks wl) ~tec
+  value_parts w ~t100 ~n_tasks:(Workload.n_tasks wl) ~tec
     ~tse:(Workload.total_system_energy wl)
     ~aet ~tau:(Workload.tau wl)
+
+let estimate w sched ~task ~version ~machine ~now =
+  (estimate_parts w sched ~task ~version ~machine ~now).total
 
 (* Best version for a candidate under the objective: evaluate both and keep
    the maximiser (paper Section IV: "selected the version that maximised

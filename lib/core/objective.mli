@@ -29,6 +29,27 @@ val with_aet_sign : aet_sign -> weights -> weights
 
 val pp_weights : Format.formatter -> weights -> unit
 
+type parts = {
+  t100_term : float;  (** alpha * T100/|T| *)
+  energy_term : float;  (** beta * TEC/TSE — subtracted in [total] *)
+  aet_term : float;  (** gamma * AET/tau, sign already per [aet_sign] *)
+  total : float;  (** [t100_term -. energy_term +. aet_term] *)
+}
+(** The objective split into its weighted terms, for the decision
+    ledger's commit records. [value] and [estimate] are the totals of
+    [value_parts] / [estimate_parts] — same float operations in the same
+    order, so the decomposition costs nothing and changes nothing. *)
+
+val value_parts :
+  weights ->
+  t100:int ->
+  n_tasks:int ->
+  tec:float ->
+  tse:float ->
+  aet:int ->
+  tau:int ->
+  parts
+
 val value :
   weights ->
   t100:int ->
@@ -43,6 +64,10 @@ val of_schedule : weights -> Schedule.t -> float
 
 val after_plan : weights -> Schedule.t -> Schedule.plan -> float
 (** Exact objective after committing the plan (Max-Max's selection rule). *)
+
+val estimate_parts :
+  weights -> Schedule.t -> task:int -> version:Version.t -> machine:int -> now:int -> parts
+(** {!estimate} with the term decomposition kept, for ledger commits. *)
 
 val estimate :
   weights -> Schedule.t -> task:int -> version:Version.t -> machine:int -> now:int -> float

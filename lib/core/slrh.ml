@@ -120,16 +120,60 @@ type outcome = {
   wall_seconds : float;  (** heuristic execution time (Figure 6 metric) *)
 }
 
+(* Core infeasibility verdicts carry [Version.t]; the ledger lives below
+   core in the library stack, so its entries carry the version name. *)
+let reject_of_infeasibility = function
+  | Feasibility.Parent_unmapped { parent } ->
+      Agrid_obs.Ledger.Parent_unmapped { parent }
+  | Feasibility.Exec_energy { version; required; available } ->
+      Agrid_obs.Ledger.Exec_energy
+        { version = Version.to_string version; required; available }
+  | Feasibility.Comm_energy { version; exec; comm; available } ->
+      Agrid_obs.Ledger.Comm_energy
+        { version = Version.to_string version; exec; comm; available }
+
 (* One scored pool: best version and score per candidate, sorted by
    decreasing objective. Scoring reads the schedule without mutating it, so
    it can fan out over domains (the paper's parallel-hardware note); the
-   sort ties break on task id either way, keeping results identical. *)
+   sort ties break on task id either way, keeping results identical.
+
+   When the sink carries a decision ledger, every unmapped task that
+   stayed out of the pool is recorded with its typed rejection —
+   including tasks the churn retry policy made ineligible. The pool
+   itself is computed exactly as before; all ledger work is additive and
+   guarded on [Sink.ledger]. *)
 let scored_pool params ~eligible sched ~machine ~now stats_candidates =
   let obs = params.obs in
   let pool =
     Agrid_obs.Sink.span obs "slrh/pool_build" (fun () ->
-        List.filter eligible
-          (Feasibility.candidate_pool ~mode:params.feas_mode ~obs sched ~machine))
+        let raw = Feasibility.candidate_pool ~mode:params.feas_mode ~obs sched ~machine in
+        (match Agrid_obs.Sink.ledger obs with
+        | None -> ()
+        | Some led ->
+            List.iter
+              (fun (task, why) ->
+                Agrid_obs.Ledger.record led
+                  (Agrid_obs.Ledger.Candidate
+                     {
+                       clock = now;
+                       machine;
+                       task;
+                       fate = Agrid_obs.Ledger.Rejected (reject_of_infeasibility why);
+                     }))
+              (Feasibility.explain_rejections ~mode:params.feas_mode sched ~machine);
+            List.iter
+              (fun task ->
+                if not (eligible task) then
+                  Agrid_obs.Ledger.record led
+                    (Agrid_obs.Ledger.Candidate
+                       {
+                         clock = now;
+                         machine;
+                         task;
+                         fate = Agrid_obs.Ledger.Rejected Agrid_obs.Ledger.Ineligible;
+                       }))
+              raw);
+        List.filter eligible raw)
   in
   (* Scoring is pure, so the parallel path fans it out over domains. The
      sink stays out of the workers (it is single-domain): version-eval
@@ -167,16 +211,66 @@ let scored_pool params ~eligible sched ~machine ~now stats_candidates =
 
 (* Walk a scored pool in order; plan each candidate and commit the first
    whose start fits the horizon. Returns the committed task, if any, and
-   traces the decision. *)
+   traces the decision.
+
+   Ledger fates per pool member: the winner gets a [Commit] entry with
+   the score decomposition (recomputed against the pre-commit schedule,
+   so for SLRH-2's stale pools the recorded terms are the fresh truth
+   even when the stale pool score differs) and the runner-up margin;
+   walked-but-late candidates get [Horizon_missed] with their planned
+   start; unwalked ones get [Outscored]; already-mapped stragglers in a
+   stale pool keep their [Scored] rank. *)
 let try_assign params sched ~machine ~now ~scored plans_attempted =
   let obs = params.obs in
+  let ledger = Agrid_obs.Sink.ledger obs in
   let pool_size = List.length scored in
   let trace kind =
     match params.tracer with
     | Some t -> Trace.record t ~clock:now ~machine kind
     | None -> ()
   in
-  let rec walk = function
+  let candidate task fate =
+    match ledger with
+    | None -> ()
+    | Some led ->
+        Agrid_obs.Ledger.record led
+          (Agrid_obs.Ledger.Candidate { clock = now; machine; task; fate })
+  in
+  let ledger_commit ~task ~version (plan : Schedule.plan) =
+    match ledger with
+    | None -> ()
+    | Some led ->
+        (* pre-commit: [estimate] reads the schedule as it stood when the
+           decision was made, and is_mapped still excludes only earlier
+           commits *)
+        let parts =
+          Objective.estimate_parts params.weights sched ~task ~version ~machine ~now
+        in
+        let runner_up =
+          List.find_map
+            (fun (t, _, s) ->
+              if t <> task && not (Schedule.is_mapped sched t) then Some (t, s)
+              else None)
+            scored
+        in
+        Agrid_obs.Ledger.record led
+          (Agrid_obs.Ledger.Commit
+             {
+               clock = now;
+               machine;
+               task;
+               version = Version.to_string version;
+               start = plan.Schedule.pl_start;
+               stop = plan.Schedule.pl_stop;
+               score = parts.Objective.total;
+               alpha_term = parts.Objective.t100_term;
+               beta_term = parts.Objective.energy_term;
+               gamma_term = parts.Objective.aet_term;
+               pool_size;
+               runner_up;
+             })
+  in
+  let rec walk rank = function
     | [] ->
         if pool_size = 0 then begin
           Agrid_obs.Sink.incr obs "slrh/pool_empty";
@@ -188,7 +282,12 @@ let try_assign params sched ~machine ~now ~scored plans_attempted =
         end;
         None
     | (task, version, score) :: rest ->
-        if Schedule.is_mapped sched task then walk rest
+        if Schedule.is_mapped sched task then begin
+          candidate task
+            (Agrid_obs.Ledger.Scored
+               { version = Version.to_string version; score; rank });
+          walk (rank + 1) rest
+        end
         else begin
           incr plans_attempted;
           let plan =
@@ -196,6 +295,21 @@ let try_assign params sched ~machine ~now ~scored plans_attempted =
                 Schedule.plan sched ~task ~version ~machine ~not_before:now)
           in
           if plan.Schedule.pl_start <= now + params.horizon then begin
+            ledger_commit ~task ~version plan;
+            (match ledger with
+            | None -> ()
+            | Some _ ->
+                List.iteri
+                  (fun i (t, v, s) ->
+                    let fate =
+                      let version = Version.to_string v in
+                      let r = rank + 1 + i in
+                      if Schedule.is_mapped sched t then
+                        Agrid_obs.Ledger.Scored { version; score = s; rank = r }
+                      else Agrid_obs.Ledger.Outscored { version; score = s; rank = r }
+                    in
+                    candidate t fate)
+                  rest);
             Schedule.commit sched plan;
             trace
               (Trace.Assigned
@@ -210,10 +324,20 @@ let try_assign params sched ~machine ~now ~scored plans_attempted =
                  });
             Some task
           end
-          else walk rest
+          else begin
+            candidate task
+              (Agrid_obs.Ledger.Horizon_missed
+                 {
+                   version = Version.to_string version;
+                   score;
+                   rank;
+                   planned_start = plan.Schedule.pl_start;
+                 });
+            walk (rank + 1) rest
+          end
         end
   in
-  walk scored
+  walk 0 scored
 
 let validate_params params =
   if params.delta_t <= 0 then invalid_arg "Slrh: delta_t must be positive";
@@ -247,12 +371,35 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
   let plans_attempted = ref 0 in
   let assignments = ref 0 in
   let obs = params.obs in
+  let ledger = Agrid_obs.Sink.ledger obs in
   (* snapshot deltas: pools/candidates since the previous sample *)
   let snap_pools = ref 0 in
   let snap_cands = ref 0 in
   let now = ref start_clock in
+  (* Ledger idle entries answer "why did machine J sit idle at step K?":
+     one per swept machine per timestep that ends with no assignment.
+     [Busy]/[Down] are decided before the pool is even built; a machine
+     that built pools but committed nothing records the last pool's
+     emptiness ([Pool_empty] vs [Horizon_miss]). *)
+  let record_idle ~machine ~cause =
+    match ledger with
+    | None -> ()
+    | Some led ->
+        Agrid_obs.Ledger.record led
+          (Agrid_obs.Ledger.Idle { clock = !now; machine; cause })
+  in
+  let idle_cause_of_pool = function
+    | [] -> Agrid_obs.Ledger.Pool_empty
+    | _ :: _ -> Agrid_obs.Ledger.Horizon_miss
+  in
   while (not (Schedule.all_mapped sched)) && !now <= tau do
     incr clock_steps;
+    (match ledger with
+    | None -> ()
+    | Some _ ->
+        for j = 0 to n_machines - 1 do
+          if not (up j) then record_idle ~machine:j ~cause:Agrid_obs.Ledger.Down
+        done);
     let sequence =
       Array.of_list
         (List.filter up (Array.to_list (machine_sequence params sched ~n_machines)))
@@ -268,32 +415,47 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
             let scored = scored_pool params ~eligible sched ~machine:j ~now:!now candidates_scored in
             (match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
             | Some _ -> incr assignments
-            | None -> ())
+            | None -> record_idle ~machine:j ~cause:(idle_cause_of_pool scored))
         | V2 ->
             (* one stale pool, drained as far as the horizon allows *)
             incr pools_built;
             let scored =
               ref (scored_pool params ~eligible sched ~machine:j ~now:!now candidates_scored)
             in
+            let committed = ref 0 in
             let continue_ = ref true in
             while !continue_ do
               match try_assign params sched ~machine:j ~now:!now ~scored:!scored plans_attempted with
               | Some task ->
                   incr assignments;
+                  incr committed;
                   scored := List.filter (fun (i, _, _) -> i <> task) !scored
               | None -> continue_ := false
-            done
+            done;
+            if !committed = 0 then
+              record_idle ~machine:j ~cause:(idle_cause_of_pool !scored)
         | V3 ->
             (* rebuild and re-score the pool after every assignment *)
+            let committed = ref 0 in
+            let last_pool_empty = ref true in
             let continue_ = ref true in
             while !continue_ do
               incr pools_built;
               let scored = scored_pool params ~eligible sched ~machine:j ~now:!now candidates_scored in
+              (last_pool_empty := match scored with [] -> true | _ :: _ -> false);
               match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
-              | Some _ -> incr assignments
+              | Some _ ->
+                  incr assignments;
+                  incr committed
               | None -> continue_ := false
-            done
-      end;
+            done;
+            if !committed = 0 then
+              record_idle ~machine:j
+                ~cause:
+                  (if !last_pool_empty then Agrid_obs.Ledger.Pool_empty
+                   else Agrid_obs.Ledger.Horizon_miss)
+      end
+      else record_idle ~machine:j ~cause:Agrid_obs.Ledger.Busy;
       incr machine
     done;
     let sampled =

@@ -39,8 +39,12 @@ type params = {
           [slrh/pool_build], [slrh/score], [slrh/plan],
           [feasibility/filter]), counters mirroring {!stats}, score and
           pool-size histograms, and one {!Agrid_obs.Snapshot.t} per
-          timestep (stride-gated by the sink). The default no-op sink is
-          inert: scheduler output is bit-identical with or without it. *)
+          timestep (stride-gated by the sink). A sink created with
+          [~ledger:true] additionally records the decision ledger: typed
+          per-candidate rejections, commit score decompositions with the
+          runner-up margin, and per-machine idle causes. The default
+          no-op sink is inert: scheduler output is bit-identical with or
+          without it (ledger on or off). *)
 }
 
 val default_params : ?variant:variant -> Objective.weights -> params

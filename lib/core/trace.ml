@@ -94,56 +94,76 @@ let csv_rows t =
          | Horizon_miss { pool_size } ->
              base @ [ "horizon_miss"; ""; ""; ""; ""; ""; string_of_int pool_size; "" ])
 
+(* Per-row parse shared by the strict importer and the lint pass. *)
+exception Row_error of string
+
+let parse_csv_row row =
+  let fail fmt = Fmt.kstr (fun msg -> raise (Row_error msg)) fmt in
+  let int_of what s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail "bad %s %S" what s
+  in
+  let float_of what s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> fail "bad %s %S" what s
+  in
+  try
+    match row with
+    | [ clock; machine; event; task; version; start; stop; score; pool_size;
+        energy_remaining ] ->
+        let clock = int_of "clock" clock in
+        let machine = int_of "machine" machine in
+        let kind =
+          match event with
+          | "assigned" ->
+              let version =
+                match Version.of_string version with
+                | Some v -> v
+                | None -> fail "bad version %S" version
+              in
+              Assigned
+                {
+                  task = int_of "task" task;
+                  version;
+                  start = int_of "start" start;
+                  stop = int_of "stop" stop;
+                  score = float_of "score" score;
+                  pool_size = int_of "pool_size" pool_size;
+                  energy_remaining = float_of "energy_remaining" energy_remaining;
+                }
+          | "pool_empty" -> Pool_empty
+          | "horizon_miss" -> Horizon_miss { pool_size = int_of "pool_size" pool_size }
+          | other -> fail "unknown event %S" other
+        in
+        Ok (clock, machine, kind)
+    | _ ->
+        fail "expected %d fields, got %d" (List.length csv_header) (List.length row)
+  with Row_error msg -> Error msg
+
 (* Inverse of [csv_rows] (header excluded), for re-importing an exported
    trace. Floats round-trip through the writer's %.6f, so scores and
    energies are recovered to 1e-6, not bit-exactly. *)
 let of_csv_rows rows =
   let t = create () in
-  let fail i msg = invalid_arg (Fmt.str "Trace.of_csv_rows: row %d: %s" i msg) in
-  let int_of i what s =
-    match int_of_string_opt s with
-    | Some v -> v
-    | None -> fail i (Fmt.str "bad %s %S" what s)
-  in
-  let float_of i what s =
-    match float_of_string_opt s with
-    | Some v -> v
-    | None -> fail i (Fmt.str "bad %s %S" what s)
-  in
   List.iteri
     (fun i row ->
-      match row with
-      | [ clock; machine; event; task; version; start; stop; score; pool_size;
-          energy_remaining ] ->
-          let clock = int_of i "clock" clock in
-          let machine = int_of i "machine" machine in
-          let kind =
-            match event with
-            | "assigned" ->
-                let version =
-                  match Version.of_string version with
-                  | Some v -> v
-                  | None -> fail i (Fmt.str "bad version %S" version)
-                in
-                Assigned
-                  {
-                    task = int_of i "task" task;
-                    version;
-                    start = int_of i "start" start;
-                    stop = int_of i "stop" stop;
-                    score = float_of i "score" score;
-                    pool_size = int_of i "pool_size" pool_size;
-                    energy_remaining = float_of i "energy_remaining" energy_remaining;
-                  }
-            | "pool_empty" -> Pool_empty
-            | "horizon_miss" ->
-                Horizon_miss { pool_size = int_of i "pool_size" pool_size }
-            | other -> fail i (Fmt.str "unknown event %S" other)
-          in
-          record t ~clock ~machine kind
-      | _ -> fail i (Fmt.str "expected %d fields, got %d" (List.length csv_header) (List.length row)))
+      match parse_csv_row row with
+      | Ok (clock, machine, kind) -> record t ~clock ~machine kind
+      | Error msg -> invalid_arg (Fmt.str "Trace.of_csv_rows: row %d: %s" i msg))
     rows;
   t
+
+(* Lint pass behind `agrid trace lint`: where [of_csv_rows] stops at the
+   first malformed row, this walks the whole file and reports every
+   diagnostic, so a mangled export can be repaired in one edit round. *)
+let lint_csv_rows rows =
+  List.mapi
+    (fun i row ->
+      match parse_csv_row row with Ok _ -> None | Error msg -> Some (i, msg))
+    rows
+  |> List.filter_map Fun.id
 
 let pp_summary ppf s =
   Fmt.pf ppf

@@ -50,3 +50,8 @@ val of_csv_rows : string list list -> t
     the writer's [%.6f], so scores and energies are recovered to 1e-6
     rather than bit-exactly.
     @raise Invalid_argument on a malformed row. *)
+
+val lint_csv_rows : string list list -> (int * string) list
+(** Every malformed row with its diagnostic, 0-indexed (header excluded).
+    Where {!of_csv_rows} raises at the first problem, this walks the
+    whole input — the check behind [agrid trace lint]. Empty = clean. *)

@@ -1,64 +1,14 @@
 (* Exporters: JSONL (one self-describing JSON object per line — the
    machine-readable artefact `agrid run --obs` and `agrid prof` emit) and
-   CSV via Agrid_report.Csv for spreadsheet-side analysis. The JSON
-   emitter is hand-rolled: values are only strings, finite numbers,
-   arrays and flat objects, and nothing in this repository may depend on
-   an external JSON package. *)
+   CSV via Agrid_report.Csv for spreadsheet-side analysis. Values are only
+   strings, finite numbers, arrays and flat objects; emission goes through
+   the in-tree Json module — nothing in this repository may depend on an
+   external JSON package. Non-finite floats (quantiles of empty
+   histograms) export as null. *)
 
-(* ---- minimal JSON emission ---- *)
+open Json
 
-let buf_add_json_string b s =
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"'
-
-(* NaN / infinity have no JSON representation; they export as null (the
-   only places they can appear are quantiles of empty histograms). *)
-let json_float x = if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
-
-type json =
-  | Str of string
-  | Int of int
-  | Flt of float
-  | Arr of json list
-
-let rec buf_add_json b = function
-  | Str s -> buf_add_json_string b s
-  | Int i -> Buffer.add_string b (string_of_int i)
-  | Flt x -> Buffer.add_string b (json_float x)
-  | Arr l ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun i v ->
-          if i > 0 then Buffer.add_char b ',';
-          buf_add_json b v)
-        l;
-      Buffer.add_char b ']'
-
-let obj fields =
-  let b = Buffer.create 128 in
-  Buffer.add_char b '{';
-  List.iteri
-    (fun i (k, v) ->
-      if i > 0 then Buffer.add_char b ',';
-      buf_add_json_string b k;
-      Buffer.add_char b ':';
-      buf_add_json b v)
-    fields;
-  Buffer.add_char b '}';
-  Buffer.contents b
-
+let obj fields = Json.to_string (Obj fields)
 let floats a = Arr (List.map (fun x -> Flt x) (Array.to_list a))
 let ints a = Arr (List.map (fun x -> Int x) (Array.to_list a))
 
@@ -140,11 +90,11 @@ let write_jsonl path sink =
 let summary_json ?total_seconds sink =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": ";
-  buf_add_json_string b "agrid-bench-obs/1";
+  Buffer.add_string b (Json.to_string (Str "agrid-bench-obs/1"));
   (match total_seconds with
   | Some t ->
       Buffer.add_string b ",\n  \"total_seconds\": ";
-      Buffer.add_string b (json_float t)
+      Buffer.add_string b (Json.float_repr t)
   | None -> ());
   Buffer.add_string b ",\n  \"spans\": [\n";
   List.iteri
@@ -162,7 +112,7 @@ let summary_json ?total_seconds sink =
           if not !first then Buffer.add_char b ',';
           first := false;
           Buffer.add_string b "\n    ";
-          buf_add_json_string b name;
+          Buffer.add_string b (Json.to_string (Str name));
           Buffer.add_string b ": ";
           Buffer.add_string b (string_of_int c)
       | Registry.Gauge _ | Registry.Histogram _ -> ())

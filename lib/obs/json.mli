@@ -1,0 +1,44 @@
+(** Self-contained JSON values — emitter and parser, shared by everything
+    in this repository that writes or reads machine-readable artefacts
+    (telemetry JSONL, decision ledgers, [BENCH_obs.json]). No external
+    JSON package may be used anywhere in the tree.
+
+    Non-finite floats emit as [null]; a parsed [Null] reads back as [nan]
+    through {!to_float}. Integers round-trip exactly; floats pass through
+    ["%.9g"]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Flt of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val float_repr : float -> string
+(** The emitter's float spelling (["%.9g"], non-finite -> ["null"]). *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input or trailing characters. *)
+
+val parse_opt : string -> t option
+
+(** {2 Accessors} — all return [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Accepts [Flt], [Int] (widened) and [Null] (as [nan]). *)
+
+val to_string_value : t -> string option
+val to_list : t -> t list option
+val get_int : string -> t -> int option
+val get_float : string -> t -> float option
+val get_string : string -> t -> string option

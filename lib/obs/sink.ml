@@ -16,13 +16,14 @@ type active = {
   snapshots : Snapshot.t Snapshot.Ring.t;
   stride : int;  (* sample every [stride]-th tick *)
   mutable ticks : int;
+  ledger : Ledger.t option;  (* decision ledger, opt-in (it is not cheap) *)
 }
 
 type t = Noop | Active of active
 
 let noop = Noop
 
-let create ?(stride = 1) ?(capacity = 4096) () =
+let create ?(stride = 1) ?(capacity = 4096) ?(ledger = false) () =
   if stride <= 0 then invalid_arg "Sink.create: stride must be positive";
   Active
     {
@@ -31,9 +32,15 @@ let create ?(stride = 1) ?(capacity = 4096) () =
       snapshots = Snapshot.Ring.create ~capacity;
       stride;
       ticks = 0;
+      ledger = (if ledger then Some (Ledger.create ()) else None);
     }
 
 let enabled = function Noop -> false | Active _ -> true
+
+(* Call sites guard every ledger record on this returning [Some], so the
+   no-op sink (and an active sink without a ledger) never pays for — or
+   changes behaviour through — decision recording. *)
+let ledger = function Noop -> None | Active a -> a.ledger
 
 let incr t name = match t with Noop -> () | Active a -> Registry.incr a.registry name
 
@@ -90,4 +97,7 @@ let merge_into ~into src =
       Registry.merge_into ~into:d.registry s.registry;
       Span.merge_into ~into:d.spans s.spans;
       Snapshot.Ring.iter (Snapshot.Ring.push d.snapshots) s.snapshots;
+      (match (d.ledger, s.ledger) with
+      | Some dl, Some sl -> Ledger.iter (Ledger.record dl) sl
+      | _ -> ());
       d.ticks <- d.ticks + s.ticks

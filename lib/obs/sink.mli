@@ -16,12 +16,19 @@ type t
 val noop : t
 (** The inert sink. *)
 
-val create : ?stride:int -> ?capacity:int -> unit -> t
+val create : ?stride:int -> ?capacity:int -> ?ledger:bool -> unit -> t
 (** An active sink. [stride] (default 1) samples every n-th
-    {!tick_snapshot}; [capacity] (default 4096) bounds the snapshot ring.
+    {!tick_snapshot}; [capacity] (default 4096) bounds the snapshot ring;
+    [ledger] (default [false]) attaches a decision {!Ledger.t} — opt-in
+    because per-candidate rejection reasons cost real work to compute.
     @raise Invalid_argument on a nonpositive stride. *)
 
 val enabled : t -> bool
+
+val ledger : t -> Ledger.t option
+(** The decision ledger, when this sink carries one. Instrumented call
+    sites guard every ledger record on this, so a sink without one (and
+    the no-op sink in particular) never pays for decision recording. *)
 
 val incr : t -> string -> unit
 val add : t -> string -> int -> unit
@@ -54,6 +61,8 @@ val n_spans : t -> int
 val n_snapshots : t -> int
 
 val merge_into : into:t -> t -> unit
-(** Merging [noop] into anything is a no-op.
+(** Merging [noop] into anything is a no-op. Ledger entries append in
+    order when both sinks carry a ledger (and are dropped otherwise —
+    parallel workers do not record decisions).
     @raise Invalid_argument when merging an active sink into [noop], or on
     a metric kind/bounds clash. *)

@@ -31,3 +31,55 @@ let write_file path ~header rows =
     ~finally:(fun () -> close_out oc)
     (fun () -> Fmt.pf (Format.formatter_of_out_channel oc) "%a@?"
         (fun ppf () -> pp ppf ~header rows) ())
+
+(* ---- reader (inverse of the writer) ---- *)
+
+(* RFC-4180 parse: comma-separated fields, double-quoted fields may hold
+   commas, newlines and doubled quotes. Accepts LF and CRLF row ends; an
+   unterminated quote raises. A trailing newline does not produce a
+   phantom empty row. *)
+let parse s =
+  let n = String.length s in
+  let rows = ref [] and row = ref [] in
+  let field = Buffer.create 32 in
+  let flush_field () =
+    row := Buffer.contents field :: !row;
+    Buffer.clear field
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = s.[!i] in
+    (if !in_quotes then
+       if c = '"' then
+         if !i + 1 < n && s.[!i + 1] = '"' then begin
+           Buffer.add_char field '"';
+           incr i
+         end
+         else in_quotes := false
+       else Buffer.add_char field c
+     else
+       match c with
+       | '"' when Buffer.length field = 0 -> in_quotes := true
+       | ',' -> flush_field ()
+       | '\n' -> flush_row ()
+       | '\r' when !i + 1 < n && s.[!i + 1] = '\n' ->
+           flush_row ();
+           incr i
+       | c -> Buffer.add_char field c);
+    incr i
+  done;
+  if !in_quotes then invalid_arg "Csv.parse: unterminated quoted field";
+  if Buffer.length field > 0 || !row <> [] then flush_row ();
+  List.rev !rows
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))

@@ -1,5 +1,13 @@
-(** Minimal CSV writer (RFC-4180-style quoting). *)
+(** Minimal CSV writer and reader (RFC-4180-style quoting). *)
 
 val pp : Format.formatter -> header:string list -> string list list -> unit
 val to_string : header:string list -> string list list -> string
 val write_file : string -> header:string list -> string list list -> unit
+
+val parse : string -> string list list
+(** Inverse of {!to_string}, header row included. Quoted fields may hold
+    commas, newlines and doubled quotes; accepts LF and CRLF endings.
+    @raise Invalid_argument on an unterminated quote. *)
+
+val read_file : string -> string list list
+(** {!parse} over a whole file. *)

@@ -1,0 +1,151 @@
+(* CI perf-regression gate over the bench observability profile.
+
+   Compares a freshly generated BENCH_obs.json (bench/main.exe --quick
+   --obs-only) against the committed bench/baseline_obs.json:
+
+   - counters (T100, mapped count, pool/plan/assignment totals) are
+     seed-deterministic, so any drift is a behaviour change: compared
+     exactly;
+   - span p50/p95 timings vary with hardware, so the fresh run may be up
+     to --span-tolerance times the baseline (default 10x — loose enough
+     for CI runner jitter, tight enough to catch an accidental
+     quadratic-blowup or a hot loop losing its no-op guard).
+
+   Exit 0: no regression. Exit 1: regression, one line per finding.
+   Exit 2: missing/malformed input. A deliberate behaviour change is
+   shipped by regenerating the baseline (see bench/README note in
+   EXPERIMENTS.md) in the same commit. *)
+
+let default_baseline = "bench/baseline_obs.json"
+let default_fresh = "BENCH_obs.json"
+
+type options = { baseline : string; fresh : string; span_tolerance : float }
+
+let usage () =
+  Fmt.epr
+    "usage: check_regression.exe [--baseline FILE] [--fresh FILE] [--span-tolerance X]@.";
+  exit 2
+
+let parse_options () =
+  let opts =
+    ref { baseline = default_baseline; fresh = default_fresh; span_tolerance = 10. }
+  in
+  let rec walk = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+        opts := { !opts with baseline = v };
+        walk rest
+    | "--fresh" :: v :: rest ->
+        opts := { !opts with fresh = v };
+        walk rest
+    | "--span-tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some x when x > 0. -> opts := { !opts with span_tolerance = x }
+        | _ ->
+            Fmt.epr "check_regression: bad --span-tolerance %S@." v;
+            exit 2);
+        walk rest
+    | _ -> usage ()
+  in
+  walk (List.tl (Array.to_list Sys.argv));
+  !opts
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg ->
+    Fmt.epr "check_regression: %s@." msg;
+    exit 2
+
+let load path =
+  let doc =
+    try Agrid_obs.Json.parse (read_file path)
+    with Agrid_obs.Json.Parse_error msg ->
+      Fmt.epr "check_regression: %s: %s@." path msg;
+      exit 2
+  in
+  (match Agrid_obs.Json.get_string "schema" doc with
+  | Some "agrid-bench-obs/1" -> ()
+  | Some other ->
+      Fmt.epr "check_regression: %s: unexpected schema %S@." path other;
+      exit 2
+  | None ->
+      Fmt.epr "check_regression: %s: missing schema field@." path;
+      exit 2);
+  doc
+
+(* name -> (p50_s, p95_s) *)
+let spans_of doc =
+  match Option.bind (Agrid_obs.Json.member "spans" doc) Agrid_obs.Json.to_list with
+  | None -> []
+  | Some spans ->
+      List.filter_map
+        (fun s ->
+          match
+            ( Agrid_obs.Json.get_string "name" s,
+              Agrid_obs.Json.get_float "p50_s" s,
+              Agrid_obs.Json.get_float "p95_s" s )
+          with
+          | Some name, Some p50, Some p95 -> Some (name, (p50, p95))
+          | _ -> None)
+        spans
+
+let counters_of doc =
+  match Agrid_obs.Json.member "counters" doc with
+  | Some (Agrid_obs.Json.Obj fields) ->
+      List.filter_map
+        (fun (name, v) ->
+          match Agrid_obs.Json.to_int v with Some c -> Some (name, c) | None -> None)
+        fields
+  | _ -> []
+
+let () =
+  let opts = parse_options () in
+  let baseline = load opts.baseline in
+  let fresh = load opts.fresh in
+  let failures = ref 0 in
+  let fail fmt = Fmt.kpf (fun _ -> incr failures) Fmt.stderr ("REGRESSION: " ^^ fmt ^^ "@.") in
+  (* deterministic counters: exact match *)
+  let fresh_counters = counters_of fresh in
+  List.iter
+    (fun (name, expected) ->
+      match List.assoc_opt name fresh_counters with
+      | None -> fail "counter %s missing from %s (baseline: %d)" name opts.fresh expected
+      | Some got when got <> expected ->
+          fail "counter %s: baseline %d, fresh %d (seed-deterministic — behaviour changed)"
+            name expected got
+      | Some _ -> ())
+    (counters_of baseline);
+  (* span timings: bounded slowdown *)
+  let fresh_spans = spans_of fresh in
+  List.iter
+    (fun (name, (b50, b95)) ->
+      match List.assoc_opt name fresh_spans with
+      | None -> fail "span %s missing from %s" name opts.fresh
+      | Some (f50, f95) ->
+          (* floor the budget: sub-microsecond baselines are all jitter *)
+          let budget b = opts.span_tolerance *. Float.max b 1e-6 in
+          if f50 > budget b50 then
+            fail "span %s p50 %.3gs exceeds %.1fx baseline %.3gs" name f50
+              opts.span_tolerance b50;
+          if f95 > budget b95 then
+            fail "span %s p95 %.3gs exceeds %.1fx baseline %.3gs" name f95
+              opts.span_tolerance b95)
+    (spans_of baseline);
+  if !failures = 0 then begin
+    Fmt.pr "check_regression: %s within tolerance of %s (%d spans, %d counters)@."
+      opts.fresh opts.baseline
+      (List.length fresh_spans) (List.length fresh_counters);
+    exit 0
+  end
+  else begin
+    Fmt.epr
+      "check_regression: %d regression(s) against %s. Deliberate change? Regenerate \
+       the baseline: dune exec bench/main.exe -- --quick --obs-only && cp \
+       BENCH_obs.json %s@."
+      !failures opts.baseline opts.baseline;
+    exit 1
+  end

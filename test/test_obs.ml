@@ -149,6 +149,29 @@ let test_ring_partial_fill () =
   Alcotest.(check (list string)) "insertion order" [ "a"; "b" ] (Snapshot.Ring.to_list r);
   Alcotest.(check int) "nothing dropped" 0 (Snapshot.Ring.dropped r)
 
+(* Stride-gated sampling into a ring whose capacity does not divide the
+   sample count: the ring must keep the newest samples and report the
+   exact drop count even when the wrap point lands mid-stride. *)
+let test_ring_wraparound_nondivisible_stride () =
+  let s = Sink.create ~stride:3 ~capacity:4 () in
+  for i = 0 to 19 do
+    ignore
+      (Sink.tick_snapshot s ~make:(fun () ->
+           {
+             Snapshot.clock = i;
+             mapped = 0;
+             t100 = 0;
+             pools_built = 0;
+             pool_candidates = 0;
+             energy = [||];
+           }))
+  done;
+  (* sampled ticks: 0 3 6 9 12 15 18 — seven samples into four slots *)
+  Alcotest.(check int) "ring holds capacity" 4 (Sink.n_snapshots s);
+  Alcotest.(check int) "three oldest dropped" 3 (Sink.snapshots_dropped s);
+  Alcotest.(check (list int)) "newest samples kept, oldest first" [ 9; 12; 15; 18 ]
+    (List.map (fun (x : Snapshot.t) -> x.Snapshot.clock) (Sink.snapshots s))
+
 (* ---- span ---- *)
 
 let test_span_records_on_raise () =
@@ -325,6 +348,37 @@ let test_nonfinite_floats_export_null () =
   Alcotest.(check bool) "infinity becomes null" true
     (Testlib.contains s "\"value\":null")
 
+(* nan/inf emit as null and read back as nan through the in-tree parser —
+   the telemetry JSONL must survive a full export -> parse cycle without
+   an external JSON package. *)
+let test_json_nan_inf_round_trip () =
+  List.iter
+    (fun x ->
+      let line = Json.to_string (Json.Obj [ ("value", Json.Flt x) ]) in
+      Alcotest.(check string) "non-finite emits null" "{\"value\":null}" line;
+      match Option.bind (Json.member "value" (Json.parse line)) Json.to_float with
+      | Some v -> Alcotest.(check bool) "null parses back to nan" true (Float.is_nan v)
+      | None -> Alcotest.fail "value field lost in round trip")
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* finite floats survive to 9 significant digits, ints exactly *)
+  let line = Json.to_string (Json.Obj [ ("f", Json.Flt 0.123456789); ("i", Json.Int 42) ]) in
+  let doc = Json.parse line in
+  Alcotest.(check (option int)) "int exact" (Some 42) (Json.get_int "i" doc);
+  (match Json.get_float "f" doc with
+  | Some f -> Alcotest.(check bool) "float to 1e-9" true (Float.abs (f -. 0.123456789) < 1e-12)
+  | None -> Alcotest.fail "float field lost");
+  (* and a whole exported sink parses line by line *)
+  let sink = Sink.create () in
+  Sink.set_gauge sink "g" Float.nan;
+  Sink.add sink "c" 7;
+  Sink.record_span sink "sp" 0.25;
+  String.split_on_char '\n' (Export.to_jsonl sink)
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun l ->
+         match Json.parse_opt l with
+         | Some (Json.Obj _) -> ()
+         | Some _ | None -> Alcotest.failf "export line is not a JSON object: %s" l)
+
 let suites =
   [
     ( "obs",
@@ -340,6 +394,8 @@ let suites =
         Alcotest.test_case "registry kind mismatch" `Quick test_registry_kind_mismatch;
         Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
         Alcotest.test_case "ring partial fill" `Quick test_ring_partial_fill;
+        Alcotest.test_case "ring wraparound at non-divisible stride" `Quick
+          test_ring_wraparound_nondivisible_stride;
         Alcotest.test_case "span records on raise" `Quick test_span_records_on_raise;
         Alcotest.test_case "sink noop inert" `Quick test_sink_noop_inert;
         Alcotest.test_case "sink stride" `Quick test_sink_stride;
@@ -350,5 +406,6 @@ let suites =
         Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
         Alcotest.test_case "summary json" `Quick test_summary_json_counters;
         Alcotest.test_case "non-finite floats null" `Quick test_nonfinite_floats_export_null;
+        Alcotest.test_case "json nan/inf round trip" `Quick test_json_nan_inf_round_trip;
       ] );
   ]
