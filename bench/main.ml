@@ -445,11 +445,50 @@ let run_obs_profile config ~total_seconds =
          { Agrid_churn.Event.at = tau / 8; kind = Agrid_churn.Event.Leave 1 };
          { Agrid_churn.Event.at = tau / 2; kind = Agrid_churn.Event.Rejoin 1 };
        ]);
+  (* Pool-reuse rate of the incremental mode (the default above): both
+     counters are seed-deterministic, so the CI gate pins them exactly —
+     a drop in the reuse rate is a perf regression even before it shows
+     up in span timings. *)
+  let counter name =
+    match
+      List.assoc_opt name
+        (List.filter_map
+           (fun (n, m) ->
+             match m with Agrid_obs.Registry.Counter c -> Some (n, c) | _ -> None)
+           (Agrid_obs.Sink.metrics sink))
+    with
+    | Some c -> c
+    | None -> 0
+  in
+  let reused = counter "slrh/pool_reused" and rebuilt = counter "slrh/pool_rebuilt" in
+  if reused + rebuilt > 0 then
+    Fmt.pr "pool reuse: %d of %d builds (%.1f%%)@." reused (reused + rebuilt)
+      (100. *. float_of_int reused /. float_of_int (reused + rebuilt));
+  (* Sharded Monte Carlo campaign profile: a separate sink so the
+     campaign's counters land in their own gated section. Counter totals
+     are shard-count-invariant (pinned by the differential suite), so the
+     gate compares them exactly even though the bench machine's domain
+     count varies. *)
+  let campaign_sink = Agrid_obs.Sink.create ~stride:8 () in
+  let levels =
+    Agrid_exper.Campaign.run ~obs:campaign_sink ~weights ~intensities:[ 0.0; 2.0 ]
+      ~replicates:8 ~shards:2 ~seed:2004 config
+  in
+  Fmt.pr "campaign: %d levels, completion %s@." (List.length levels)
+    (String.concat "/"
+       (List.map
+          (fun (l : Agrid_exper.Campaign.level) -> Fmt.str "%.2f" l.completion_rate)
+          levels));
   let oc = open_out "BENCH_obs.json" in
-  output_string oc (Agrid_obs.Export.summary_json ~total_seconds sink);
+  output_string oc
+    (Agrid_obs.Export.summary_json ~total_seconds
+       ~sections:[ ("campaign", campaign_sink) ]
+       sink);
   close_out oc;
-  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics)@."
+  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics)@."
     (Agrid_obs.Sink.n_spans sink) (Agrid_obs.Sink.n_metrics sink)
+    (Agrid_obs.Sink.n_spans campaign_sink)
+    (Agrid_obs.Sink.n_metrics campaign_sink)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

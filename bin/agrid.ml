@@ -81,6 +81,19 @@ let delta_t_t =
 let horizon_t =
   Arg.(value & opt int 100 & info [ "horizon" ] ~docv:"CYCLES" ~doc:"SLRH receding horizon.")
 
+let mode_t =
+  let parse s =
+    match Slrh.mode_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Fmt.str "unknown mode %S (expected rescan or incremental)" s))
+  in
+  let print ppf m = Fmt.string ppf (Slrh.mode_to_string m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Incremental
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"SLRH pool maintenance: 'incremental' (default: reuse pools and cached score inputs whose inputs did not change; output bit-identical) or 'rescan' (rebuild every pool every timestep — the differential oracle).")
+
 let spec_of ~seed ~scale =
   if scale >= 1. then Spec.paper_scale ~seed () else Spec.scaled ~seed ~factor:scale ()
 
@@ -172,7 +185,7 @@ let print_gantt schedule =
     (Agrid_report.Gantt.make ~title:"schedule (P primary, s secondary, x transfer)" lanes)
 
 let run_cmd =
-  let action seed scale case etc dag heuristic alpha beta delta_t horizon gantt trace_file obs_file ledger_file =
+  let action seed scale case etc dag heuristic alpha beta delta_t horizon mode gantt trace_file obs_file ledger_file =
     let workload = workload_of ~seed ~scale ~etc ~dag ~case in
     let weights = Objective.make_weights ~alpha ~beta in
     Fmt.pr "%a@." Workload.pp workload;
@@ -191,6 +204,7 @@ let run_cmd =
               (Slrh.default_params ~variant weights) with
               Slrh.delta_t;
               horizon;
+              mode;
               tracer;
               obs = sink;
             }
@@ -245,7 +259,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ heuristic_t $ alpha_t
-      $ beta_t $ delta_t_t $ horizon_t $ gantt_t $ trace_t $ obs_t $ ledger_t)
+      $ beta_t $ delta_t_t $ horizon_t $ mode_t $ gantt_t $ trace_t $ obs_t $ ledger_t)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Map one scenario with a chosen heuristic and validate the result.")
@@ -436,7 +450,7 @@ let import_cmd =
 (* ---- churn ---- *)
 
 let churn_cmd =
-  let action seed scale etc dag case alpha beta events mc intensities policy budget obs_file ledger_file =
+  let action seed scale etc dag case alpha beta mode shards events mc intensities policy budget obs_file ledger_file =
     let weights = Objective.make_weights ~alpha ~beta in
     let policy =
       Agrid_churn.Retry.make
@@ -457,7 +471,7 @@ let churn_cmd =
         let workload = workload_of ~seed ~scale ~etc ~dag ~case in
         let events = Agrid_churn.Event.parse_trace trace in
         let sink = sink_for ~ledger:ledger_file obs_file in
-        let params = { (Slrh.default_params weights) with Slrh.obs = sink } in
+        let params = { (Slrh.default_params weights) with Slrh.mode; obs = sink } in
         let o = Dynamic.run_churn ~policy params workload events in
         Fmt.pr "trace: %s@." (Agrid_churn.Event.trace_to_string events);
         List.iter
@@ -474,7 +488,8 @@ let churn_cmd =
         let config = config_of_options seed scale 1 1 in
         let sink = sink_for obs_file in
         let levels =
-          Campaign.run ~obs:sink ~weights ~policy ?intensities ~replicates:n ~seed config
+          Campaign.run ~obs:sink ~weights ~policy ?intensities ~replicates:n ?shards
+            ~seed config
         in
         Fmt.pr "%a@." Agrid_report.Table.pp (Campaign.table levels);
         write_obs obs_file sink;
@@ -531,12 +546,20 @@ let churn_cmd =
       & info [ "budget" ] ~docv:"K"
           ~doc:"Per-subtask retry budget: after K discards a subtask is abandoned (default: unbounded).")
   in
+  let shards_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"With --mc: split each level's replicates into N blocks run on worker domains (default: one per available domain). Campaign aggregates are identical for every N.")
+  in
   Cmd.v
     (Cmd.info "churn"
        ~doc:"Drive SLRH through a scripted churn trace, or run a Monte Carlo survivability campaign (extension).")
     Term.(
       const action $ seed_t $ scale_t $ etc_t $ dag_t $ case_t $ alpha_t $ beta_t
-      $ events_t $ mc_t $ intensities_t $ policy_t $ budget_t $ obs_t $ ledger_t)
+      $ mode_t $ shards_t $ events_t $ mc_t $ intensities_t $ policy_t $ budget_t
+      $ obs_t $ ledger_t)
 
 (* ---- prof ---- *)
 
@@ -577,7 +600,7 @@ let metric_table sink =
          (Agrid_obs.Sink.metrics sink))
 
 let prof_cmd =
-  let action seed scale case etc dag heuristic alpha beta delta_t horizon events stride out csv =
+  let action seed scale case etc dag heuristic alpha beta delta_t horizon mode events stride out csv =
     let variant =
       match heuristic with
       | `Slrh1 -> Slrh.V1
@@ -595,12 +618,20 @@ let prof_cmd =
     let weights = Objective.make_weights ~alpha ~beta in
     let sink = Agrid_obs.Sink.create ~stride () in
     let params =
-      { (Slrh.default_params ~variant weights) with Slrh.delta_t; horizon; obs = sink }
+      {
+        (Slrh.default_params ~variant weights) with
+        Slrh.delta_t;
+        horizon;
+        mode;
+        obs = sink;
+      }
     in
     (match events with
     | None ->
         let o = Slrh.run params workload in
-        Fmt.pr "%s: %a@." (Slrh.variant_to_string variant) Slrh.pp_outcome o
+        Fmt.pr "%s (%s): %a@."
+          (Slrh.variant_to_string variant)
+          (Slrh.mode_to_string mode) Slrh.pp_outcome o
     | Some trace ->
         let evs = Agrid_churn.Event.parse_trace trace in
         let o = Dynamic.run_churn params workload evs in
@@ -655,7 +686,7 @@ let prof_cmd =
        ~doc:"Profile the SLRH hot paths: span timings, metrics and per-timestep snapshots (extension).")
     Term.(
       const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ heuristic_t $ alpha_t
-      $ beta_t $ delta_t_t $ horizon_t $ events_t $ stride_t $ out_t $ csv_t)
+      $ beta_t $ delta_t_t $ horizon_t $ mode_t $ events_t $ stride_t $ out_t $ csv_t)
 
 (* ---- explain ---- *)
 

@@ -107,6 +107,78 @@ let candidate_pool ?mode ?(obs = Agrid_obs.Sink.noop) sched ~machine =
       end;
       pool)
 
+(* Memoised admission bounds for the incremental pool path. The energy a
+   (task, machine) pair must clear — secondary execution plus the
+   worst-case child-communication surcharge — is a pure function of the
+   workload and the mode: it reads nothing from the schedule. So the bound
+   can be priced once per pair and replayed on every later timestep; the
+   admission test compares the SAME float the rescan path compares
+   ([version_verdict] also forms [exec +. comm] before testing), keeping
+   accept/reject decisions bit-identical. Entries are priced lazily: most
+   (task, machine) pairs never become ready for a given machine. *)
+module Memo = struct
+  type nonrec t = {
+    mode : mode;
+    workload : Workload.t;
+    n_machines : int;
+    required : float array;  (* (task * n_machines + machine) -> bound; nan = unpriced *)
+  }
+
+  let create ?(mode = Conservative) workload =
+    {
+      mode;
+      workload;
+      n_machines = Workload.n_machines workload;
+      required =
+        Array.make (Workload.n_tasks workload * Workload.n_machines workload) Float.nan;
+    }
+
+  (* The secondary version's admission bound [exec +. comm], priced on
+     first use. Real energies are finite, so nan is a safe "unpriced"
+     sentinel. *)
+  let required_secondary t ~task ~machine =
+    let i = (task * t.n_machines) + machine in
+    let v = t.required.(i) in
+    if Float.is_nan v then begin
+      let wl = t.workload in
+      let exec =
+        Workload.exec_energy wl ~task ~machine ~version:Version.Secondary
+      in
+      let comm =
+        match t.mode with
+        | Optimistic -> 0.
+        | Conservative ->
+            Workload.worst_case_child_comm_energy wl ~task ~machine
+              ~version:Version.Secondary
+      in
+      let v = exec +. comm in
+      t.required.(i) <- v;
+      v
+    end
+    else v
+
+  let feasible t sched ~task ~machine =
+    Schedule.energy_remaining sched machine >= required_secondary t ~task ~machine
+end
+
+(* [candidate_pool] with memoised energy bounds, returning the ready-set
+   size alongside the pool so the caller can replay the admission counters
+   verbatim when it later reuses the pool. Telemetry shape (span +
+   counters) is identical to [candidate_pool]. *)
+let candidate_pool_memo ?(obs = Agrid_obs.Sink.noop) memo sched ~machine =
+  if not (Schedule.workload sched == memo.Memo.workload) then
+    invalid_arg "Feasibility.candidate_pool_memo: memo priced for another workload";
+  Agrid_obs.Sink.span obs "feasibility/filter" (fun () ->
+      let ready = Schedule.ready_unmapped sched in
+      let pool =
+        List.filter (fun task -> Memo.feasible memo sched ~task ~machine) ready
+      in
+      if Agrid_obs.Sink.enabled obs then begin
+        Agrid_obs.Sink.add obs "feasibility/checked" (List.length ready);
+        Agrid_obs.Sink.add obs "feasibility/admitted" (List.length pool)
+      end;
+      (pool, List.length ready))
+
 (* Every unmapped task the pool turned away for [machine], with its
    verdict — the decision ledger's per-candidate rejection record. This
    walks the whole task set and re-prices energies, so callers only run it

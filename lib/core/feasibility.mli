@@ -57,6 +57,37 @@ val candidate_pool :
     [?obs] (default: inert) times the filter under ["feasibility/filter"]
     and counts ["feasibility/checked"] / ["feasibility/admitted"]. *)
 
+(** Memoised admission bounds for the incremental pool path
+    ({!Slrh.params.mode} [= `Incremental]). The energy bound a
+    (task, machine) pair must clear is a pure function of the workload and
+    the mode, so it is priced once and replayed; the admission test
+    compares the same float the plain path compares, keeping decisions
+    bit-identical (pinned by the differential suite). *)
+module Memo : sig
+  type t
+
+  val create : ?mode:mode -> Workload.t -> t
+  (** Lazy table over all (task, machine) pairs; nothing is priced until
+      first use. [?mode] defaults to [Conservative], as everywhere. *)
+
+  val required_secondary : t -> task:int -> machine:int -> float
+  (** [= required_energy ~mode sched ~task ~machine ~version:Secondary],
+      priced on first call and cached. *)
+
+  val feasible : t -> Schedule.t -> task:int -> machine:int -> bool
+  (** [= version_feasible ~mode sched ~task ~machine ~version:Secondary]
+      against the memoised bound. Does NOT check parent readiness — the
+      caller filters the ready set, exactly like {!candidate_pool}. *)
+end
+
+val candidate_pool_memo :
+  ?obs:Agrid_obs.Sink.t -> Memo.t -> Schedule.t -> machine:int -> int list * int
+(** {!candidate_pool} through a {!Memo}, also returning the ready-set
+    length so the caller can replay the ["feasibility/checked"] /
+    ["feasibility/admitted"] counters when it reuses the pool. Same span
+    and counters as {!candidate_pool}.
+    @raise Invalid_argument if the memo was priced for another workload. *)
+
 val explain_rejections :
   ?mode:mode -> Schedule.t -> machine:int -> (int * infeasibility) list
 (** Every unmapped task the pool turned away for [machine], with its

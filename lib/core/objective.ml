@@ -86,17 +86,22 @@ let after_plan w sched plan =
     ~tse:(Workload.total_system_energy wl)
     ~aet:(Schedule.aet sched |> max aet) ~tau:(Workload.tau wl)
 
-(* Cheap candidate score used by SLRH when ordering the pool (the paper
-   scores the pool before computing exact start times; see DESIGN.md
-   section 5). The finish estimate is a lower bound: latest parent finish
-   plus that parent's transfer time if it sits on another machine, ignoring
-   channel contention and machine busy gaps. [estimate_parts] keeps the
-   term decomposition for the ledger; [estimate] is its total. *)
-let estimate_parts w sched ~task ~version ~machine ~now =
+(* The parent-derived inputs of the candidate estimate. Once a task is
+   poolable every parent is mapped, and placements never change within one
+   scheduler run — so this pair is a fixed point of the task's parents and
+   the destination machine, and the incremental pool caches it per
+   (task, machine). [ready_floor] starts at [min_int], the identity of
+   integer max, so [max now ready_floor] below reassociates the original
+   fold (which started at [now]) without changing any value; [comm_energy]
+   accumulates in parent-edge array order, so the cached sum is the same
+   float the inline fold produced. *)
+type parent_bound = { ready_floor : int; comm_energy : float }
+
+let parent_bound sched ~task ~machine =
   let wl = Schedule.workload sched in
   let grid = Workload.grid wl in
   let dag = Workload.dag wl in
-  let ready = ref now in
+  let ready = ref min_int in
   let comm_energy = ref 0. in
   Array.iter
     (fun (p, edge) ->
@@ -117,7 +122,21 @@ let estimate_parts w sched ~task ~version ~machine ~now =
             ready := max !ready (pp.Schedule.stop + cycles)
           end)
     (Agrid_dag.Dag.parent_edges dag task);
-  let start = max !ready (Timeline.horizon (Schedule.exec_timeline sched machine)) in
+  { ready_floor = !ready; comm_energy = !comm_energy }
+
+(* Cheap candidate score used by SLRH when ordering the pool (the paper
+   scores the pool before computing exact start times; see DESIGN.md
+   section 5). The finish estimate is a lower bound: latest parent finish
+   plus that parent's transfer time if it sits on another machine, ignoring
+   channel contention and machine busy gaps. [estimate_parts] keeps the
+   term decomposition for the ledger; [estimate] is its total. The
+   [_with] forms take a precomputed {!parent_bound} — both modes of the
+   scheduler run the same arithmetic; they differ only in whether the
+   bound was just computed or pulled from the cache. *)
+let estimate_parts_with w sched ~bound ~task ~version ~machine ~now =
+  let wl = Schedule.workload sched in
+  let ready = max now bound.ready_floor in
+  let start = max ready (Timeline.horizon (Schedule.exec_timeline sched machine)) in
   let finish = start + Workload.exec_cycles wl ~task ~machine ~version in
   let t100 =
     Schedule.n_primary sched + if Version.is_primary version then 1 else 0
@@ -125,24 +144,38 @@ let estimate_parts w sched ~task ~version ~machine ~now =
   let tec =
     Schedule.tec sched
     +. Workload.exec_energy wl ~task ~machine ~version
-    +. !comm_energy
+    +. bound.comm_energy
   in
   let aet = max (Schedule.aet sched) finish in
   value_parts w ~t100 ~n_tasks:(Workload.n_tasks wl) ~tec
     ~tse:(Workload.total_system_energy wl)
     ~aet ~tau:(Workload.tau wl)
 
+let estimate_parts w sched ~task ~version ~machine ~now =
+  estimate_parts_with w sched
+    ~bound:(parent_bound sched ~task ~machine)
+    ~task ~version ~machine ~now
+
+let estimate_with w sched ~bound ~task ~version ~machine ~now =
+  (estimate_parts_with w sched ~bound ~task ~version ~machine ~now).total
+
 let estimate w sched ~task ~version ~machine ~now =
   (estimate_parts w sched ~task ~version ~machine ~now).total
 
 (* Best version for a candidate under the objective: evaluate both and keep
    the maximiser (paper Section IV: "selected the version that maximised
-   the value of the objective function"). *)
+   the value of the objective function"). The bound is version-independent,
+   so one computation serves both evaluations. *)
+let best_version_with w sched ~bound ~task ~machine ~now =
+  let ep = estimate_with w sched ~bound ~task ~version:Version.Primary ~machine ~now in
+  let es = estimate_with w sched ~bound ~task ~version:Version.Secondary ~machine ~now in
+  if ep >= es then (Version.Primary, ep) else (Version.Secondary, es)
+
 let best_version ?(obs = Agrid_obs.Sink.noop) w sched ~task ~machine ~now =
   Agrid_obs.Sink.add obs "objective/version_evals" 2;
-  let ep = estimate w sched ~task ~version:Version.Primary ~machine ~now in
-  let es = estimate w sched ~task ~version:Version.Secondary ~machine ~now in
-  if ep >= es then (Version.Primary, ep) else (Version.Secondary, es)
+  best_version_with w sched
+    ~bound:(parent_bound sched ~task ~machine)
+    ~task ~machine ~now
 
 (* Histogram bucket bounds covering the objective's analytic range [-1, 1]
    (the weights are nonnegative and sum to 1, and every term is

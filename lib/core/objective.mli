@@ -65,15 +65,49 @@ val of_schedule : weights -> Schedule.t -> float
 val after_plan : weights -> Schedule.t -> Schedule.plan -> float
 (** Exact objective after committing the plan (Max-Max's selection rule). *)
 
+type parent_bound = private { ready_floor : int; comm_energy : float }
+(** The parent-derived inputs of {!estimate_parts}: the earliest-ready
+    floor (latest parent finish, plus the cross-machine transfer latency
+    where applicable; [min_int] when the task has no parents) and the
+    incoming communication energy. Fixed once the task's parents are
+    mapped, so the incremental scheduler caches it per (task, machine);
+    {!estimate_parts_with} consumes it with arithmetic identical to the
+    uncached path (same fold order, same float operations). *)
+
+val parent_bound : Schedule.t -> task:int -> machine:int -> parent_bound
+(** @raise Invalid_argument on unmapped parents. *)
+
 val estimate_parts :
   weights -> Schedule.t -> task:int -> version:Version.t -> machine:int -> now:int -> parts
 (** {!estimate} with the term decomposition kept, for ledger commits. *)
+
+val estimate_parts_with :
+  weights ->
+  Schedule.t ->
+  bound:parent_bound ->
+  task:int ->
+  version:Version.t ->
+  machine:int ->
+  now:int ->
+  parts
+(** {!estimate_parts} against a precomputed (possibly cached)
+    {!parent_bound}; bit-identical to recomputing the bound in place. *)
 
 val estimate :
   weights -> Schedule.t -> task:int -> version:Version.t -> machine:int -> now:int -> float
 (** Cheap candidate score used by SLRH to order the pool before exact
     placement (DESIGN.md section 5). @raise Invalid_argument on unmapped
     parents. *)
+
+val estimate_with :
+  weights ->
+  Schedule.t ->
+  bound:parent_bound ->
+  task:int ->
+  version:Version.t ->
+  machine:int ->
+  now:int ->
+  float
 
 val best_version :
   ?obs:Agrid_obs.Sink.t ->
@@ -85,6 +119,19 @@ val best_version :
   Version.t * float
 (** Evaluate both versions, keep the maximiser (ties favour primary).
     [?obs] (default: inert) counts ["objective/version_evals"]. *)
+
+val best_version_with :
+  weights ->
+  Schedule.t ->
+  bound:parent_bound ->
+  task:int ->
+  machine:int ->
+  now:int ->
+  Version.t * float
+(** {!best_version} against a precomputed bound (the bound is
+    version-independent, so one serves both evaluations). No [?obs]: the
+    incremental scheduler accounts version evals itself, exactly as the
+    plain path does. *)
 
 val score_bounds : float array
 (** Histogram bucket bounds spanning the objective's analytic range

@@ -41,12 +41,32 @@ let machine_order_to_string = function
   | Fast_first -> "fast-first"
   | Most_energy_first -> "most-energy-first"
 
+(* [`Rescan] is the paper-literal loop: rebuild and re-price the candidate
+   pool from scratch for every free machine on every timestep.
+   [`Incremental] reuses work whose inputs provably did not change —
+   memoised energy bounds, cached parent-derived score inputs, and whole
+   pools when no commit happened since they were built — and is pinned
+   bit-identical to [`Rescan] by the differential test suite, which keeps
+   the rescan path alive as the oracle. *)
+type mode = [ `Rescan | `Incremental ]
+
+let mode_to_string = function `Rescan -> "rescan" | `Incremental -> "incremental"
+
+let mode_of_string = function
+  | "rescan" -> Some `Rescan
+  | "incremental" -> Some `Incremental
+  | _ -> None
+
 type params = {
   variant : variant;
   delta_t : int;  (** timestep in clock cycles (paper: 10) *)
   horizon : int;  (** receding horizon H in clock cycles (paper: 100) *)
   weights : Objective.weights;
   feas_mode : Feasibility.mode;
+  mode : mode;
+      (** [`Incremental] (the default) caches pool state whose inputs did
+          not change; [`Rescan] is the naive rebuild kept as the
+          differential oracle. Output is bit-identical either way. *)
   machine_order : machine_order;
   parallel_scoring : int option;
       (** score pool candidates on this many domains — the paper notes the
@@ -69,6 +89,7 @@ let default_params ?(variant = V1) weights =
     horizon = 100;
     weights;
     feas_mode = Feasibility.Conservative;
+    mode = `Incremental;
     machine_order = Numerical;
     parallel_scoring = None;
     tracer = None;
@@ -132,6 +153,70 @@ let reject_of_infeasibility = function
       Agrid_obs.Ledger.Comm_energy
         { version = Version.to_string version; exec; comm; available }
 
+(* ---- incremental-mode cache (one per [continue_run]) ----
+
+   Three layers, each keyed on exactly the inputs the recomputation would
+   read, so every cached answer is the same value — bit for bit — the
+   rescan path would produce:
+
+   - [memo]: the secondary-version energy bound per (task, machine). Pure
+     function of the workload; never invalidated.
+   - [bounds]: {!Objective.parent_bound} per (task, machine) — the
+     parent-finish ready floor and incoming comm energy. Valid from the
+     moment the task is poolable (all parents mapped) because placements
+     are immutable within a run; never invalidated. Under parallel scoring,
+     workers write disjoint slots (one task appears once per pool), so the
+     plain array is race-free.
+   - [pools]: the last pool built per machine, stamped with the commit
+     epoch ([Schedule.n_mapped]) at build time. Every intra-run input of
+     the pool — the ready set, the mapped set, and every battery level —
+     changes only through [Schedule.commit], so an unchanged epoch means
+     an identical pool. Reuse replays the build's admission counters and
+     spans verbatim; only durations (and the reuse counters) tell the
+     modes apart. Disabled when a ledger is attached: each rebuild emits
+     per-step rejection entries that reuse cannot replay, and the ledger
+     must stay bit-identical to the oracle's.
+
+   Pool reuse additionally assumes [eligible] is stable for the duration
+   of the run — true for both the plain loop and the churn engine, which
+   only changes holds/failures between phases (each phase is its own
+   [continue_run], hence its own cache). *)
+
+type pool_entry = {
+  pe_pool : int list;  (* post-eligibility pool, as scoring consumes it *)
+  pe_admitted : int;  (* |raw pool| — "feasibility/admitted" replay *)
+  pe_checked : int;  (* |ready set| — "feasibility/checked" replay *)
+  pe_epoch : int;  (* Schedule.n_mapped when built *)
+}
+
+type cache = {
+  memo : Feasibility.Memo.t;
+  bounds : Objective.parent_bound option array;  (* task * n_machines + machine *)
+  pools : pool_entry option array;  (* per machine *)
+  cache_machines : int;
+  reuse_pools : bool;  (* false when a decision ledger is attached *)
+}
+
+let make_cache params sched ~n_machines =
+  let workload = Schedule.workload sched in
+  let n_tasks = Workload.n_tasks workload in
+  {
+    memo = Feasibility.Memo.create ~mode:params.feas_mode workload;
+    bounds = Array.make (n_tasks * n_machines) None;
+    pools = Array.make n_machines None;
+    cache_machines = n_machines;
+    reuse_pools = Option.is_none (Agrid_obs.Sink.ledger params.obs);
+  }
+
+let bound_for cache sched ~task ~machine =
+  let i = (task * cache.cache_machines) + machine in
+  match cache.bounds.(i) with
+  | Some b -> b
+  | None ->
+      let b = Objective.parent_bound sched ~task ~machine in
+      cache.bounds.(i) <- Some b;
+      b
+
 (* One scored pool: best version and score per candidate, sorted by
    decreasing objective. Scoring reads the schedule without mutating it, so
    it can fan out over domains (the paper's parallel-hardware note); the
@@ -142,48 +227,103 @@ let reject_of_infeasibility = function
    including tasks the churn retry policy made ineligible. The pool
    itself is computed exactly as before; all ledger work is additive and
    guarded on [Sink.ledger]. *)
-let scored_pool params ~eligible sched ~machine ~now stats_candidates =
+let scored_pool params ~cache ~eligible sched ~machine ~now stats_candidates =
   let obs = params.obs in
+  let epoch = Schedule.n_mapped sched in
+  let reusable =
+    match cache with
+    | Some c when c.reuse_pools -> (
+        match c.pools.(machine) with
+        | Some pe when pe.pe_epoch = epoch -> Some pe
+        | Some _ | None -> None)
+    | Some _ | None -> None
+  in
   let pool =
-    Agrid_obs.Sink.span obs "slrh/pool_build" (fun () ->
-        let raw = Feasibility.candidate_pool ~mode:params.feas_mode ~obs sched ~machine in
-        (match Agrid_obs.Sink.ledger obs with
-        | None -> ()
-        | Some led ->
-            List.iter
-              (fun (task, why) ->
-                Agrid_obs.Ledger.record led
-                  (Agrid_obs.Ledger.Candidate
-                     {
-                       clock = now;
-                       machine;
-                       task;
-                       fate = Agrid_obs.Ledger.Rejected (reject_of_infeasibility why);
-                     }))
-              (Feasibility.explain_rejections ~mode:params.feas_mode sched ~machine);
-            List.iter
-              (fun task ->
-                if not (eligible task) then
-                  Agrid_obs.Ledger.record led
-                    (Agrid_obs.Ledger.Candidate
-                       {
-                         clock = now;
-                         machine;
-                         task;
-                         fate = Agrid_obs.Ledger.Rejected Agrid_obs.Ledger.Ineligible;
-                       }))
-              raw);
-        List.filter eligible raw)
+    match reusable with
+    | Some pe ->
+        (* No commit since this pool was built: every input is unchanged,
+           so replay the build's telemetry (same spans, same counter
+           increments) and hand back the same list. *)
+        Agrid_obs.Sink.span obs "slrh/pool_build" (fun () ->
+            Agrid_obs.Sink.span obs "feasibility/filter" (fun () ->
+                if Agrid_obs.Sink.enabled obs then begin
+                  Agrid_obs.Sink.add obs "feasibility/checked" pe.pe_checked;
+                  Agrid_obs.Sink.add obs "feasibility/admitted" pe.pe_admitted
+                end);
+            Agrid_obs.Sink.incr obs "slrh/pool_reused";
+            pe.pe_pool)
+    | None ->
+        Agrid_obs.Sink.span obs "slrh/pool_build" (fun () ->
+            let raw, n_checked =
+              match cache with
+              | Some c -> Feasibility.candidate_pool_memo ~obs c.memo sched ~machine
+              | None ->
+                  ( Feasibility.candidate_pool ~mode:params.feas_mode ~obs sched
+                      ~machine,
+                    0 )
+            in
+            (match Agrid_obs.Sink.ledger obs with
+            | None -> ()
+            | Some led ->
+                List.iter
+                  (fun (task, why) ->
+                    Agrid_obs.Ledger.record led
+                      (Agrid_obs.Ledger.Candidate
+                         {
+                           clock = now;
+                           machine;
+                           task;
+                           fate = Agrid_obs.Ledger.Rejected (reject_of_infeasibility why);
+                         }))
+                  (Feasibility.explain_rejections ~mode:params.feas_mode sched ~machine);
+                List.iter
+                  (fun task ->
+                    if not (eligible task) then
+                      Agrid_obs.Ledger.record led
+                        (Agrid_obs.Ledger.Candidate
+                           {
+                             clock = now;
+                             machine;
+                             task;
+                             fate = Agrid_obs.Ledger.Rejected Agrid_obs.Ledger.Ineligible;
+                           }))
+                  raw);
+            let pool = List.filter eligible raw in
+            (match cache with
+            | Some c ->
+                Agrid_obs.Sink.incr obs "slrh/pool_rebuilt";
+                if c.reuse_pools then
+                  c.pools.(machine) <-
+                    Some
+                      {
+                        pe_pool = pool;
+                        pe_admitted = List.length raw;
+                        pe_checked = n_checked;
+                        pe_epoch = epoch;
+                      }
+            | None -> ());
+            pool)
   in
   (* Scoring is pure, so the parallel path fans it out over domains. The
      sink stays out of the workers (it is single-domain): version-eval
      counts and score observations are recorded here, after the map, which
      also keeps the metrics identical between the two paths. *)
-  let score task =
-    let version, score =
-      Objective.best_version params.weights sched ~task ~machine ~now
-    in
-    (task, version, score)
+  let score =
+    match cache with
+    | None ->
+        fun task ->
+          let version, score =
+            Objective.best_version params.weights sched ~task ~machine ~now
+          in
+          (task, version, score)
+    | Some c ->
+        fun task ->
+          let bound = bound_for c sched ~task ~machine in
+          let version, score =
+            Objective.best_version_with params.weights sched ~bound ~task ~machine
+              ~now
+          in
+          (task, version, score)
   in
   stats_candidates := !stats_candidates + List.length pool;
   let scored =
@@ -365,6 +505,11 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
         fun j -> a.(j)
   in
   let tau = match until with Some u -> u | None -> Workload.tau workload in
+  let cache =
+    match params.mode with
+    | `Rescan -> None
+    | `Incremental -> Some (make_cache params sched ~n_machines)
+  in
   let clock_steps = ref 0 in
   let pools_built = ref 0 in
   let candidates_scored = ref 0 in
@@ -412,7 +557,7 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
         match params.variant with
         | V1 ->
             incr pools_built;
-            let scored = scored_pool params ~eligible sched ~machine:j ~now:!now candidates_scored in
+            let scored = scored_pool params ~cache ~eligible sched ~machine:j ~now:!now candidates_scored in
             (match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
             | Some _ -> incr assignments
             | None -> record_idle ~machine:j ~cause:(idle_cause_of_pool scored))
@@ -420,7 +565,7 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
             (* one stale pool, drained as far as the horizon allows *)
             incr pools_built;
             let scored =
-              ref (scored_pool params ~eligible sched ~machine:j ~now:!now candidates_scored)
+              ref (scored_pool params ~cache ~eligible sched ~machine:j ~now:!now candidates_scored)
             in
             let committed = ref 0 in
             let continue_ = ref true in
@@ -441,7 +586,7 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
             let continue_ = ref true in
             while !continue_ do
               incr pools_built;
-              let scored = scored_pool params ~eligible sched ~machine:j ~now:!now candidates_scored in
+              let scored = scored_pool params ~cache ~eligible sched ~machine:j ~now:!now candidates_scored in
               (last_pool_empty := match scored with [] -> true | _ :: _ -> false);
               match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
               | Some _ ->

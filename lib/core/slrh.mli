@@ -22,12 +22,39 @@ type machine_order =
 
 val machine_order_to_string : machine_order -> string
 
+type mode = [ `Rescan | `Incremental ]
+(** How each timestep obtains its candidate pools.
+
+    [`Rescan] rebuilds and re-prices every free machine's pool from
+    scratch — the paper-literal loop, kept as the differential oracle.
+
+    [`Incremental] (the default) reuses work whose inputs provably did
+    not change: energy admission bounds are priced once per
+    (task, machine) ({!Feasibility.Memo}), parent-derived score inputs
+    are cached once a task is poolable ({!Objective.parent_bound}), and a
+    machine's whole pool is reused while no commit has intervened since
+    it was built (commits are the only intra-run mutation of the ready
+    set, the mapped set and the batteries). Schedules, traces, ledger
+    records and obs counters are bit-identical to [`Rescan] — pinned by
+    the differential suite — except for the [`Incremental]-only counters
+    ["slrh/pool_reused"] / ["slrh/pool_rebuilt"] and span durations.
+    Whole-pool reuse is disabled while a decision ledger is attached
+    (each rebuild emits rejection entries reuse cannot replay) and
+    assumes [eligible] is stable for the duration of the run, as both the
+    plain loop and the churn engine guarantee. *)
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> mode option
+(** ["rescan"] / ["incremental"]; [None] otherwise. *)
+
 type params = {
   variant : variant;
   delta_t : int;  (** timestep in clock cycles (paper: 10) *)
   horizon : int;  (** receding horizon H in clock cycles (paper: 100) *)
   weights : Objective.weights;
   feas_mode : Feasibility.mode;
+  mode : mode;  (** pool maintenance strategy; see {!mode} *)
   machine_order : machine_order;
   parallel_scoring : int option;
       (** score pool candidates on this many domains (paper Section IV:

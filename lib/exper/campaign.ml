@@ -39,8 +39,22 @@ let rng_for ~seed ~level ~rep =
 let run ?(obs = Agrid_obs.Sink.noop)
     ?(weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3)
     ?(policy = Agrid_churn.Retry.default) ?(intensities = default_intensities)
-    ?(replicates = 32) ?(down_fraction = 0.15) ~seed (config : Config.t) =
+    ?(replicates = 32) ?(down_fraction = 0.15) ?shards ~seed (config : Config.t) =
   if replicates <= 0 then invalid_arg "Campaign.run: nonpositive replicate count";
+  (match shards with
+  | Some s when s < 1 -> invalid_arg "Campaign.run: shards must be >= 1"
+  | Some _ | None -> ());
+  let shards =
+    match shards with
+    | Some s -> s
+    | None ->
+        (* Default: one shard per available domain, never more shards than
+           replicates (empty shards would spawn idle domains). *)
+        min replicates
+          (match config.Config.domains with
+          | Some d -> max 1 d
+          | None -> Agrid_par.Parallel.default_domains ())
+  in
   List.iter
     (fun x -> if x < 0. then invalid_arg "Campaign.run: negative intensity")
     intensities;
@@ -54,15 +68,17 @@ let run ?(obs = Agrid_obs.Sink.noop)
   in
   let tau = Workload.tau workload in
   let n_machines = Workload.n_machines workload in
-  (* Replicates run on worker domains, and a sink is single-domain: each
-     replicate records into a private sink returned with its result; the
-     calling domain merges them after the join (merging is associative and
-     commutative, so replicate order never matters). *)
-  let one_replicate ~level ~intensity rep =
-    let rsink =
-      if Agrid_obs.Sink.enabled obs then Agrid_obs.Sink.create ~capacity:256 ()
-      else Agrid_obs.Sink.noop
-    in
+  (* Replicates are statically sharded over worker domains via
+     [Parallel.run_workers] (one work item per shard). A sink is
+     single-domain, so each shard owns a private sink that every replicate
+     in its block records into; the calling domain folds the shard sinks
+     into [obs] after the join (merging is associative and commutative, so
+     the fold order never matters). Replicate PRNG streams derive from
+     [rng_for ~seed ~level ~rep] alone — independent of the shard layout —
+     and the level statistics fold over the results array in replicate
+     order, so campaign aggregates are identical for every shard count
+     (pinned by the differential suite). *)
+  let one_replicate ~rsink ~level ~intensity rep =
     let rparams = { params with Agrid_core.Slrh.obs = rsink } in
     let trace =
       if intensity = 0. then []
@@ -78,27 +94,40 @@ let run ?(obs = Agrid_obs.Sink.noop)
     in
     let sched = o.Agrid_churn.Engine.schedule in
     let completed = o.Agrid_churn.Engine.completed in
-    ( {
-        r_completed = completed;
-        r_deadline_miss = (not completed) || Agrid_sched.Schedule.aet sched > tau;
-        r_t100 = Agrid_sched.Schedule.n_primary sched;
-        r_sunk = o.Agrid_churn.Engine.sunk_energy;
-        r_events = List.length trace;
-        r_discards = o.Agrid_churn.Engine.n_discarded;
-      },
-      rsink )
+    {
+      r_completed = completed;
+      r_deadline_miss = (not completed) || Agrid_sched.Schedule.aet sched > tau;
+      r_t100 = Agrid_sched.Schedule.n_primary sched;
+      r_sunk = o.Agrid_churn.Engine.sunk_energy;
+      r_events = List.length trace;
+      r_discards = o.Agrid_churn.Engine.n_discarded;
+    }
   in
   List.mapi
     (fun level intensity ->
-      let pairs =
-        Agrid_obs.Sink.span obs "campaign/level" (fun () ->
-            Agrid_par.Parallel.init ~obs ?domains:config.Config.domains
-              replicates
-              (one_replicate ~level ~intensity))
+      let shard_sinks =
+        Array.init shards (fun _ ->
+            if Agrid_obs.Sink.enabled obs then Agrid_obs.Sink.create ~capacity:256 ()
+            else Agrid_obs.Sink.noop)
       in
-      Array.iter (fun (_, rsink) -> Agrid_obs.Sink.merge_into ~into:obs rsink) pairs;
+      let results = Array.make replicates None in
+      Agrid_obs.Sink.span obs "campaign/level" (fun () ->
+          Agrid_par.Parallel.run_workers ~domains:shards ~n:shards (fun s ->
+              let rsink = shard_sinks.(s) in
+              (* Static block [lo, hi): contiguous replicate ranges keep the
+                 result-array writes disjoint across shards. *)
+              let lo = s * replicates / shards and hi = (s + 1) * replicates / shards in
+              for rep = lo to hi - 1 do
+                results.(rep) <- Some (one_replicate ~rsink ~level ~intensity rep)
+              done));
+      Array.iter (fun s -> Agrid_obs.Sink.merge_into ~into:obs s) shard_sinks;
       Agrid_obs.Sink.add obs "campaign/replicates" replicates;
-      let results = Array.map fst pairs in
+      Agrid_obs.Sink.max_gauge obs "campaign/shards" (float_of_int shards);
+      let results =
+        Array.map
+          (function Some r -> r | None -> assert false (* every block was run *))
+          results
+      in
       let n = float_of_int replicates in
       let count f = Array.fold_left (fun acc r -> if f r then acc + 1 else acc) 0 results in
       let mean f = Array.fold_left (fun acc r -> acc +. f r) 0. results /. n in

@@ -32,6 +32,7 @@ val run :
   ?intensities:float list ->
   ?replicates:int ->
   ?down_fraction:float ->
+  ?shards:int ->
   seed:int ->
   Config.t ->
   level list
@@ -40,13 +41,23 @@ val run :
     intensity [x] gives mean up-time [tau / x] (intensity 0 is the static
     baseline: no events are sampled). [replicates] defaults to 32.
 
-    [?obs] (default: inert): each replicate records scheduler and engine
+    [?shards] splits each level's replicates into that many contiguous
+    blocks run on worker domains via {!Agrid_par.Parallel.run_workers}
+    (default: one shard per available domain — [Config.domains] if set —
+    capped at the replicate count). Replicate PRNG streams are derived
+    from (seed, level, rep) alone and level statistics fold the results in
+    replicate order, so the reported aggregates are identical for every
+    shard count (pinned by the differential suite).
+
+    [?obs] (default: inert): each shard records scheduler and engine
     telemetry into a private sink on its worker domain; the calling domain
-    merges them all into [obs] after each level joins, and times levels
-    under the ["campaign/level"] span (replicate wall time lands under
-    ["campaign/replicate"]).
-    @raise Invalid_argument on a nonpositive replicate count or negative
-    intensity. *)
+    folds them into [obs] after each level joins, and times levels under
+    the ["campaign/level"] span (replicate wall time lands under
+    ["campaign/replicate"]; the shard count under the ["campaign/shards"]
+    gauge). Counter totals are shard-count-invariant; snapshot retention
+    is not (shards share a bounded ring).
+    @raise Invalid_argument on a nonpositive replicate count, negative
+    intensity, or [shards < 1]. *)
 
 val table : level list -> Agrid_report.Table.t
 

@@ -87,7 +87,41 @@ let write_jsonl path sink =
 
 (* ---- one-document JSON summary (BENCH_obs.json) ---- *)
 
-let summary_json ?total_seconds sink =
+let add_spans b ~indent sink =
+  Buffer.add_string b "\"spans\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b indent;
+      Buffer.add_string b "  ";
+      Buffer.add_string b (obj (span_fields s)))
+    (Sink.span_stats sink);
+  Buffer.add_char b '\n';
+  Buffer.add_string b indent;
+  Buffer.add_char b ']'
+
+let add_counters b ~indent sink =
+  Buffer.add_string b "\"counters\": {";
+  let first = ref true in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Registry.Counter c ->
+          if not !first then Buffer.add_char b ',';
+          first := false;
+          Buffer.add_char b '\n';
+          Buffer.add_string b indent;
+          Buffer.add_string b "  ";
+          Buffer.add_string b (Json.to_string (Str name));
+          Buffer.add_string b ": ";
+          Buffer.add_string b (string_of_int c)
+      | Registry.Gauge _ | Registry.Histogram _ -> ())
+    (Sink.metrics sink);
+  Buffer.add_char b '\n';
+  Buffer.add_string b indent;
+  Buffer.add_char b '}'
+
+let summary_json ?total_seconds ?(sections = []) sink =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": ";
   Buffer.add_string b (Json.to_string (Str "agrid-bench-obs/1"));
@@ -96,28 +130,29 @@ let summary_json ?total_seconds sink =
       Buffer.add_string b ",\n  \"total_seconds\": ";
       Buffer.add_string b (Json.float_repr t)
   | None -> ());
-  Buffer.add_string b ",\n  \"spans\": [\n";
-  List.iteri
-    (fun i s ->
-      if i > 0 then Buffer.add_string b ",\n";
-      Buffer.add_string b "    ";
-      Buffer.add_string b (obj (span_fields s)))
-    (Sink.span_stats sink);
-  Buffer.add_string b "\n  ],\n  \"counters\": {";
-  let first = ref true in
-  List.iter
-    (fun (name, m) ->
-      match m with
-      | Registry.Counter c ->
-          if not !first then Buffer.add_char b ',';
-          first := false;
-          Buffer.add_string b "\n    ";
-          Buffer.add_string b (Json.to_string (Str name));
-          Buffer.add_string b ": ";
-          Buffer.add_string b (string_of_int c)
-      | Registry.Gauge _ | Registry.Histogram _ -> ())
-    (Sink.metrics sink);
-  Buffer.add_string b "\n  }\n}\n";
+  Buffer.add_string b ",\n  ";
+  add_spans b ~indent:"  " sink;
+  Buffer.add_string b ",\n  ";
+  add_counters b ~indent:"  " sink;
+  (* Named sub-profiles (e.g. the bench campaign section): same
+     spans/counters shape one level down, so the regression gate walks
+     them with the same comparators. *)
+  if sections <> [] then begin
+    Buffer.add_string b ",\n  \"sections\": {";
+    List.iteri
+      (fun i (name, s) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b "\n    ";
+        Buffer.add_string b (Json.to_string (Str name));
+        Buffer.add_string b ": {\n      ";
+        add_spans b ~indent:"      " s;
+        Buffer.add_string b ",\n      ";
+        add_counters b ~indent:"      " s;
+        Buffer.add_string b "\n    }")
+      sections;
+    Buffer.add_string b "\n  }"
+  end;
+  Buffer.add_string b "\n}\n";
   Buffer.contents b
 
 (* ---- CSV via Agrid_report.Csv ---- *)

@@ -146,6 +146,11 @@ let parse_string c =
   in
   loop ()
 
+(* Deep nesting is never produced by our writers but arrives from fuzzed
+   or adversarial inputs; bound the recursion so a "[[[[..." bomb raises
+   [Parse_error] instead of overflowing the stack. *)
+let max_depth = 512
+
 let parse_number c =
   let start = c.pos in
   let numeric ch =
@@ -164,7 +169,9 @@ let parse_number c =
       | Some f -> Flt f
       | None -> parse_fail "at %d: bad number %S" start tok)
 
-let rec parse_value c =
+let rec parse_value depth c =
+  if depth > max_depth then
+    parse_fail "at %d: nesting deeper than %d" c.pos max_depth;
   skip_ws c;
   match peek c with
   | None -> parse_fail "unexpected end of input"
@@ -183,7 +190,7 @@ let rec parse_value c =
           let key = parse_string c in
           skip_ws c;
           expect c ':';
-          let v = parse_value c in
+          let v = parse_value (depth + 1) c in
           fields := (key, v) :: !fields;
           skip_ws c;
           match peek c with
@@ -203,7 +210,7 @@ let rec parse_value c =
       else begin
         let items = ref [] in
         let rec elements () =
-          items := parse_value c :: !items;
+          items := parse_value (depth + 1) c :: !items;
           skip_ws c;
           match peek c with
           | Some ',' -> expect c ','; elements ()
@@ -219,7 +226,7 @@ let rec parse_value c =
 
 let parse s =
   let c = { src = s; pos = 0 } in
-  let v = parse_value c in
+  let v = parse_value 0 c in
   skip_ws c;
   if c.pos <> String.length s then
     parse_fail "trailing input at offset %d" c.pos;

@@ -25,7 +25,10 @@ val float_repr : float -> string
 exception Parse_error of string
 
 val parse : string -> t
-(** @raise Parse_error on malformed input or trailing characters. *)
+(** @raise Parse_error on malformed input, trailing characters, or
+    nesting deeper than 512 levels (our writers stay far below this;
+    the bound keeps adversarial ["[[[["-bombs from overflowing the
+    stack — pinned by the fuzz suite). *)
 
 val parse_opt : string -> t option
 

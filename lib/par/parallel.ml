@@ -19,6 +19,11 @@ let default_domains () = max 1 (Domain.recommended_domain_count ())
 exception Worker_failure of exn
 
 let run_workers ~domains ~n work =
+  if domains < 1 then
+    invalid_arg
+      (Printf.sprintf "Parallel.run_workers: domains must be >= 1 (got %d)" domains);
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Parallel.run_workers: negative item count %d" n);
   let next = Atomic.make 0 in
   let failure = Atomic.make None in
   let worker () =

@@ -17,6 +17,16 @@ exception Worker_failure of exn
 
 val default_domains : unit -> int
 
+val run_workers : domains:int -> n:int -> (int -> unit) -> unit
+(** Run [work i] for every [i] in [0, n), pulled dynamically by up to
+    [domains] domains (including the calling one — at most
+    [min domains n - 1] extra domains are spawned). [n = 0] is a no-op
+    that spawns nothing. The sharded campaign runner calls this directly
+    with one item per shard so each worker owns a private telemetry sink.
+    @raise Invalid_argument when [domains < 1] or [n < 0] — [domains] used
+    to be clamped silently, hiding caller bugs.
+    @raise Worker_failure after joining if any [work] call raised. *)
+
 val map : ?obs:Agrid_obs.Sink.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val mapi : ?obs:Agrid_obs.Sink.t -> ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 val iter : ?obs:Agrid_obs.Sink.t -> ?domains:int -> ('a -> unit) -> 'a array -> unit

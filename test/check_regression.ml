@@ -102,43 +102,66 @@ let counters_of doc =
         fields
   | _ -> []
 
+(* Named sub-profiles (the bench "campaign" section): same spans/counters
+   shape one level down, gated with the same rules. *)
+let sections_of doc =
+  match Agrid_obs.Json.member "sections" doc with
+  | Some (Agrid_obs.Json.Obj fields) -> fields
+  | _ -> []
+
 let () =
   let opts = parse_options () in
   let baseline = load opts.baseline in
   let fresh = load opts.fresh in
   let failures = ref 0 in
   let fail fmt = Fmt.kpf (fun _ -> incr failures) Fmt.stderr ("REGRESSION: " ^^ fmt ^^ "@.") in
-  (* deterministic counters: exact match *)
-  let fresh_counters = counters_of fresh in
+  (* [label] prefixes finding names with the section ("" = top level). *)
+  let compare_docs ~label baseline fresh =
+    (* deterministic counters: exact match *)
+    let fresh_counters = counters_of fresh in
+    List.iter
+      (fun (name, expected) ->
+        match List.assoc_opt name fresh_counters with
+        | None ->
+            fail "counter %s%s missing from %s (baseline: %d)" label name opts.fresh
+              expected
+        | Some got when got <> expected ->
+            fail
+              "counter %s%s: baseline %d, fresh %d (seed-deterministic — behaviour changed)"
+              label name expected got
+        | Some _ -> ())
+      (counters_of baseline);
+    (* span timings: bounded slowdown *)
+    let fresh_spans = spans_of fresh in
+    List.iter
+      (fun (name, (b50, b95)) ->
+        match List.assoc_opt name fresh_spans with
+        | None -> fail "span %s%s missing from %s" label name opts.fresh
+        | Some (f50, f95) ->
+            (* floor the budget: sub-microsecond baselines are all jitter *)
+            let budget b = opts.span_tolerance *. Float.max b 1e-6 in
+            if f50 > budget b50 then
+              fail "span %s%s p50 %.3gs exceeds %.1fx baseline %.3gs" label name f50
+                opts.span_tolerance b50;
+            if f95 > budget b95 then
+              fail "span %s%s p95 %.3gs exceeds %.1fx baseline %.3gs" label name f95
+                opts.span_tolerance b95)
+      (spans_of baseline);
+    (List.length fresh_spans, List.length fresh_counters)
+  in
+  let n_spans, n_counters = compare_docs ~label:"" baseline fresh in
+  let fresh_sections = sections_of fresh in
   List.iter
-    (fun (name, expected) ->
-      match List.assoc_opt name fresh_counters with
-      | None -> fail "counter %s missing from %s (baseline: %d)" name opts.fresh expected
-      | Some got when got <> expected ->
-          fail "counter %s: baseline %d, fresh %d (seed-deterministic — behaviour changed)"
-            name expected got
-      | Some _ -> ())
-    (counters_of baseline);
-  (* span timings: bounded slowdown *)
-  let fresh_spans = spans_of fresh in
-  List.iter
-    (fun (name, (b50, b95)) ->
-      match List.assoc_opt name fresh_spans with
-      | None -> fail "span %s missing from %s" name opts.fresh
-      | Some (f50, f95) ->
-          (* floor the budget: sub-microsecond baselines are all jitter *)
-          let budget b = opts.span_tolerance *. Float.max b 1e-6 in
-          if f50 > budget b50 then
-            fail "span %s p50 %.3gs exceeds %.1fx baseline %.3gs" name f50
-              opts.span_tolerance b50;
-          if f95 > budget b95 then
-            fail "span %s p95 %.3gs exceeds %.1fx baseline %.3gs" name f95
-              opts.span_tolerance b95)
-    (spans_of baseline);
+    (fun (name, bsec) ->
+      match List.assoc_opt name fresh_sections with
+      | None -> fail "section %s missing from %s" name opts.fresh
+      | Some fsec -> ignore (compare_docs ~label:(name ^ "/") bsec fsec))
+    (sections_of baseline);
   if !failures = 0 then begin
-    Fmt.pr "check_regression: %s within tolerance of %s (%d spans, %d counters)@."
-      opts.fresh opts.baseline
-      (List.length fresh_spans) (List.length fresh_counters);
+    Fmt.pr
+      "check_regression: %s within tolerance of %s (%d spans, %d counters, %d sections)@."
+      opts.fresh opts.baseline n_spans n_counters
+      (List.length fresh_sections);
     exit 0
   end
   else begin

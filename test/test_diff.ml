@@ -1,0 +1,244 @@
+(* Differential oracle suite: [`Rescan] (the naive rebuild-everything
+   loop, kept as the reference semantics) versus [`Incremental] (the
+   memoized/pool-reusing hot path that is now the default) must be
+   bit-identical — schedules, traces, decision-ledger JSONL, telemetry
+   counters, histograms and snapshots. The only permitted divergence is
+   the [`Incremental]-only counter family ["slrh/pool_reused"] /
+   ["slrh/pool_rebuilt"] (and span durations, which are wall time).
+
+   The same discipline pins campaign sharding: the level aggregates and
+   counter totals of [Campaign.run] must not depend on [~shards]. *)
+
+open Agrid_core
+open Agrid_sched
+open Agrid_workload
+open Agrid_obs
+module Rng = Agrid_prng.Splitmix64
+
+(* The [`Incremental]-only counters: everything else must match. *)
+let excluded_counters = [ "slrh/pool_reused"; "slrh/pool_rebuilt" ]
+
+let bits = Int64.bits_of_float
+
+let metric_repr (name, m) =
+  match m with
+  | Registry.Counter c -> Fmt.str "%s=c:%d" name c
+  | Registry.Gauge g -> Fmt.str "%s=g:%Lx" name (bits g)
+  | Registry.Histogram h ->
+      Fmt.str "%s=h:%d:%Lx:%s" name (Hist.count h) (bits (Hist.sum h))
+        (String.concat ","
+           (List.map string_of_int (Array.to_list (Hist.counts h))))
+
+let comparable_metrics sink =
+  Sink.metrics sink
+  |> List.filter (fun (n, _) -> not (List.mem n excluded_counters))
+  |> List.map metric_repr |> List.sort compare
+
+let span_counts sink =
+  Sink.span_stats sink
+  |> List.map (fun (s : Span.stats) -> (s.Span.name, s.Span.count))
+  |> List.sort compare
+
+let counter_of sink name =
+  match List.assoc_opt name (Sink.metrics sink) with
+  | Some (Registry.Counter c) -> c
+  | _ -> 0
+
+(* Telemetry equality, modulo the reuse-counter family and durations. *)
+let check_sinks msg rescan incr =
+  Alcotest.(check (list string))
+    (msg ^ ": metrics") (comparable_metrics rescan) (comparable_metrics incr);
+  Alcotest.(check (list (pair string int)))
+    (msg ^ ": span counts") (span_counts rescan) (span_counts incr);
+  if Sink.snapshots rescan <> Sink.snapshots incr then
+    Alcotest.failf "%s: snapshot streams diverge" msg;
+  (* the incremental sink may only add the reuse family, nothing else *)
+  let names s = List.map fst (Sink.metrics s) in
+  let base = names rescan in
+  List.iter
+    (fun n ->
+      if (not (List.mem n base)) && not (List.mem n excluded_counters) then
+        Alcotest.failf "%s: unexpected incremental-only metric %s" msg n)
+    (names incr)
+
+(* Scheduler-outcome equality, field by field (wall_seconds excluded:
+   it is measured, not computed). *)
+let check_outcomes msg (a : Slrh.outcome) (b : Slrh.outcome) =
+  if Schedule.placements a.Slrh.schedule <> Schedule.placements b.Slrh.schedule
+  then Alcotest.failf "%s: placements diverge" msg;
+  if Schedule.transfers a.Slrh.schedule <> Schedule.transfers b.Slrh.schedule
+  then Alcotest.failf "%s: transfers diverge" msg;
+  Alcotest.(check int) (msg ^ ": aet") (Schedule.aet a.Slrh.schedule)
+    (Schedule.aet b.Slrh.schedule);
+  if bits (Schedule.tec a.Slrh.schedule) <> bits (Schedule.tec b.Slrh.schedule)
+  then Alcotest.failf "%s: TEC diverges bitwise" msg;
+  Alcotest.(check int) (msg ^ ": t100")
+    (Schedule.n_primary a.Slrh.schedule)
+    (Schedule.n_primary b.Slrh.schedule);
+  Alcotest.(check bool) (msg ^ ": completed") a.Slrh.completed b.Slrh.completed;
+  Alcotest.(check int) (msg ^ ": final clock") a.Slrh.final_clock
+    b.Slrh.final_clock;
+  if a.Slrh.stats <> b.Slrh.stats then
+    Alcotest.failf "%s: stats counters diverge" msg
+
+let run_static ~mode ~ledger sc wl =
+  let sink = Sink.create ~stride:4 ~ledger () in
+  let tracer = Trace.create () in
+  let p =
+    { (Test_props.params sc) with Slrh.mode; tracer = Some tracer; obs = sink }
+  in
+  let o = Slrh.run p wl in
+  (o, sink, tracer)
+
+(* 150 static scenarios: full outcome + trace + telemetry equality. *)
+let test_static () =
+  let reused = ref 0 in
+  for i = 0 to 149 do
+    let sc = Test_props.scenario i in
+    let wl = Test_props.workload sc in
+    let o1, s1, t1 = run_static ~mode:`Rescan ~ledger:false sc wl in
+    let o2, s2, t2 = run_static ~mode:`Incremental ~ledger:false sc wl in
+    let msg = Test_props.describe sc in
+    check_outcomes msg o1 o2;
+    if Trace.csv_rows t1 <> Trace.csv_rows t2 then
+      Alcotest.failf "%s: trace rows diverge" msg;
+    check_sinks msg s1 s2;
+    if counter_of s1 "slrh/pool_reused" <> 0 then
+      Alcotest.failf "%s: rescan mode counted a pool reuse" msg;
+    reused := !reused + counter_of s2 "slrh/pool_reused"
+  done;
+  (* the oracle must exercise the fast path, not vacuously pass *)
+  if !reused = 0 then
+    Alcotest.fail "incremental mode never reused a pool across 150 scenarios"
+
+(* Churn timelines: the same scripted leave/rejoin trace through the
+   engine in both modes. Pool reuse spans engine phases only through the
+   per-phase caches (each [continue_run] builds its own), so equality
+   here pins the eligible-set-stability assumption the cache makes. *)
+let sample_events i wl =
+  let rng = Rng.of_int (0xC0DE + (i * 131)) in
+  let tau = Workload.tau wl in
+  Agrid_churn.Sample.exponential_trace rng
+    ~n_machines:(Workload.n_machines wl)
+    ~horizon:tau
+    ~up_mean:(fun _ -> float_of_int tau /. 1.5)
+    ~down_mean:(fun _ -> 0.12 *. float_of_int tau)
+
+let run_churn ~mode ~ledger sc wl events =
+  let sink = Sink.create ~stride:4 ~ledger () in
+  let p = { (Test_props.params sc) with Slrh.mode; obs = sink } in
+  (Dynamic.run_churn p wl events, sink)
+
+let check_engine msg (a : _ Agrid_churn.Engine.outcome)
+    (b : _ Agrid_churn.Engine.outcome) =
+  if Schedule.placements a.Agrid_churn.Engine.schedule
+     <> Schedule.placements b.Agrid_churn.Engine.schedule
+  then Alcotest.failf "%s: engine placements diverge" msg;
+  Alcotest.(check bool) (msg ^ ": completed") a.completed b.completed;
+  Alcotest.(check int) (msg ^ ": final clock") a.final_clock b.final_clock;
+  Alcotest.(check int) (msg ^ ": discarded") a.n_discarded b.n_discarded;
+  Alcotest.(check int) (msg ^ ": failed") a.n_failed b.n_failed;
+  Alcotest.(check int) (msg ^ ": held") a.n_held b.n_held;
+  if bits a.sunk_energy <> bits b.sunk_energy then
+    Alcotest.failf "%s: sunk energy diverges bitwise" msg;
+  if a.up <> b.up || a.discards <> b.discards || a.applied <> b.applied then
+    Alcotest.failf "%s: churn event application diverges" msg;
+  let phase_shape (p : _ Agrid_churn.Engine.phase) =
+    ( p.Agrid_churn.Engine.ph_from,
+      p.Agrid_churn.Engine.ph_until,
+      p.Agrid_churn.Engine.ph_up )
+  in
+  if List.map phase_shape a.phases <> List.map phase_shape b.phases then
+    Alcotest.failf "%s: phase boundaries diverge" msg;
+  List.iter2
+    (fun (pa : Slrh.outcome Agrid_churn.Engine.phase) pb ->
+      if
+        pa.Agrid_churn.Engine.ph_outcome.Slrh.stats
+        <> pb.Agrid_churn.Engine.ph_outcome.Slrh.stats
+      then Alcotest.failf "%s: per-phase scheduler stats diverge" msg)
+    a.phases b.phases
+
+let test_churn () =
+  for i = 0 to 59 do
+    let sc = Test_props.scenario i in
+    let wl = Test_props.workload sc in
+    let events = sample_events i wl in
+    let o1, s1 = run_churn ~mode:`Rescan ~ledger:false sc wl events in
+    let o2, s2 = run_churn ~mode:`Incremental ~ledger:false sc wl events in
+    let msg = Fmt.str "%s + %d churn events" (Test_props.describe sc)
+        (List.length events)
+    in
+    check_engine msg o1 o2;
+    check_sinks msg s1 s2
+  done
+
+(* Decision ledgers: the full JSONL artefact must match byte for byte
+   (incremental mode turns whole-pool reuse off while a ledger is
+   attached precisely so every rejection entry is re-derived). *)
+let ledger_jsonl sink =
+  match Sink.ledger sink with
+  | Some l -> Ledger.to_jsonl l
+  | None -> Alcotest.fail "sink created with ~ledger:true has no ledger"
+
+let test_ledger () =
+  for i = 0 to 9 do
+    let sc = Test_props.scenario i in
+    let wl = Test_props.workload sc in
+    let _, s1, _ = run_static ~mode:`Rescan ~ledger:true sc wl in
+    let _, s2, _ = run_static ~mode:`Incremental ~ledger:true sc wl in
+    if ledger_jsonl s1 <> ledger_jsonl s2 then
+      Alcotest.failf "%s: static ledger JSONL diverges" (Test_props.describe sc)
+  done;
+  for i = 0 to 9 do
+    let sc = Test_props.scenario (60 + i) in
+    let wl = Test_props.workload sc in
+    let events = sample_events (60 + i) wl in
+    let _, s1 = run_churn ~mode:`Rescan ~ledger:true sc wl events in
+    let _, s2 = run_churn ~mode:`Incremental ~ledger:true sc wl events in
+    if ledger_jsonl s1 <> ledger_jsonl s2 then
+      Alcotest.failf "%s: churn ledger JSONL diverges" (Test_props.describe sc)
+  done
+
+(* Campaign sharding: aggregates and counter totals are shard-count
+   invariant (1, 3 — uneven blocks — and 4 shards over 6 replicates). *)
+let counters_only sink =
+  Sink.metrics sink
+  |> List.filter_map (fun (n, m) ->
+         match m with Registry.Counter c -> Some (n, c) | _ -> None)
+  |> List.sort compare
+
+let test_campaign_shards () =
+  let config = Agrid_exper.Config.smoke ~seed:99 () in
+  let run shards =
+    let sink = Sink.create ~stride:8 () in
+    let levels =
+      Agrid_exper.Campaign.run ~obs:sink ~intensities:[ 0.0; 2.0 ]
+        ~replicates:6 ~shards ~seed:515 config
+    in
+    (levels, sink)
+  in
+  let l1, s1 = run 1 in
+  List.iter
+    (fun shards ->
+      let ln, sn = run shards in
+      if l1 <> ln then
+        Alcotest.failf "campaign levels diverge between 1 and %d shards" shards;
+      Alcotest.(check (list (pair string int)))
+        (Fmt.str "campaign counters, 1 vs %d shards" shards)
+        (counters_only s1) (counters_only sn))
+    [ 3; 4 ]
+
+let suites =
+  [
+    ( "diff",
+      [
+        Alcotest.test_case "rescan = incremental on 150 static scenarios"
+          `Slow test_static;
+        Alcotest.test_case "rescan = incremental on 60 churn timelines" `Slow
+          test_churn;
+        Alcotest.test_case "ledger JSONL identical in both modes (20 runs)"
+          `Slow test_ledger;
+        Alcotest.test_case "campaign aggregates shard-count invariant" `Slow
+          test_campaign_shards;
+      ] );
+  ]

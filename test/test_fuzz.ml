@@ -1,0 +1,168 @@
+(* Fuzz suite for the hand-rolled parsers ([Agrid_obs.Json] and
+   [Agrid_report.Csv.parse]) — seeded mutation/truncation corpora from
+   the in-tree Splitmix64, so every case replays from the suite seed.
+
+   Contracts pinned here:
+   - [Json.parse] either returns a value or raises [Json.Parse_error] —
+     never any other exception (a ["[[[["-nesting bomb used to overflow
+     the stack; the parser now bounds recursion depth);
+   - printing is a canonicalisation: [to_string] of any accepted value
+     re-parses, and print/parse reaches a fixed point within two rounds
+     (one round may still collapse float spellings: ["-0.0"] prints as
+     ["-0"], which re-parses as [Int 0]);
+   - [Csv.parse] raises only [Invalid_argument] (unterminated quote) and
+     rows obtained from a successful parse round-trip exactly through
+     [Csv.to_string]. *)
+
+module Json = Agrid_obs.Json
+module Csv = Agrid_report.Csv
+module Rng = Agrid_prng.Splitmix64
+
+(* ---- shared mutation machinery ---- *)
+
+let interesting =
+  [|
+    '"'; '\\'; '{'; '}'; '['; ']'; ','; ':'; '.'; '-'; '+'; 'e'; 'E'; '0';
+    '9'; 'n'; 't'; 'f'; 'u'; ' '; '\n'; '\r'; '\000'; '\255';
+  |]
+
+let mutate rng s =
+  let n = String.length s in
+  if n = 0 then String.make 1 interesting.(Rng.next_int rng (Array.length interesting))
+  else
+    let pos = Rng.next_int rng n in
+    let ch () = interesting.(Rng.next_int rng (Array.length interesting)) in
+    match Rng.next_int rng 4 with
+    | 0 -> String.sub s 0 pos (* truncate *)
+    | 1 ->
+        (* replace one byte *)
+        let b = Bytes.of_string s in
+        Bytes.set b pos (ch ());
+        Bytes.to_string b
+    | 2 -> String.sub s 0 pos ^ String.make 1 (ch ()) ^ String.sub s pos (n - pos)
+    | _ -> String.sub s 0 pos ^ String.sub s (pos + 1) (n - pos - 1)
+
+let rec mutate_n rng k s = if k = 0 then s else mutate_n rng (k - 1) (mutate rng s)
+
+(* ---- JSON ---- *)
+
+let json_corpus () =
+  (* real artefacts: a populated sink through both exporters *)
+  let sink = Agrid_obs.Sink.create ~stride:1 () in
+  Agrid_obs.Sink.add sink "fuzz/counter" 3;
+  Agrid_obs.Sink.observe sink "fuzz/hist" ~bounds:[| 1.0; 10.0 |] 0.5;
+  Agrid_obs.Sink.observe sink "fuzz/hist" ~bounds:[| 1.0; 10.0 |] 2.5;
+  Agrid_obs.Sink.span sink "fuzz/span" (fun () -> ());
+  [ Agrid_obs.Export.summary_json ~total_seconds:1.25 sink ]
+  @ Agrid_obs.Export.jsonl_lines sink
+  @ [
+      (* hand-picked shapes the artefacts do not cover *)
+      "null"; "true"; "false"; "-0.0"; "1e-7"; "1e99999"; "[1,2,3]";
+      "[1.0,2.5e10,-0.0,\"x\"]";
+      "{\"a\":1.5,\"b\":[null,\"line\\nbreak\",{\"c\":{}}]}";
+      "\"\\u00e9\\u20ac\\t\""; "  {  \"k\" :\r\n [ ] } ";
+      "99999999999999999999";
+    ]
+
+let check_json_input s =
+  match Json.parse s with
+  | exception Json.Parse_error _ -> ()
+  | exception e ->
+      Alcotest.failf "Json.parse raised %s on %S" (Printexc.to_string e) s
+  | v -> (
+      let s1 = Json.to_string v in
+      match Json.parse s1 with
+      | exception e ->
+          Alcotest.failf "re-parse of printed %S raised %s" s1
+            (Printexc.to_string e)
+      | v1 ->
+          let s2 = Json.to_string v1 in
+          let s3 = Json.to_string (Json.parse s2) in
+          if s2 <> s3 then
+            Alcotest.failf
+              "print/parse fixed point not reached from %S: %S vs %S" s s2 s3)
+
+let test_json_fuzz () =
+  let corpus = Array.of_list (json_corpus ()) in
+  Array.iter check_json_input corpus;
+  let rng = Rng.of_int 0xF002 in
+  for _ = 1 to 1200 do
+    let base = corpus.(Rng.next_int rng (Array.length corpus)) in
+    check_json_input (mutate_n rng (1 + Rng.next_int rng 3) base)
+  done
+
+let test_json_depth_bomb () =
+  (* adversarial nesting raises Parse_error instead of blowing the stack *)
+  let check s =
+    match Json.parse s with
+    | exception Json.Parse_error _ -> ()
+    | exception e ->
+        Alcotest.failf "depth bomb raised %s" (Printexc.to_string e)
+    | _ -> Alcotest.fail "depth bomb parsed"
+  in
+  check (String.make 50_000 '[');
+  check (String.concat "" [ String.make 600 '['; "1"; String.make 600 ']' ]);
+  check (String.concat "" (List.init 600 (fun _ -> "{\"k\":") @ [ "1" ]));
+  (* while realistic nesting still parses *)
+  let deep n = String.concat "" [ String.make n '['; "1"; String.make n ']' ] in
+  match Json.parse (deep 100) with
+  | _ -> ()
+  | exception e ->
+      Alcotest.failf "100-deep nesting rejected: %s" (Printexc.to_string e)
+
+(* ---- CSV ---- *)
+
+let csv_corpus () =
+  let sink = Agrid_obs.Sink.create () in
+  Agrid_obs.Sink.add sink "fuzz/counter" 7;
+  Agrid_obs.Sink.observe sink "fuzz/hist" ~bounds:[| 1.0; 10.0 |] 1.5;
+  [
+    Csv.to_string ~header:[ "a"; "b" ]
+      [
+        [ "1"; "x,y" ];
+        [ "he said \"hi\""; "line\nbreak" ];
+        [ ""; "trailing" ];
+      ];
+    Csv.to_string ~header:Agrid_obs.Export.metrics_csv_header
+      (Agrid_obs.Export.metrics_csv_rows sink);
+    "a,b\r\n1,2\r\n";
+    "one\n\ntwo\n";
+    "\"quoted,field\",plain\n";
+  ]
+
+let check_csv_input s =
+  match Csv.parse s with
+  | exception Invalid_argument _ -> ()
+  | exception e ->
+      Alcotest.failf "Csv.parse raised %s on %S" (Printexc.to_string e) s
+  | [] -> ()
+  | header :: body -> (
+      (* accepted rows round-trip exactly through the writer *)
+      let s1 = Csv.to_string ~header body in
+      match Csv.parse s1 with
+      | exception e ->
+          Alcotest.failf "re-parse of written CSV %S raised %s" s1
+            (Printexc.to_string e)
+      | rows1 ->
+          if rows1 <> header :: body then
+            Alcotest.failf "CSV round trip diverges on %S (rewritten %S)" s s1)
+
+let test_csv_fuzz () =
+  let corpus = Array.of_list (csv_corpus ()) in
+  Array.iter check_csv_input corpus;
+  let rng = Rng.of_int 0xF003 in
+  for _ = 1 to 1000 do
+    let base = corpus.(Rng.next_int rng (Array.length corpus)) in
+    check_csv_input (mutate_n rng (1 + Rng.next_int rng 3) base)
+  done
+
+let suites =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "json parser: mutation corpus" `Quick test_json_fuzz;
+        Alcotest.test_case "json parser: nesting bombs" `Quick
+          test_json_depth_bomb;
+        Alcotest.test_case "csv parser: mutation corpus" `Quick test_csv_fuzz;
+      ] );
+  ]

@@ -7,4 +7,5 @@ let () =
    @ Test_timeline.suites @ Test_schedule.suites @ Test_core.suites
    @ Test_baselines.suites @ Test_tuner.suites @ Test_exper.suites
    @ Test_dynamic.suites @ Test_churn.suites @ Test_lrnn.suites @ Test_report.suites
-   @ Test_obs.suites @ Test_ledger.suites @ Test_sim.suites)
+   @ Test_obs.suites @ Test_ledger.suites @ Test_sim.suites
+   @ Test_props.suites @ Test_diff.suites @ Test_fuzz.suites)

@@ -73,6 +73,25 @@ let test_heavier_work () =
   Alcotest.(check (array int)) "heavy map deterministic" (Array.map f arr)
     (Parallel.map f arr)
 
+let test_run_workers_zero_items () =
+  (* n = 0 is a no-op: no domains spawned, the work function never runs *)
+  let hits = Atomic.make 0 in
+  Parallel.run_workers ~domains:4 ~n:0 (fun _ -> Atomic.incr hits);
+  Alcotest.(check int) "no items processed" 0 (Atomic.get hits)
+
+let test_run_workers_bad_domains () =
+  (* domains < 1 used to be clamped silently; it is now a contract error *)
+  let reject d =
+    match Parallel.run_workers ~domains:d ~n:3 (fun _ -> ()) with
+    | () -> Alcotest.failf "domains = %d accepted" d
+    | exception Invalid_argument _ -> ()
+  in
+  reject 0;
+  reject (-2);
+  match Parallel.run_workers ~domains:4 ~n:(-1) (fun _ -> ()) with
+  | () -> Alcotest.fail "negative n accepted"
+  | exception Invalid_argument _ -> ()
+
 let suites =
   [
     ( "par",
@@ -87,5 +106,9 @@ let suites =
         Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
         Alcotest.test_case "map_reduce" `Quick test_map_reduce;
         Alcotest.test_case "heavy work deterministic" `Quick test_heavier_work;
+        Alcotest.test_case "run_workers with zero items" `Quick
+          test_run_workers_zero_items;
+        Alcotest.test_case "run_workers rejects bad bounds" `Quick
+          test_run_workers_bad_domains;
       ] );
   ]
