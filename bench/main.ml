@@ -479,16 +479,49 @@ let run_obs_profile config ~total_seconds =
        (List.map
           (fun (l : Agrid_exper.Campaign.level) -> Fmt.str "%.2f" l.completion_rate)
           levels));
+  (* Scenario-service profile: a fixed request mix through an in-process
+     server, in its own gated section. Submissions happen before the
+     worker pool starts (drain starts it lazily), so the queue overflow
+     is deterministic; the gate pins the serve/* counters and the merged
+     per-job scheduler counters exactly. Gauges and the latency histogram
+     are excluded from the summary, so nothing timing-dependent lands in
+     the gate. *)
+  let serve_sink = Agrid_obs.Sink.create ~stride:8 () in
+  let server =
+    Agrid_serve.Server.create ~obs:serve_sink ~workers:2 ~queue_capacity:4 ()
+  in
+  let submit line = Agrid_serve.Server.submit server ~respond:ignore line in
+  let job ?deadline_ms seed =
+    let scenario =
+      Serialize.Generated
+        { seed; scale = 0.03; etc_index = 0; dag_index = 0; case = Agrid_platform.Grid.A }
+    in
+    let spec = { (Agrid_serve.Job.default scenario) with Agrid_serve.Job.deadline_ms } in
+    Agrid_obs.Json.to_string (Agrid_serve.Codec.job_to_json spec)
+  in
+  submit "not json";
+  submit "{\"schema\":\"agrid-job/1\",\"kind\":\"health\"}";
+  submit (job 1);
+  submit (job 2);
+  submit (job ~deadline_ms:0. 3);
+  submit (job 4);
+  submit (job 5) (* fifth job overflows the capacity-4 queue: queue_full *);
+  Agrid_serve.Server.drain server;
+  let stats = Agrid_serve.Server.stats server in
+  Fmt.pr "serve: %d requests, %d completed, %d deadline_missed, %d queue_full@."
+    stats.Agrid_serve.Server.s_requests stats.Agrid_serve.Server.s_completed
+    stats.Agrid_serve.Server.s_deadline_missed stats.Agrid_serve.Server.s_queue_full;
   let oc = open_out "BENCH_obs.json" in
   output_string oc
     (Agrid_obs.Export.summary_json ~total_seconds
-       ~sections:[ ("campaign", campaign_sink) ]
+       ~sections:[ ("campaign", campaign_sink); ("serve", serve_sink) ]
        sink);
   close_out oc;
-  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics)@."
+  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics; serve section: %d metrics)@."
     (Agrid_obs.Sink.n_spans sink) (Agrid_obs.Sink.n_metrics sink)
     (Agrid_obs.Sink.n_spans campaign_sink)
     (Agrid_obs.Sink.n_metrics campaign_sink)
+    (Agrid_obs.Sink.n_metrics serve_sink)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

@@ -4,6 +4,7 @@
      agrid tune      — (alpha, beta) weight search on one scenario
      agrid dynamic   — machine loss mid-run with on-the-fly rescheduling
      agrid churn     — scripted churn traces / Monte Carlo survivability
+     agrid serve     — queued scheduling-job daemon (agrid-job/1 over stdin or a socket)
      agrid prof      — profile the SLRH hot paths (spans, metrics, snapshots)
      agrid tables    — regenerate paper Tables 1-4
      agrid figure2   — regenerate the paper's delta-T sweep
@@ -123,11 +124,21 @@ let sink_for ?(stride = 1) ?(ledger = None) obs_file =
   | None, None -> Agrid_obs.Sink.noop
   | _ -> Agrid_obs.Sink.create ~stride ~ledger:(ledger <> None) ()
 
+(* Artefact writes fail on user-supplied paths (unwritable directory,
+   ENOSPC); report one line on stderr and exit 2 instead of dying with a
+   bare Sys_error backtrace. *)
+let write_or_die ~what f =
+  try f () with
+  | Sys_error msg | Unix.Unix_error (_, _, msg) ->
+      Fmt.epr "agrid: cannot write %s: %s@." what msg;
+      exit 2
+
 let write_obs obs_file sink =
   match obs_file with
   | None -> ()
   | Some path ->
-      Agrid_obs.Export.write_jsonl path sink;
+      write_or_die ~what:"telemetry JSONL" (fun () ->
+          Agrid_obs.Export.write_jsonl path sink);
       Fmt.pr "obs: %d spans, %d metrics, %d snapshots -> %s@."
         (Agrid_obs.Sink.n_spans sink) (Agrid_obs.Sink.n_metrics sink)
         (Agrid_obs.Sink.n_snapshots sink) path
@@ -136,7 +147,8 @@ let write_ledger ledger_file sink =
   match (ledger_file, Agrid_obs.Sink.ledger sink) with
   | None, _ | _, None -> ()
   | Some path, Some led ->
-      Agrid_obs.Ledger.write_jsonl path led;
+      write_or_die ~what:"decision-ledger JSONL" (fun () ->
+          Agrid_obs.Ledger.write_jsonl path led);
       Fmt.pr "ledger: %d entries -> %s@." (Agrid_obs.Ledger.length led) path
 
 let load_ledger path =
@@ -242,7 +254,8 @@ let run_cmd =
     if gantt then print_gantt schedule;
     (match (trace_file, tracer) with
     | Some path, Some t ->
-        Agrid_report.Csv.write_file path ~header:Trace.csv_header (Trace.csv_rows t);
+        write_or_die ~what:"trace CSV" (fun () ->
+            Agrid_report.Csv.write_file path ~header:Trace.csv_header (Trace.csv_rows t));
         Fmt.pr "trace: %a -> %s@." Trace.pp_summary (Trace.summarize t) path
     | _ -> ());
     write_obs obs_file sink;
@@ -417,7 +430,8 @@ let export_cmd =
     let spec = spec_of ~seed ~scale in
     (match out with
     | Some path ->
-        Serialize.save_file path spec ~etc_index:etc ~dag_index:dag ~case;
+        write_or_die ~what:"scenario file" (fun () ->
+            Serialize.save_file path spec ~etc_index:etc ~dag_index:dag ~case);
         Fmt.pr "scenario written to %s@." path
     | None -> Fmt.pr "%s" (Serialize.to_string spec ~etc_index:etc ~dag_index:dag ~case));
     0
@@ -646,12 +660,16 @@ let prof_cmd =
     (match out with
     | None -> ()
     | Some path ->
-        Agrid_obs.Export.write_jsonl path sink;
+        write_or_die ~what:"telemetry JSONL" (fun () ->
+            Agrid_obs.Export.write_jsonl path sink);
         Fmt.pr "jsonl -> %s@." path);
     (match csv with
     | None -> ()
     | Some prefix ->
-        let files = Agrid_obs.Export.write_csv_files ~prefix sink in
+        let files =
+          write_or_die ~what:"telemetry CSV" (fun () ->
+              Agrid_obs.Export.write_csv_files ~prefix sink)
+        in
         List.iter (fun f -> Fmt.pr "csv -> %s@." f) files);
     0
   in
@@ -818,6 +836,126 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Operate on exported SLRH decision traces.")
     [ trace_lint_cmd ]
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let module Server = Agrid_serve.Server in
+  let action workers queue socket obs_file =
+    if workers <= 0 then begin
+      Fmt.epr "agrid serve: --workers must be positive@.";
+      2
+    end
+    else if queue <= 0 then begin
+      Fmt.epr "agrid serve: --queue must be positive@.";
+      2
+    end
+    else begin
+      let sink = sink_for obs_file in
+      let server = Server.create ~obs:sink ~workers ~queue_capacity:queue () in
+      Server.start server;
+      (* A signal requests a hard stop: finish in-flight jobs, answer
+         still-queued ones with "dropped" lines. EOF drains everything. *)
+      let stop_requested = Atomic.make false in
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+      Sys.set_signal Sys.sigint handler;
+      Sys.set_signal Sys.sigterm handler;
+      let pump ~respond ic =
+        let rec loop () =
+          if not (Atomic.get stop_requested) then
+            match input_line ic with
+            | line ->
+                Server.submit server ~respond line;
+                loop ()
+            | exception End_of_file -> ()
+            | exception Sys_error _ -> () (* interrupted read *)
+        in
+        loop ()
+      in
+      let serve_stdin () =
+        let respond line =
+          print_string line;
+          print_newline ();
+          flush stdout
+        in
+        pump ~respond stdin
+      in
+      let serve_socket path =
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        (try
+           Unix.bind sock (Unix.ADDR_UNIX path);
+           Unix.listen sock 8
+         with Unix.Unix_error (err, _, _) ->
+           Fmt.epr "agrid serve: cannot listen on %s: %s@." path
+             (Unix.error_message err);
+           exit 2);
+        Fmt.epr "agrid serve: listening on %s (%d workers, queue %d)@." path
+          workers queue;
+        let rec accept_loop () =
+          if not (Atomic.get stop_requested) then
+            match Unix.accept sock with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+            | fd, _ ->
+                let ic = Unix.in_channel_of_descr fd in
+                let oc = Unix.out_channel_of_descr fd in
+                let respond line =
+                  output_string oc line;
+                  output_char oc '\n';
+                  flush oc
+                in
+                pump ~respond ic;
+                (* answer this connection's jobs before hanging up *)
+                Server.quiesce server;
+                (try flush oc with Sys_error _ -> ());
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                accept_loop ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close sock with Unix.Unix_error _ -> ());
+            try Unix.unlink path with Unix.Unix_error _ -> ())
+          accept_loop
+      in
+      (match socket with None -> serve_stdin () | Some path -> serve_socket path);
+      let dropped =
+        if Atomic.get stop_requested then Server.stop server
+        else begin
+          Server.drain server;
+          0
+        end
+      in
+      Fmt.epr "agrid serve: %a@." Server.pp_stats (Server.stats server);
+      if dropped > 0 then
+        Fmt.epr "agrid serve: dropped %d queued job(s) on shutdown@." dropped;
+      write_obs obs_file sink;
+      0
+    end
+  in
+  let workers_t =
+    Arg.(
+      value
+      & opt int (Agrid_par.Parallel.default_domains ())
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains executing jobs (default: available cores).")
+  in
+  let queue_t =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Job queue capacity; jobs beyond it are rejected with a typed queue_full response (backpressure, never unbounded buffering).")
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket instead of stdin (one connection at a time; responses stream back on the same connection).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the scenario service: a long-lived daemon reading one agrid-job/1 JSON request per line (from stdin or a Unix-domain socket) and streaming one JSON result line per job from a persistent worker pool. SIGINT/SIGTERM finishes in-flight jobs and reports dropped queue entries; EOF drains the whole queue. Pool telemetry (serve/* counters, queue depth, per-job latency) lands in --obs.")
+    Term.(const action $ workers_t $ queue_t $ socket_t $ obs_t)
+
 (* ---- dot ---- *)
 
 let dot_cmd =
@@ -840,6 +978,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; prof_cmd; explain_cmd;
+          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; serve_cmd; prof_cmd; explain_cmd;
             ledger_diff_cmd; trace_cmd; tables_cmd; figure2_cmd; ub_cmd; calibrate_cmd;
             export_cmd; import_cmd; dot_cmd ]))

@@ -80,6 +80,12 @@ type params = {
       (** telemetry sink for spans, counters and per-timestep snapshots;
           the default no-op sink is provably inert — the scheduler's
           output is bit-identical with or without it (tested) *)
+  cancel : unit -> bool;
+      (** cooperative cancellation, polled once per timestep before any
+          work for that step: returning [true] ends the run where it
+          stands (the scenario service's per-job wall-clock deadline).
+          The default never cancels, leaving the loop bit-identical to
+          the uncancellable one. *)
 }
 
 let default_params ?(variant = V1) weights =
@@ -94,6 +100,7 @@ let default_params ?(variant = V1) weights =
     parallel_scoring = None;
     tracer = None;
     obs = Agrid_obs.Sink.noop;
+    cancel = (fun () -> false);
   }
 
 (* Pool sizes live well under a hundred for every workload here; linear
@@ -537,7 +544,16 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
     | [] -> Agrid_obs.Ledger.Pool_empty
     | _ :: _ -> Agrid_obs.Ledger.Horizon_miss
   in
-  while (not (Schedule.all_mapped sched)) && !now <= tau do
+  (* Cooperative cancellation, polled once per timestep as part of the
+     loop condition: once [params.cancel] fires the run ends where it
+     stands (no partial sweep). The default cancel is [fun () -> false],
+     so the uncancelled loop is bit-identical to the historical one. *)
+  let cancelled = ref false in
+  let keep_going () =
+    if (not !cancelled) && params.cancel () then cancelled := true;
+    not !cancelled
+  in
+  while keep_going () && (not (Schedule.all_mapped sched)) && !now <= tau do
     incr clock_steps;
     (match ledger with
     | None -> ()

@@ -72,6 +72,14 @@ type params = {
           runner-up margin, and per-machine idle causes. The default
           no-op sink is inert: scheduler output is bit-identical with or
           without it (ledger on or off). *)
+  cancel : unit -> bool;
+      (** cooperative cancellation, polled once per timestep before any
+          work for that step: returning [true] ends the run where it
+          stands, leaving [completed = false] and the schedule as built
+          so far. The scenario service ({!Agrid_serve}) uses this to
+          enforce per-job wall-clock deadlines without preemption. The
+          default never cancels; the loop is then bit-identical to the
+          uncancellable one. *)
 }
 
 val default_params : ?variant:variant -> Objective.weights -> params

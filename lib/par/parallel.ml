@@ -83,3 +83,90 @@ let init ?obs ?domains n f = map ?obs ?domains f (Array.init n Fun.id)
    (summaries over a few hundred results). *)
 let map_reduce ?obs ?domains ~map:f ~fold ~init:acc0 arr =
   Array.fold_left fold acc0 (map ?obs ?domains f arr)
+
+(* ---- bounded blocking channel ----
+
+   The hand-off between a producer (the scenario service's admission path)
+   and a persistent pool of consumer domains. Deliberately minimal: one
+   mutex, one condition (signalled on push, seal and close — consumers are
+   the only waiters; producers never block, they are *rejected* when the
+   buffer is full, which is the whole point of bounded admission).
+
+   Lifecycle: open -> sealed (no more pushes; consumers drain what is
+   buffered, then see [None]) or closed (buffered items are returned to
+   the closer — the service reports them as dropped — and consumers see
+   [None] immediately). *)
+
+module Chan = struct
+  type 'a t = {
+    buf : 'a Queue.t;
+    capacity : int;
+    mutable state : [ `Open | `Sealed | `Closed ];
+    mutable high_water : int;
+    lock : Mutex.t;
+    nonempty : Condition.t;
+  }
+
+  let create ~capacity =
+    if capacity < 1 then
+      invalid_arg
+        (Printf.sprintf "Parallel.Chan.create: capacity must be >= 1 (got %d)"
+           capacity);
+    {
+      buf = Queue.create ();
+      capacity;
+      state = `Open;
+      high_water = 0;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+    }
+
+  let with_lock t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let try_push t x =
+    with_lock t (fun () ->
+        match t.state with
+        | `Sealed | `Closed -> `Rejected `Closed
+        | `Open ->
+            if Queue.length t.buf >= t.capacity then `Rejected `Full
+            else begin
+              Queue.push x t.buf;
+              let depth = Queue.length t.buf in
+              if depth > t.high_water then t.high_water <- depth;
+              Condition.signal t.nonempty;
+              `Accepted depth
+            end)
+
+  let pop t =
+    with_lock t (fun () ->
+        let rec wait () =
+          match Queue.take_opt t.buf with
+          | Some x -> Some x
+          | None -> (
+              match t.state with
+              | `Sealed | `Closed -> None
+              | `Open ->
+                  Condition.wait t.nonempty t.lock;
+                  wait ())
+        in
+        wait ())
+
+  let seal t =
+    with_lock t (fun () ->
+        if t.state = `Open then t.state <- `Sealed;
+        Condition.broadcast t.nonempty)
+
+  let close t =
+    with_lock t (fun () ->
+        if t.state <> `Closed then t.state <- `Closed;
+        let dropped = List.of_seq (Queue.to_seq t.buf) in
+        Queue.clear t.buf;
+        Condition.broadcast t.nonempty;
+        dropped)
+
+  let length t = with_lock t (fun () -> Queue.length t.buf)
+  let high_water t = with_lock t (fun () -> t.high_water)
+  let is_open t = with_lock t (fun () -> t.state = `Open)
+end

@@ -42,3 +42,40 @@ val map_reduce :
   'c
 (** Parallel map, then a sequential left fold over the results in index
     order (so the fold is deterministic). *)
+
+(** A bounded blocking FIFO channel between one-or-more producers and a
+    persistent pool of consumer domains (the scenario service's job
+    queue). Producers never block: a push against a full buffer is
+    {e rejected}, which is how the service turns overload into a typed
+    [queue_full] response instead of unbounded buffering. Consumers block
+    in {!Chan.pop} until an item, a seal or a close arrives. *)
+module Chan : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** @raise Invalid_argument when [capacity < 1]. *)
+
+  val try_push : 'a t -> 'a -> [ `Accepted of int | `Rejected of [ `Full | `Closed ] ]
+  (** Non-blocking. [`Accepted depth] reports the buffer depth including
+      the new item (the service's queue-depth gauge); [`Rejected `Full] is
+      backpressure, [`Rejected `Closed] arrives after {!seal}/{!close}. *)
+
+  val pop : 'a t -> 'a option
+  (** Block until an item is available ([Some]) or the channel can never
+      produce one again ([None]: sealed and drained, or closed). *)
+
+  val seal : 'a t -> unit
+  (** Graceful end-of-input: no further pushes; buffered items remain
+      poppable. Idempotent; a no-op after {!close}. *)
+
+  val close : 'a t -> 'a list
+  (** Hard stop: no further pushes or pops; returns the buffered items in
+      FIFO order so the caller can report them dropped. Idempotent (later
+      calls return []). *)
+
+  val length : 'a t -> int
+  val high_water : 'a t -> int
+  (** Deepest the buffer has ever been. *)
+
+  val is_open : 'a t -> bool
+end

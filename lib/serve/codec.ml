@@ -1,0 +1,189 @@
+(* The agrid-job/1 wire format. One JSON object per line each way; every
+   parser is total (hostile bytes -> Error, never an exception) because
+   the server feeds it raw socket/stdin lines and the fuzz suite feeds it
+   mutated garbage. *)
+
+module Json = Agrid_obs.Json
+module Serialize = Agrid_workload.Serialize
+module Slrh = Agrid_core.Slrh
+module Event = Agrid_churn.Event
+
+let schema = "agrid-job/1"
+let result_schema = "agrid-job-result/1"
+
+type request = Submit of Job.spec | Health
+
+let ( let* ) = Result.bind
+
+let variant_to_string = function
+  | Slrh.V1 -> "slrh1"
+  | Slrh.V2 -> "slrh2"
+  | Slrh.V3 -> "slrh3"
+
+let variant_of_string = function
+  | "slrh1" -> Ok Slrh.V1
+  | "slrh2" -> Ok Slrh.V2
+  | "slrh3" -> Ok Slrh.V3
+  | s -> Error (Fmt.str "unknown heuristic %S (expected slrh1|slrh2|slrh3)" s)
+
+(* Optional field with a default: absent is fine, present-but-mistyped is
+   an error — silently defaulting a typo would run the wrong job. *)
+let opt_field j name conv ~default =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Fmt.str "field %S is mistyped" name))
+
+let parse_job j =
+  let* scenario =
+    match Json.member "scenario" j with
+    | None -> Error "job is missing the \"scenario\" field"
+    | Some s -> Serialize.scenario_ref_of_json s
+  in
+  let* tag =
+    opt_field j "tag" (fun v -> Option.map Option.some (Json.to_string_value v))
+      ~default:None
+  in
+  let* alpha = opt_field j "alpha" Json.to_float ~default:0.4 in
+  let* beta = opt_field j "beta" Json.to_float ~default:0.3 in
+  let* variant_name = opt_field j "heuristic" Json.to_string_value ~default:"slrh1" in
+  let* variant = variant_of_string variant_name in
+  let* delta_t = opt_field j "delta_t" Json.to_int ~default:10 in
+  let* horizon = opt_field j "horizon" Json.to_int ~default:100 in
+  let* mode_name = opt_field j "mode" Json.to_string_value ~default:"incremental" in
+  let* mode =
+    match Slrh.mode_of_string mode_name with
+    | Some m -> Ok m
+    | None -> Error (Fmt.str "unknown mode %S (expected rescan|incremental)" mode_name)
+  in
+  let* trace = opt_field j "events" Json.to_string_value ~default:"" in
+  let* events =
+    if trace = "" then Ok []
+    else
+      match Event.parse_trace trace with
+      | events -> Ok events
+      | exception Invalid_argument msg -> Error (Fmt.str "bad events trace: %s" msg)
+  in
+  let* deadline_ms =
+    opt_field j "deadline_ms" (fun v -> Option.map Option.some (Json.to_float v))
+      ~default:None
+  in
+  if delta_t <= 0 then Error "delta_t must be positive"
+  else if horizon <= 0 then Error "horizon must be positive"
+  else if not (Float.is_finite alpha && Float.is_finite beta) then
+    Error "alpha/beta must be finite"
+  else
+    Ok
+      (Submit
+         {
+           Job.tag;
+           scenario;
+           alpha;
+           beta;
+           variant;
+           delta_t;
+           horizon;
+           mode;
+           events;
+           deadline_ms;
+         })
+
+let parse_request line =
+  match Json.parse line with
+  | exception Json.Parse_error msg -> Error (Fmt.str "not JSON: %s" msg)
+  | j -> (
+      match Json.get_string "schema" j with
+      | Some s when s = schema -> (
+          match Json.get_string "kind" j with
+          | Some "job" -> parse_job j
+          | Some "health" -> Ok Health
+          | Some other -> Error (Fmt.str "unknown kind %S" other)
+          | None -> Error "missing \"kind\" field")
+      | Some other -> Error (Fmt.str "unsupported schema %S (expected %S)" other schema)
+      | None -> Error (Fmt.str "missing \"schema\" field (expected %S)" schema))
+
+let job_to_json (s : Job.spec) =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("kind", Json.Str "job");
+      ("tag", match s.Job.tag with None -> Json.Null | Some t -> Json.Str t);
+      ("scenario", Serialize.scenario_ref_to_json s.Job.scenario);
+      ("alpha", Json.Flt s.Job.alpha);
+      ("beta", Json.Flt s.Job.beta);
+      ("heuristic", Json.Str (variant_to_string s.Job.variant));
+      ("delta_t", Json.Int s.Job.delta_t);
+      ("horizon", Json.Int s.Job.horizon);
+      ("mode", Json.Str (Slrh.mode_to_string s.Job.mode));
+      ("events", Json.Str (Event.trace_to_string s.Job.events));
+      ( "deadline_ms",
+        match s.Job.deadline_ms with None -> Json.Null | Some ms -> Json.Flt ms );
+    ]
+
+(* ---- responses ---- *)
+
+let base ~id ty rest =
+  Json.Obj
+    (("schema", Json.Str result_schema)
+    :: ("type", Json.Str ty)
+    :: ("id", Json.Int id)
+    :: rest)
+
+let tag_field tag = ("tag", match tag with None -> Json.Null | Some t -> Json.Str t)
+
+let result_line ~id ~tag ~latency_s (r : Job.result) =
+  let error_fields =
+    match r.Job.status with
+    | Job.Errored msg -> [ ("error", Json.Str msg) ]
+    | Job.Ok_done | Job.Deadline_missed -> []
+  in
+  Json.to_string
+    (base ~id "result"
+       ([
+          tag_field tag;
+          ("status", Json.Str (Job.status_to_string r.Job.status));
+        ]
+       @ error_fields
+       @ [
+           ("completed", Json.Bool r.Job.completed);
+           ("t100", Json.Int r.Job.t100);
+           ("mapped", Json.Int r.Job.mapped);
+           ("aet", Json.Int r.Job.aet);
+           ("tec", Json.Flt r.Job.tec);
+           (* %.9g loses float bits; the soak harness's bit-identity check
+              needs the exact TEC through the wire *)
+           ("tec_bits", Json.Str (Fmt.str "%Lx" (Int64.bits_of_float r.Job.tec)));
+           ("energy", Json.Arr (Array.to_list (Array.map (fun e -> Json.Flt e) r.Job.energy_remaining)));
+           ("final_clock", Json.Int r.Job.final_clock);
+           ("discarded", Json.Int r.Job.n_discarded);
+           ("sunk_energy", Json.Flt r.Job.sunk_energy);
+           ("wall_s", Json.Flt r.Job.wall_seconds);
+           ("latency_s", Json.Flt latency_s);
+         ]))
+
+let reason_to_string = function
+  | `Queue_full -> "queue_full"
+  | `Malformed -> "malformed"
+  | `Draining -> "draining"
+
+let rejected_line ~id ~reason ~detail =
+  Json.to_string
+    (base ~id "rejected"
+       [
+         ("reason", Json.Str (reason_to_string reason)); ("detail", Json.Str detail);
+       ])
+
+let dropped_line ~id ~tag = Json.to_string (base ~id "dropped" [ tag_field tag ])
+
+let health_line ~id ~uptime_s ~queue_depth ~workers ~accepted ~completed =
+  Json.to_string
+    (base ~id "health"
+       [
+         ("uptime_s", Json.Flt uptime_s);
+         ("queue_depth", Json.Int queue_depth);
+         ("workers", Json.Int workers);
+         ("accepted", Json.Int accepted);
+         ("completed", Json.Int completed);
+       ])

@@ -1,0 +1,58 @@
+(** The scenario service's wire format: one JSON object per line in both
+    directions.
+
+    {b Requests} carry [{"schema":"agrid-job/1","kind":...}]:
+    - [kind:"job"] — a {!Job.spec}: a [scenario] object (see
+      {!Agrid_workload.Serialize.scenario_ref_of_json}) plus optional
+      scheduler fields ([alpha], [beta], [heuristic], [delta_t],
+      [horizon], [mode], [events] as an {!Agrid_churn.Event.parse_trace}
+      string, [deadline_ms], [tag]) defaulting to the CLI's defaults.
+    - [kind:"health"] — answered synchronously, never queued.
+
+    {b Responses} carry [{"schema":"agrid-job-result/1","type":...,"id":N}]
+    where [id] is the server's monotone request id (every request gets
+    one, malformed included): [type] is ["result"], ["rejected"] (reason
+    ["queue_full"], ["malformed"] or ["draining"]), ["dropped"] (queued
+    job discarded by a hard shutdown) or ["health"].
+
+    All parsers are total — hostile input comes back as [Error], pinned
+    by the fuzz suite's mutation corpus. *)
+
+val schema : string
+(** ["agrid-job/1"] *)
+
+val result_schema : string
+(** ["agrid-job-result/1"] *)
+
+type request = Submit of Job.spec | Health
+
+val parse_request : string -> (request, string) result
+(** Parse one request line. Never raises. *)
+
+val job_to_json : Job.spec -> Agrid_obs.Json.t
+(** The full envelope (schema/kind and every field, defaults included),
+    such that [parse_request (Json.to_string (job_to_json j))] returns
+    [Ok (Submit j)] — pinned by the round-trip property suite. *)
+
+(** {2 Response lines} — each returns one line without the trailing
+    newline. *)
+
+val result_line : id:int -> tag:string option -> latency_s:float -> Job.result -> string
+(** The per-job response: status, T100/mapped/AET, TEC (as both a ["%.9g"]
+    float and an exact [tec_bits] hex spelling), the per-machine energy
+    ledger, final clock, churn discard/sunk totals, wall and queue+run
+    latency seconds. *)
+
+val rejected_line :
+  id:int -> reason:[ `Queue_full | `Malformed | `Draining ] -> detail:string -> string
+
+val dropped_line : id:int -> tag:string option -> string
+
+val health_line :
+  id:int ->
+  uptime_s:float ->
+  queue_depth:int ->
+  workers:int ->
+  accepted:int ->
+  completed:int ->
+  string

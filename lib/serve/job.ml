@@ -1,0 +1,166 @@
+(* One scheduling job for the scenario service: realize a scenario
+   reference, run the SLRH loop (through the churn engine when the spec
+   carries an event timeline) and summarize the final schedule. The
+   deadline is cooperative: a cancel closure handed to the SLRH params is
+   polled once per timestep, so a fired deadline ends the run at a step
+   boundary with the schedule as built so far — no preemption, no torn
+   state. *)
+
+module Serialize = Agrid_workload.Serialize
+module Workload = Agrid_workload.Workload
+module Slrh = Agrid_core.Slrh
+module Dynamic = Agrid_core.Dynamic
+module Schedule = Agrid_sched.Schedule
+module Objective = Agrid_core.Objective
+module Sink = Agrid_obs.Sink
+
+type spec = {
+  tag : string option;
+  scenario : Serialize.scenario_ref;
+  alpha : float;
+  beta : float;
+  variant : Slrh.variant;
+  delta_t : int;
+  horizon : int;
+  mode : Slrh.mode;
+  events : Agrid_churn.Event.t list;
+  deadline_ms : float option;
+}
+
+let default scenario =
+  {
+    tag = None;
+    scenario;
+    alpha = 0.4;
+    beta = 0.3;
+    variant = Slrh.V1;
+    delta_t = 10;
+    horizon = 100;
+    mode = `Incremental;
+    events = [];
+    deadline_ms = None;
+  }
+
+type status = Ok_done | Deadline_missed | Errored of string
+
+let status_to_string = function
+  | Ok_done -> "ok"
+  | Deadline_missed -> "deadline_missed"
+  | Errored _ -> "errored"
+
+type result = {
+  status : status;
+  completed : bool;
+  t100 : int;
+  mapped : int;
+  aet : int;
+  tec : float;
+  energy_remaining : float array;
+  final_clock : int;
+  n_discarded : int;
+  sunk_energy : float;
+  wall_seconds : float;
+}
+
+let errored msg =
+  {
+    status = Errored msg;
+    completed = false;
+    t100 = 0;
+    mapped = 0;
+    aet = 0;
+    tec = 0.;
+    energy_remaining = [||];
+    final_clock = 0;
+    n_discarded = 0;
+    sunk_energy = 0.;
+    wall_seconds = 0.;
+  }
+
+(* A deadline of <= 0 ms fires deterministically before the first timestep
+   — the soak harness's "impossible deadline" relies on never touching the
+   clock for it, so the resulting empty schedule is reproducible. *)
+let cancel_for ~t0 ~fired = function
+  | None -> fun () -> false
+  | Some ms when ms <= 0. ->
+      fun () ->
+        fired := true;
+        true
+  | Some ms ->
+      let budget = ms /. 1000. in
+      fun () ->
+        if Unix.gettimeofday () -. t0 >= budget then begin
+          fired := true;
+          true
+        end
+        else false
+
+let summarize ~status ~completed ~final_clock ~n_discarded ~sunk_energy ~wall
+    sched =
+  let n = Workload.n_machines (Schedule.workload sched) in
+  {
+    status;
+    completed;
+    t100 = Schedule.n_primary sched;
+    mapped = Schedule.n_mapped sched;
+    aet = Schedule.aet sched;
+    tec = Schedule.tec sched;
+    energy_remaining = Array.init n (Schedule.energy_remaining sched);
+    final_clock;
+    n_discarded;
+    sunk_energy;
+    wall_seconds = wall;
+  }
+
+let run ?(obs = Sink.noop) spec =
+  let t0 = Unix.gettimeofday () in
+  let fired = ref false in
+  match
+    let workload = Serialize.realize spec.scenario in
+    let weights = Objective.make_weights ~alpha:spec.alpha ~beta:spec.beta in
+    let params =
+      {
+        (Slrh.default_params ~variant:spec.variant weights) with
+        Slrh.delta_t = spec.delta_t;
+        horizon = spec.horizon;
+        mode = spec.mode;
+        obs;
+        cancel = cancel_for ~t0 ~fired spec.deadline_ms;
+      }
+    in
+    match spec.events with
+    | [] ->
+        let out = Slrh.run params workload in
+        `Static out
+    | events -> `Churn (Dynamic.run_churn params workload events)
+  with
+  | exception Serialize.Parse_error { line; message } ->
+      errored (Fmt.str "scenario parse error at line %d: %s" line message)
+  | exception Invalid_argument msg -> errored msg
+  | exception Failure msg -> errored msg
+  | outcome -> (
+      let wall = Unix.gettimeofday () -. t0 in
+      let status = if !fired then Deadline_missed else Ok_done in
+      match outcome with
+      | `Static (out : Slrh.outcome) ->
+          summarize ~status ~completed:out.Slrh.completed
+            ~final_clock:out.Slrh.final_clock ~n_discarded:0 ~sunk_energy:0.
+            ~wall out.Slrh.schedule
+      | `Churn out ->
+          summarize ~status ~completed:out.Agrid_churn.Engine.completed
+            ~final_clock:out.Agrid_churn.Engine.final_clock
+            ~n_discarded:out.Agrid_churn.Engine.n_discarded
+            ~sunk_energy:out.Agrid_churn.Engine.sunk_energy ~wall
+            out.Agrid_churn.Engine.schedule)
+
+let float_bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let equal_modulo_wall a b =
+  a.status = b.status && a.completed = b.completed && a.t100 = b.t100
+  && a.mapped = b.mapped && a.aet = b.aet
+  && float_bits_equal a.tec b.tec
+  && Array.length a.energy_remaining = Array.length b.energy_remaining
+  && Array.for_all2 float_bits_equal a.energy_remaining b.energy_remaining
+  && a.final_clock = b.final_clock
+  && a.n_discarded = b.n_discarded
+  && float_bits_equal a.sunk_energy b.sunk_energy

@@ -1,0 +1,69 @@
+(** One scheduling job: a scenario reference plus SLRH parameters, an
+    optional churn timeline and an optional wall-clock deadline — the unit
+    of work the scenario service ({!Server}) queues and executes.
+
+    {!run} is deliberately a plain function so the soak harness can replay
+    any served job one-shot, single-threaded, and demand a bit-identical
+    {!type-result} — the same differential discipline that pins rescan
+    against incremental mode. *)
+
+type spec = {
+  tag : string option;  (** opaque client correlation token, echoed back *)
+  scenario : Agrid_workload.Serialize.scenario_ref;
+  alpha : float;
+  beta : float;
+  variant : Agrid_core.Slrh.variant;
+  delta_t : int;
+  horizon : int;
+  mode : Agrid_core.Slrh.mode;
+  events : Agrid_churn.Event.t list;  (** churn timeline; [] = static run *)
+  deadline_ms : float option;
+      (** wall-clock budget for the scheduler loop; enforced cooperatively
+          (one cancellation check per timestep). [Some ms] with [ms <= 0]
+          always misses — the soak harness's "impossible deadline". *)
+}
+
+val default : Agrid_workload.Serialize.scenario_ref -> spec
+(** The CLI's defaults: alpha 0.4, beta 0.3, SLRH-1, delta_t 10, horizon
+    100, incremental mode, no churn, no deadline. *)
+
+type status =
+  | Ok_done  (** the clock loop ran to its natural end (see [completed]) *)
+  | Deadline_missed  (** the cooperative deadline cancelled the loop *)
+  | Errored of string  (** the job could not run (bad scenario/params) *)
+
+val status_to_string : status -> string
+(** ["ok"], ["deadline_missed"], ["errored"]. *)
+
+type result = {
+  status : status;
+  completed : bool;  (** every subtask mapped before the clock passed tau *)
+  t100 : int;
+  mapped : int;
+  aet : int;
+  tec : float;  (** total energy consumed *)
+  energy_remaining : float array;  (** per-machine battery ledger at the end *)
+  final_clock : int;
+  n_discarded : int;  (** churn jobs: placements discarded by events *)
+  sunk_energy : float;  (** churn jobs: non-work energy charges *)
+  wall_seconds : float;
+}
+
+val errored : string -> result
+(** The all-zero result carrying [Errored msg]. *)
+
+val run : ?obs:Agrid_obs.Sink.t -> spec -> result
+(** Execute the job: realize the scenario, run the SLRH loop (through the
+    churn engine when [events <> []]) and summarize the schedule. Never
+    raises: malformed scenarios and invalid parameters come back as
+    [Errored]. [?obs] is a per-job sink (the service merges it into the
+    pool sink afterwards); the default no-op sink is inert.
+
+    Deterministic: for a fixed spec without a deadline (or whose deadline
+    did not fire), every field except [wall_seconds] is a pure function of
+    the spec — pinned by the soak harness's served-vs-one-shot
+    comparison. *)
+
+val equal_modulo_wall : result -> result -> bool
+(** Bitwise equality on every field except [wall_seconds] (floats compared
+    through their bit patterns). *)

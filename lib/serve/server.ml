@@ -1,0 +1,286 @@
+(* The scenario service. Concurrency layout:
+
+   - producers (stdin/socket reader) call submit, which parses, assigns
+     an id and try_pushes onto the bounded Chan — never blocking; a full
+     buffer becomes a typed queue_full response (backpressure);
+   - one controller domain runs Parallel.run_workers over `workers`
+     persistent worker loops, each popping jobs until seal/close;
+   - `lock` guards all mutable counters and every pool-sink operation
+     (sinks are single-domain; the mutex serializes producer and worker
+     access), `idle` signals outstanding = 0, `out_lock` serializes
+     respond callbacks. Lock order: out_lock before lock, never the
+     reverse. *)
+
+module Sink = Agrid_obs.Sink
+module Chan = Agrid_par.Parallel.Chan
+
+type entry = {
+  e_id : int;
+  e_tag : string option;
+  e_spec : Job.spec;
+  e_submitted : float;
+  e_respond : string -> unit;
+}
+
+type t = {
+  workers : int;
+  job_stride : int;
+  obs : Sink.t;
+  chan : entry Chan.t;
+  lock : Mutex.t;
+  idle : Condition.t;
+  out_lock : Mutex.t;
+  started_at : float;
+  mutable next_id : int;
+  mutable outstanding : int;  (* accepted jobs queued or in flight *)
+  mutable accepted : int;
+  mutable completed : int;
+  mutable deadline_missed : int;
+  mutable errored : int;
+  mutable queue_full : int;
+  mutable malformed : int;
+  mutable draining : int;
+  mutable dropped : int;
+  mutable health : int;
+  mutable respond_errors : int;
+  mutable controller : unit Domain.t option;
+  mutable state : [ `Created | `Running | `Stopped ];
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let latency_bounds = [| 0.001; 0.005; 0.02; 0.1; 0.5; 2.; 10. |]
+
+let create ?(obs = Sink.noop) ?(job_stride = 8) ?workers ?(queue_capacity = 64) () =
+  let workers =
+    match workers with Some w -> w | None -> Agrid_par.Parallel.default_domains ()
+  in
+  if workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  if job_stride < 1 then invalid_arg "Server.create: job_stride must be >= 1";
+  {
+    workers;
+    job_stride;
+    obs;
+    chan = Chan.create ~capacity:queue_capacity;
+    lock = Mutex.create ();
+    idle = Condition.create ();
+    out_lock = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    next_id = 0;
+    outstanding = 0;
+    accepted = 0;
+    completed = 0;
+    deadline_missed = 0;
+    errored = 0;
+    queue_full = 0;
+    malformed = 0;
+    draining = 0;
+    dropped = 0;
+    health = 0;
+    respond_errors = 0;
+    controller = None;
+    state = `Created;
+  }
+
+(* Serialize every response; a respond that raises (client hung up) is
+   counted, not propagated — it must not kill a worker domain. *)
+let send t respond line =
+  let failed =
+    with_lock t.out_lock (fun () ->
+        match respond line with () -> false | exception _ -> true)
+  in
+  if failed then with_lock t.lock (fun () -> t.respond_errors <- t.respond_errors + 1)
+
+let obs_incr t name = if Sink.enabled t.obs then Sink.incr t.obs name
+
+(* callers hold t.lock *)
+let finish_one t =
+  t.outstanding <- t.outstanding - 1;
+  if t.outstanding = 0 then Condition.broadcast t.idle
+
+let run_entry t e =
+  let job_sink =
+    if Sink.enabled t.obs then Sink.create ~stride:t.job_stride () else Sink.noop
+  in
+  let res = Job.run ~obs:job_sink e.e_spec in
+  let latency = Unix.gettimeofday () -. e.e_submitted in
+  send t e.e_respond (Codec.result_line ~id:e.e_id ~tag:e.e_tag ~latency_s:latency res);
+  with_lock t.lock (fun () ->
+      t.completed <- t.completed + 1;
+      let status_counter =
+        match res.Job.status with
+        | Job.Ok_done -> "serve/completed"
+        | Job.Deadline_missed ->
+            t.deadline_missed <- t.deadline_missed + 1;
+            "serve/deadline_missed"
+        | Job.Errored _ ->
+            t.errored <- t.errored + 1;
+            "serve/errored"
+      in
+      if Sink.enabled t.obs then begin
+        Sink.merge_into ~into:t.obs job_sink;
+        Sink.incr t.obs status_counter;
+        Sink.observe t.obs "serve/latency_s" ~bounds:latency_bounds latency
+      end;
+      finish_one t)
+
+let rec worker_loop t =
+  match Chan.pop t.chan with
+  | None -> ()
+  | Some e ->
+      run_entry t e;
+      worker_loop t
+
+let start t =
+  with_lock t.lock (fun () ->
+      match t.state with
+      | `Running -> ()
+      | `Stopped -> invalid_arg "Server.start: already shut down"
+      | `Created ->
+          t.state <- `Running;
+          t.controller <-
+            Some
+              (Domain.spawn (fun () ->
+                   Agrid_par.Parallel.run_workers ~domains:t.workers ~n:t.workers
+                     (fun _ -> worker_loop t))))
+
+let health_payload t ~id =
+  with_lock t.lock (fun () ->
+      t.health <- t.health + 1;
+      obs_incr t "serve/health";
+      Codec.health_line ~id
+        ~uptime_s:(Unix.gettimeofday () -. t.started_at)
+        ~queue_depth:(Chan.length t.chan) ~workers:t.workers ~accepted:t.accepted
+        ~completed:t.completed)
+
+let submit t ~respond line =
+  let id =
+    with_lock t.lock (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        id)
+  in
+  match Codec.parse_request line with
+  | Error detail ->
+      with_lock t.lock (fun () ->
+          t.malformed <- t.malformed + 1;
+          obs_incr t "serve/malformed");
+      send t respond (Codec.rejected_line ~id ~reason:`Malformed ~detail)
+  | Ok Codec.Health -> send t respond (health_payload t ~id)
+  | Ok (Codec.Submit spec) -> (
+      let e =
+        {
+          e_id = id;
+          e_tag = spec.Job.tag;
+          e_spec = spec;
+          e_submitted = Unix.gettimeofday ();
+          e_respond = respond;
+        }
+      in
+      match Chan.try_push t.chan e with
+      | `Accepted depth ->
+          with_lock t.lock (fun () ->
+              t.outstanding <- t.outstanding + 1;
+              t.accepted <- t.accepted + 1;
+              if Sink.enabled t.obs then begin
+                Sink.incr t.obs "serve/accepted";
+                Sink.max_gauge t.obs "serve/queue_depth" (float_of_int depth)
+              end)
+      | `Rejected `Full ->
+          with_lock t.lock (fun () ->
+              t.queue_full <- t.queue_full + 1;
+              obs_incr t "serve/queue_full");
+          send t respond
+            (Codec.rejected_line ~id ~reason:`Queue_full
+               ~detail:
+                 (Fmt.str "queue at capacity (%d queued)" (Chan.length t.chan)))
+      | `Rejected `Closed ->
+          with_lock t.lock (fun () ->
+              t.draining <- t.draining + 1;
+              obs_incr t "serve/draining");
+          send t respond
+            (Codec.rejected_line ~id ~reason:`Draining ~detail:"server is shutting down"))
+
+let quiesce t =
+  with_lock t.lock (fun () ->
+      while t.outstanding > 0 do
+        Condition.wait t.idle t.lock
+      done)
+
+let join_pool t =
+  let controller = with_lock t.lock (fun () ->
+      let c = t.controller in
+      t.controller <- None;
+      t.state <- `Stopped;
+      c)
+  in
+  Option.iter Domain.join controller
+
+let drain t =
+  (match with_lock t.lock (fun () -> t.state) with
+  | `Created -> start t
+  | `Running | `Stopped -> ());
+  Chan.seal t.chan;
+  quiesce t;
+  join_pool t
+
+let stop t =
+  let abandoned = Chan.close t.chan in
+  List.iter
+    (fun e ->
+      with_lock t.lock (fun () ->
+          t.dropped <- t.dropped + 1;
+          obs_incr t "serve/dropped";
+          finish_one t);
+      send t e.e_respond (Codec.dropped_line ~id:e.e_id ~tag:e.e_tag))
+    abandoned;
+  quiesce t;
+  join_pool t;
+  List.length abandoned
+
+type stats = {
+  s_requests : int;
+  s_accepted : int;
+  s_completed : int;
+  s_deadline_missed : int;
+  s_errored : int;
+  s_queue_full : int;
+  s_malformed : int;
+  s_draining : int;
+  s_dropped : int;
+  s_health : int;
+  s_respond_errors : int;
+  s_queue_high_water : int;
+}
+
+let stats t =
+  with_lock t.lock (fun () ->
+      {
+        s_requests = t.next_id;
+        s_accepted = t.accepted;
+        s_completed = t.completed;
+        s_deadline_missed = t.deadline_missed;
+        s_errored = t.errored;
+        s_queue_full = t.queue_full;
+        s_malformed = t.malformed;
+        s_draining = t.draining;
+        s_dropped = t.dropped;
+        s_health = t.health;
+        s_respond_errors = t.respond_errors;
+        s_queue_high_water = Chan.high_water t.chan;
+      })
+
+let queue_depth t = Chan.length t.chan
+let n_workers t = t.workers
+let uptime_s t = Unix.gettimeofday () -. t.started_at
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "requests %d accepted %d completed %d (deadline_missed %d errored %d) \
+     rejected (full %d malformed %d draining %d) dropped %d health %d \
+     respond_errors %d queue_high_water %d"
+    s.s_requests s.s_accepted s.s_completed s.s_deadline_missed s.s_errored
+    s.s_queue_full s.s_malformed s.s_draining s.s_dropped s.s_health
+    s.s_respond_errors s.s_queue_high_water

@@ -1,0 +1,86 @@
+(** The scenario service: a queued scheduling-job daemon.
+
+    One server owns a bounded FIFO job queue ({!Agrid_par.Parallel.Chan})
+    and a persistent pool of worker domains. Producers call {!submit}
+    with raw request lines; the server assigns every request (malformed
+    and health included) a monotone id, answers health synchronously,
+    rejects jobs over capacity with a typed [queue_full] line (producers
+    never block — backpressure, not buffering), and streams one
+    {!Codec.result_line} per accepted job through the caller's [respond]
+    callback as workers finish. Responses are serialized (one writer at a
+    time), so [respond] needs no locking of its own.
+
+    Telemetry: each job runs against a private sink merged into the pool
+    sink afterwards, alongside pool-level counters ([serve/accepted],
+    [serve/completed], [serve/deadline_missed], [serve/errored],
+    [serve/queue_full], [serve/malformed], [serve/dropped],
+    [serve/health]), the queue-depth high-water gauge
+    ([serve/queue_depth]) and a per-job latency histogram
+    ([serve/latency_s]). With the default no-op sink all of it is
+    inert. *)
+
+type t
+
+val create :
+  ?obs:Agrid_obs.Sink.t ->
+  ?job_stride:int ->
+  ?workers:int ->
+  ?queue_capacity:int ->
+  unit ->
+  t
+(** A server with its queue, not yet running (see {!start}; {!drain}
+    starts lazily, which tests use to exercise deterministic overflow).
+    [obs] is the pool sink (default: no-op — inert); [job_stride]
+    (default 8) is the snapshot stride of per-job sinks; [workers]
+    (default {!Agrid_par.Parallel.default_domains}) sizes the domain
+    pool; [queue_capacity] (default 64) bounds the queue.
+    @raise Invalid_argument when [workers], [queue_capacity] or
+    [job_stride] is nonpositive. *)
+
+val start : t -> unit
+(** Spawn the worker pool (idempotent while running).
+    @raise Invalid_argument after shutdown. *)
+
+val submit : t -> respond:(string -> unit) -> string -> unit
+(** Feed one request line. Exactly one response line reaches [respond]
+    now (health, rejection) or later (job result, from a worker domain).
+    A [respond] that raises is swallowed and counted
+    ([stats.s_respond_errors]) — a client that hung up must not kill the
+    pool. After {!drain}/{!stop}, jobs are rejected as [draining]. *)
+
+val quiesce : t -> unit
+(** Block until no submitted job is queued or running — the
+    between-connections barrier of the socket front end. The pool keeps
+    running. *)
+
+val drain : t -> unit
+(** Graceful shutdown (EOF / SIGINT with an intact queue): seal the
+    queue, run every queued job to completion, then join the pool.
+    Starts the pool first if it never ran. Idempotent. *)
+
+val stop : t -> int
+(** Hard shutdown: close the queue, answer every still-queued job with a
+    [dropped] line, wait only for in-flight jobs, join the pool. Returns
+    the number of dropped jobs. Idempotent (later calls return 0). *)
+
+type stats = {
+  s_requests : int;  (** ids assigned — every request line ever seen *)
+  s_accepted : int;
+  s_completed : int;  (** accepted jobs answered, any status *)
+  s_deadline_missed : int;
+  s_errored : int;
+  s_queue_full : int;
+  s_malformed : int;
+  s_draining : int;
+  s_dropped : int;
+  s_health : int;
+  s_respond_errors : int;
+  s_queue_high_water : int;
+}
+
+val stats : t -> stats
+val queue_depth : t -> int
+val n_workers : t -> int
+val uptime_s : t -> float
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -214,3 +214,76 @@ let to_string spec ~etc_index ~dag_index ~case =
   Fmt.str "%a"
     (fun ppf () -> save ppf spec ~etc_index ~dag_index ~case)
     ()
+
+(* ---- scenario references (the workload half of `agrid-job/1`) ----
+
+   A scenario reference names a workload without carrying one: either the
+   generator coordinates the CLI takes (seed/scale/etc/dag/case) or a
+   pinned `agrid-scenario v1` text (the format above) embedded as one
+   JSON string. The scenario service's job envelope composes this with
+   scheduler parameters; keeping the codec here keeps "what scenario"
+   decoupled from "how to schedule it". *)
+
+type scenario_ref =
+  | Generated of {
+      seed : int;
+      scale : float;
+      etc_index : int;
+      dag_index : int;
+      case : Agrid_platform.Grid.case;
+    }
+  | Pinned of string
+
+let spec_for ~seed ~scale =
+  if scale >= 1. then Spec.paper_scale ~seed ()
+  else Spec.scaled ~seed ~factor:scale ()
+
+let realize = function
+  | Pinned text -> load_string text
+  | Generated { seed; scale; etc_index; dag_index; case } ->
+      Workload.build (spec_for ~seed ~scale) ~etc_index ~dag_index ~case
+
+module Json = Agrid_obs.Json
+
+let scenario_ref_to_json = function
+  | Generated { seed; scale; etc_index; dag_index; case } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "generated");
+          ("seed", Json.Int seed);
+          ("scale", Json.Flt scale);
+          ("etc", Json.Int etc_index);
+          ("dag", Json.Int dag_index);
+          ("case", Json.Str (case_to_string case));
+        ]
+  | Pinned text -> Json.Obj [ ("kind", Json.Str "pinned"); ("text", Json.Str text) ]
+
+let scenario_ref_of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Fmt.str "scenario: missing or mistyped field %S" name)
+  in
+  match Json.get_string "kind" j with
+  | Some "pinned" ->
+      let* text = field "text" Json.to_string_value in
+      Ok (Pinned text)
+  | Some "generated" ->
+      let* seed = field "seed" Json.to_int in
+      let* scale = field "scale" Json.to_float in
+      let* etc_index = field "etc" Json.to_int in
+      let* dag_index = field "dag" Json.to_int in
+      let* case_name = field "case" Json.to_string_value in
+      let* case =
+        match case_name with
+        | "A" -> Ok Agrid_platform.Grid.A
+        | "B" -> Ok Agrid_platform.Grid.B
+        | "C" -> Ok Agrid_platform.Grid.C
+        | s -> Error (Fmt.str "scenario: unknown case %S" s)
+      in
+      if not (Float.is_finite scale && scale > 0.) then
+        Error (Fmt.str "scenario: scale must be a positive finite number")
+      else Ok (Generated { seed; scale; etc_index; dag_index; case })
+  | Some other -> Error (Fmt.str "scenario: unknown kind %S" other)
+  | None -> Error "scenario: missing or mistyped field \"kind\""

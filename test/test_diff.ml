@@ -172,6 +172,43 @@ let test_churn () =
     check_sinks msg s1 s2
   done
 
+(* A battery shock landing mid-run, between two commits that in a static
+   run would reuse the machine's cached candidate pool. The engine splits
+   scheduler phases at the event, so incremental mode must re-price
+   admission against the shocked battery instead of replaying a pre-shock
+   pool — rescan/incremental equality across the boundary pins exactly
+   that invalidation. Non-vacuity is asserted both ways: the shocks must
+   actually charge energy, and the incremental runs must actually reuse
+   pools (so the fast path, not a degenerate always-rebuild, is what gets
+   compared). *)
+let test_battery_shock_mid_epoch () =
+  let reused = ref 0 and shocked = ref 0. in
+  for i = 0 to 19 do
+    let sc = Test_props.scenario i in
+    let wl = Test_props.workload sc in
+    let at = Workload.tau wl / 3 in
+    let machine = i mod Workload.n_machines wl in
+    let events =
+      [ { Agrid_churn.Event.at; kind = Agrid_churn.Event.Battery_shock (machine, 0.5) } ]
+    in
+    let o1, s1 = run_churn ~mode:`Rescan ~ledger:false sc wl events in
+    let o2, s2 = run_churn ~mode:`Incremental ~ledger:false sc wl events in
+    let msg = Fmt.str "%s + shock@%d:%d" (Test_props.describe sc) at machine in
+    check_engine msg o1 o2;
+    check_sinks msg s1 s2;
+    (match o2.Agrid_churn.Engine.applied with
+    | [ a ] -> Alcotest.(check int) (msg ^ ": one event applied") 1
+        (match a.Agrid_churn.Engine.ev.Agrid_churn.Event.kind with
+        | Agrid_churn.Event.Battery_shock _ -> 1
+        | _ -> 0)
+    | l -> Alcotest.failf "%s: expected exactly one applied event, got %d" msg (List.length l));
+    shocked := !shocked +. o2.Agrid_churn.Engine.shock_energy;
+    reused := !reused + counter_of s2 "slrh/pool_reused"
+  done;
+  if !shocked <= 0. then Alcotest.fail "no shock ever charged energy";
+  if !reused = 0 then
+    Alcotest.fail "incremental mode never reused a pool around the shock"
+
 (* Decision ledgers: the full JSONL artefact must match byte for byte
    (incremental mode turns whole-pool reuse off while a ledger is
    attached precisely so every rejection entry is re-derived). *)
@@ -236,6 +273,8 @@ let suites =
           `Slow test_static;
         Alcotest.test_case "rescan = incremental on 60 churn timelines" `Slow
           test_churn;
+        Alcotest.test_case "battery shock mid-pool-epoch invalidates reuse"
+          `Slow test_battery_shock_mid_epoch;
         Alcotest.test_case "ledger JSONL identical in both modes (20 runs)"
           `Slow test_ledger;
         Alcotest.test_case "campaign aggregates shard-count invariant" `Slow

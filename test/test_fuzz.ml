@@ -156,6 +156,149 @@ let test_csv_fuzz () =
     check_csv_input (mutate_n rng (1 + Rng.next_int rng 3) base)
   done
 
+(* ---- agrid-job/1 round trips (scenario service wire format) ----
+
+   Contracts pinned here:
+   - [Serialize.scenario_ref_of_json ∘ scenario_ref_to_json] is the
+     identity (floats are drawn from short-decimal grids so the JSON
+     emitter's %.9g spelling is lossless);
+   - [Codec.parse_request ∘ Json.to_string ∘ Codec.job_to_json] returns
+     [Ok (Submit spec)] for every well-formed job spec;
+   - both parsers are total on hostile input: mutated envelopes come
+     back as [Ok] or [Error], never as an exception. *)
+
+module Serialize = Agrid_workload.Serialize
+module Codec = Agrid_serve.Codec
+module Job = Agrid_serve.Job
+
+let pick rng arr = arr.(Rng.next_int rng (Array.length arr))
+
+let random_scenario_ref rng =
+  if Rng.next_int rng 5 = 0 then
+    (* a real pinned document, not a synthetic string: realize must work *)
+    let spec = Agrid_workload.Spec.scaled ~seed:(Rng.next_int rng 1000) ~factor:0.03 () in
+    Serialize.Pinned
+      (Serialize.to_string spec ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A)
+  else
+    Serialize.Generated
+      {
+        seed = Rng.next_int rng 100_000;
+        scale = pick rng [| 0.03; 0.0625; 0.125; 0.5; 1.0 |];
+        etc_index = Rng.next_int rng 4;
+        dag_index = Rng.next_int rng 4;
+        case = pick rng [| Agrid_platform.Grid.A; Agrid_platform.Grid.B; Agrid_platform.Grid.C |];
+      }
+
+let random_job_spec rng =
+  let events =
+    match Rng.next_int rng 3 with
+    | 0 -> []
+    | 1 -> Agrid_churn.Event.parse_trace "leave@40:1,rejoin@90:1"
+    | _ -> Agrid_churn.Event.parse_trace "shock@30:0:0.25,degrade@60:2:0.5"
+  in
+  {
+    (Job.default (random_scenario_ref rng)) with
+    Job.tag = (if Rng.next_int rng 2 = 0 then None else Some (Fmt.str "t%d" (Rng.next_int rng 99)));
+    alpha = float_of_int (Rng.next_int rng 500) /. 1000.;
+    beta = float_of_int (Rng.next_int rng 400) /. 1000.;
+    variant = pick rng [| Agrid_core.Slrh.V1; Agrid_core.Slrh.V2; Agrid_core.Slrh.V3 |];
+    delta_t = pick rng [| 5; 10; 20 |];
+    horizon = pick rng [| 50; 100; 200 |];
+    mode = pick rng [| `Rescan; `Incremental |];
+    events;
+    deadline_ms = (if Rng.next_int rng 3 = 0 then Some (float_of_int (Rng.next_int rng 500)) else None);
+  }
+
+let test_scenario_ref_roundtrip () =
+  let rng = Rng.of_int 0xF004 in
+  for i = 1 to 300 do
+    let r = random_scenario_ref rng in
+    let j = Json.to_string (Serialize.scenario_ref_to_json r) in
+    match Serialize.scenario_ref_of_json (Json.parse j) with
+    | Ok r' when r' = r -> ()
+    | Ok _ -> Alcotest.failf "scenario_ref round trip diverges (case %d): %s" i j
+    | Error msg -> Alcotest.failf "scenario_ref round trip rejected (case %d): %s" i msg
+  done
+
+let test_job_envelope_roundtrip () =
+  let rng = Rng.of_int 0xF005 in
+  for i = 1 to 200 do
+    let spec = random_job_spec rng in
+    let line = Json.to_string (Codec.job_to_json spec) in
+    match Codec.parse_request line with
+    | Ok (Codec.Submit spec') when spec' = spec -> ()
+    | Ok (Codec.Submit _) ->
+        Alcotest.failf "job envelope round trip diverges (case %d): %s" i line
+    | Ok Codec.Health -> Alcotest.failf "job envelope parsed as health (case %d)" i
+    | Error msg -> Alcotest.failf "job envelope rejected (case %d): %s" i msg
+  done
+
+(* a pinned scenario embedded in the envelope realizes to the same
+   workload the spec builds directly: compare the artefacts bit-for-bit *)
+let test_pinned_realize_roundtrip () =
+  let spec = Agrid_workload.Spec.scaled ~seed:77 ~factor:0.03 () in
+  let direct =
+    Agrid_workload.Workload.build spec ~etc_index:1 ~dag_index:2 ~case:Agrid_platform.Grid.B
+  in
+  let text = Serialize.to_string spec ~etc_index:1 ~dag_index:2 ~case:Agrid_platform.Grid.B in
+  let via_ref = Serialize.realize (Serialize.Pinned text) in
+  let module W = Agrid_workload.Workload in
+  Alcotest.(check int) "n_tasks" (W.n_tasks direct) (W.n_tasks via_ref);
+  Alcotest.(check int) "n_machines" (W.n_machines direct) (W.n_machines via_ref);
+  Alcotest.(check int) "tau" (W.tau direct) (W.tau via_ref);
+  let etc_d = W.etc direct and etc_r = W.etc via_ref in
+  for t = 0 to W.n_tasks direct - 1 do
+    for m = 0 to W.n_machines direct - 1 do
+      let a = Agrid_etc.Etc.seconds etc_d ~task:t ~machine:m in
+      let b = Agrid_etc.Etc.seconds etc_r ~task:t ~machine:m in
+      if Int64.bits_of_float a <> Int64.bits_of_float b then
+        Alcotest.failf "ETC(%d,%d) diverges: %.17g vs %.17g" t m a b
+    done
+  done;
+  Alcotest.(check bool) "edges" true
+    (Agrid_dag.Dag.edges (W.dag direct) = Agrid_dag.Dag.edges (W.dag via_ref))
+
+let test_request_fuzz () =
+  let corpus =
+    Array.of_list
+      (let rng = Rng.of_int 0xF006 in
+       List.init 10 (fun _ -> Json.to_string (Codec.job_to_json (random_job_spec rng)))
+       @ [
+           "{\"schema\":\"agrid-job/1\",\"kind\":\"health\"}";
+           "{\"schema\":\"agrid-job/1\",\"kind\":\"job\"}";
+           "{\"schema\":\"agrid-job/0\",\"kind\":\"job\"}";
+           "{\"kind\":\"job\"}";
+         ])
+  in
+  let rng = Rng.of_int 0xF007 in
+  for _ = 1 to 1200 do
+    let base = corpus.(Rng.next_int rng (Array.length corpus)) in
+    let s = mutate_n rng (1 + Rng.next_int rng 4) base in
+    match Codec.parse_request s with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "parse_request raised %s on %S" (Printexc.to_string e) s
+  done;
+  (* and the scenario_ref parser alone, on mutated scenario objects *)
+  let scen_corpus =
+    Array.of_list
+      (let rng = Rng.of_int 0xF008 in
+       List.init 8 (fun _ ->
+           Json.to_string (Serialize.scenario_ref_to_json (random_scenario_ref rng))))
+  in
+  for _ = 1 to 800 do
+    let base = scen_corpus.(Rng.next_int rng (Array.length scen_corpus)) in
+    let s = mutate_n rng (1 + Rng.next_int rng 4) base in
+    match Json.parse s with
+    | exception Json.Parse_error _ -> ()
+    | j -> (
+        match Serialize.scenario_ref_of_json j with
+        | Ok _ | Error _ -> ()
+        | exception e ->
+            Alcotest.failf "scenario_ref_of_json raised %s on %S"
+              (Printexc.to_string e) s)
+  done
+
 let suites =
   [
     ( "fuzz",
@@ -164,5 +307,13 @@ let suites =
         Alcotest.test_case "json parser: nesting bombs" `Quick
           test_json_depth_bomb;
         Alcotest.test_case "csv parser: mutation corpus" `Quick test_csv_fuzz;
+        Alcotest.test_case "scenario_ref json round trip" `Quick
+          test_scenario_ref_roundtrip;
+        Alcotest.test_case "agrid-job/1 envelope round trip" `Quick
+          test_job_envelope_roundtrip;
+        Alcotest.test_case "pinned scenario realizes bit-identically" `Quick
+          test_pinned_realize_roundtrip;
+        Alcotest.test_case "request parsers: mutation corpus" `Quick
+          test_request_fuzz;
       ] );
   ]

@@ -1,11 +1,46 @@
-(* Aggregated alcotest entry point: one section per library. *)
+(* Aggregated alcotest entry point: one section per library.
+
+   Each suite is bracketed by two sentinel cases that clock it; the
+   at_exit hook prints a per-suite wall-time table on stderr, so a plain
+   `dune runtest --no-buffer` shows where the test budget goes. *)
+
+let timings : (string * float) list ref = ref []
+
+let timed suites =
+  List.map
+    (fun (name, cases) ->
+      let t0 = ref nan in
+      let start =
+        Alcotest.test_case "[timer start]" `Quick (fun () ->
+            t0 := Unix.gettimeofday ())
+      in
+      let stop =
+        Alcotest.test_case "[timer stop]" `Quick (fun () ->
+            if not (Float.is_nan !t0) then
+              timings := (name, Unix.gettimeofday () -. !t0) :: !timings)
+      in
+      (name, (start :: cases) @ [ stop ]))
+    suites
+
+let () =
+  at_exit (fun () ->
+      match !timings with
+      | [] -> ()
+      | l ->
+          let l = List.sort (fun (_, a) (_, b) -> compare b a) l in
+          Fmt.epr "@.suite timings (wall seconds):@.";
+          List.iter (fun (name, s) -> Fmt.epr "  %8.3f  %s@." s name) l;
+          Fmt.epr "  %8.3f  total@."
+            (List.fold_left (fun acc (_, s) -> acc +. s) 0. l))
 
 let () =
   Alcotest.run "agrid"
-    (Test_prng.suites @ Test_stats.suites @ Test_par.suites @ Test_dag.suites
-   @ Test_platform.suites @ Test_etc.suites @ Test_workload.suites
-   @ Test_timeline.suites @ Test_schedule.suites @ Test_core.suites
-   @ Test_baselines.suites @ Test_tuner.suites @ Test_exper.suites
-   @ Test_dynamic.suites @ Test_churn.suites @ Test_lrnn.suites @ Test_report.suites
-   @ Test_obs.suites @ Test_ledger.suites @ Test_sim.suites
-   @ Test_props.suites @ Test_diff.suites @ Test_fuzz.suites)
+    (timed
+       (Test_prng.suites @ Test_stats.suites @ Test_par.suites @ Test_dag.suites
+      @ Test_platform.suites @ Test_etc.suites @ Test_workload.suites
+      @ Test_timeline.suites @ Test_schedule.suites @ Test_core.suites
+      @ Test_baselines.suites @ Test_tuner.suites @ Test_exper.suites
+      @ Test_dynamic.suites @ Test_churn.suites @ Test_lrnn.suites
+      @ Test_report.suites @ Test_obs.suites @ Test_ledger.suites
+      @ Test_sim.suites @ Test_serve.suites @ Test_props.suites
+      @ Test_diff.suites @ Test_fuzz.suites))

@@ -1,0 +1,314 @@
+(* Tier-1 coverage of the scenario service ([Agrid_serve]): the request
+   codec, the in-process server driven through [Server.submit] (no socket
+   — the transport is just line framing on top of what these tests pin),
+   backpressure, deadlines, both shutdown modes, and the telemetry merge.
+
+   Response collection: [respond] callbacks fire on worker domains, so
+   every test funnels them through one mutex-guarded list. *)
+
+module Json = Agrid_obs.Json
+module Sink = Agrid_obs.Sink
+module Registry = Agrid_obs.Registry
+module Serialize = Agrid_workload.Serialize
+module Job = Agrid_serve.Job
+module Codec = Agrid_serve.Codec
+module Server = Agrid_serve.Server
+
+let tiny ?(seed = 2004) () =
+  Serialize.Generated
+    { seed; scale = 0.03; etc_index = 0; dag_index = 0; case = Agrid_platform.Grid.A }
+
+let job_line ?(tag = None) ?(deadline_ms = None) ?(events = []) ?(seed = 2004) () =
+  Json.to_string
+    (Codec.job_to_json { (Job.default (tiny ~seed ())) with Job.tag; deadline_ms; events })
+
+type collector = { lock : Mutex.t; mutable lines : string list }
+
+let collector () = { lock = Mutex.create (); lines = [] }
+
+let respond_to c line =
+  Mutex.lock c.lock;
+  c.lines <- line :: c.lines;
+  Mutex.unlock c.lock
+
+let collected c = List.rev c.lines
+
+let parse_line line =
+  match Json.parse line with
+  | j -> j
+  | exception Json.Parse_error msg -> Alcotest.failf "bad response %S: %s" line msg
+
+let get_int name j =
+  match Json.get_int name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response missing int %S: %s" name (Json.to_string j)
+
+let get_str name j =
+  match Json.get_string name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response missing string %S: %s" name (Json.to_string j)
+
+let counter_of sink name =
+  match List.assoc_opt name (Sink.metrics sink) with
+  | Some (Registry.Counter c) -> c
+  | _ -> 0
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  at 0
+
+(* ---- codec ---- *)
+
+let test_codec_rejections () =
+  let err line =
+    match Codec.parse_request line with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  Alcotest.(check bool) "not json" true
+    (String.length (err "{nope") > 0);
+  let missing_schema = err "{\"kind\":\"job\"}" in
+  Alcotest.(check bool) "names the schema field" true
+    (contains ~affix:"schema" missing_schema);
+  let bad_kind = err "{\"schema\":\"agrid-job/1\",\"kind\":\"dance\"}" in
+  Alcotest.(check bool) "names the kind" true
+    (contains ~affix:"dance" bad_kind);
+  let no_scenario = err "{\"schema\":\"agrid-job/1\",\"kind\":\"job\"}" in
+  Alcotest.(check bool) "names the scenario field" true
+    (contains ~affix:"scenario" no_scenario);
+  (* mistyped optional fields are errors, not silent defaults *)
+  let mistyped =
+    err
+      "{\"schema\":\"agrid-job/1\",\"kind\":\"job\",\"scenario\":{\"kind\":\"generated\",\"seed\":1,\"scale\":0.03,\"etc\":0,\"dag\":0,\"case\":\"A\"},\"delta_t\":\"ten\"}"
+  in
+  Alcotest.(check bool) "mistyped delta_t rejected" true
+    (contains ~affix:"delta_t" mistyped);
+  match Codec.parse_request "{\"schema\":\"agrid-job/1\",\"kind\":\"health\"}" with
+  | Ok Codec.Health -> ()
+  | _ -> Alcotest.fail "health request did not parse"
+
+(* ---- queue overflow is deterministic with the pool not yet started ---- *)
+
+let test_backpressure () =
+  let c = collector () in
+  let server = Server.create ~workers:2 ~queue_capacity:2 () in
+  for _ = 1 to 3 do
+    Server.submit server ~respond:(respond_to c) (job_line ())
+  done;
+  (* pool never started: exactly the third submit overflowed, synchronously *)
+  (match collected c with
+  | [ line ] ->
+      let j = parse_line line in
+      Alcotest.(check string) "type" "rejected" (get_str "type" j);
+      Alcotest.(check string) "reason" "queue_full" (get_str "reason" j);
+      Alcotest.(check int) "id" 2 (get_int "id" j)
+  | lines -> Alcotest.failf "expected one synchronous rejection, got %d" (List.length lines));
+  Server.drain server;
+  let lines = collected c in
+  Alcotest.(check int) "zero lost responses" 3 (List.length lines);
+  let stats = Server.stats server in
+  Alcotest.(check int) "accepted" 2 stats.Server.s_accepted;
+  Alcotest.(check int) "queue_full" 1 stats.Server.s_queue_full;
+  Alcotest.(check int) "completed" 2 stats.Server.s_completed;
+  (* after drain the server rejects instead of buffering *)
+  Server.submit server ~respond:(respond_to c) (job_line ());
+  match parse_line (List.nth (collected c) 3) with
+  | j -> Alcotest.(check string) "draining" "draining" (get_str "reason" j)
+
+let test_monotone_ids () =
+  let c = collector () in
+  let server = Server.create ~workers:2 ~queue_capacity:16 () in
+  Server.start server;
+  for i = 0 to 9 do
+    let line =
+      if i mod 4 = 3 then "garbage line " ^ string_of_int i
+      else job_line ~seed:(100 + i) ()
+    in
+    Server.submit server ~respond:(respond_to c) line
+  done;
+  Server.drain server;
+  let lines = collected c in
+  Alcotest.(check int) "every request answered" 10 (List.length lines);
+  let ids = List.map (fun l -> get_int "id" (parse_line l)) lines in
+  let sorted = List.sort_uniq compare ids in
+  Alcotest.(check (list int)) "ids are exactly 0..9" (List.init 10 Fun.id) sorted
+
+(* ---- deadlines ---- *)
+
+let test_impossible_deadline () =
+  let c = collector () in
+  let server = Server.create ~workers:1 ~queue_capacity:4 () in
+  Server.submit server ~respond:(respond_to c)
+    (job_line ~tag:(Some "doomed") ~deadline_ms:(Some 0.) ());
+  Server.drain server;
+  match collected c with
+  | [ line ] ->
+      let j = parse_line line in
+      Alcotest.(check string) "status" "deadline_missed" (get_str "status" j);
+      Alcotest.(check string) "tag echoed" "doomed" (get_str "tag" j);
+      Alcotest.(check int) "nothing mapped" 0 (get_int "mapped" j);
+      let stats = Server.stats server in
+      Alcotest.(check int) "deadline_missed counted" 1 stats.Server.s_deadline_missed
+  | lines -> Alcotest.failf "expected one response, got %d" (List.length lines)
+
+(* the cooperative deadline in Job.run directly, without the server *)
+let test_job_deadline_direct () =
+  let r = Job.run { (Job.default (tiny ())) with Job.deadline_ms = Some 0. } in
+  Alcotest.(check string) "status" "deadline_missed" (Job.status_to_string r.Job.status);
+  Alcotest.(check bool) "not completed" false r.Job.completed;
+  Alcotest.(check int) "final clock untouched" 0 r.Job.final_clock
+
+let test_job_errored () =
+  let r = Job.run (Job.default (Serialize.Pinned "not a scenario")) in
+  (match r.Job.status with
+  | Job.Errored msg ->
+      Alcotest.(check bool) "diagnostic mentions the parse" true
+        (contains ~affix:"parse" msg)
+  | _ -> Alcotest.fail "expected Errored");
+  (* and through the server it becomes an "errored" result line *)
+  let c = collector () in
+  let server = Server.create ~workers:1 ~queue_capacity:4 () in
+  Server.submit server ~respond:(respond_to c)
+    (Json.to_string (Codec.job_to_json (Job.default (Serialize.Pinned "still not"))));
+  Server.drain server;
+  match collected c with
+  | [ line ] ->
+      Alcotest.(check string) "status" "errored" (get_str "status" (parse_line line))
+  | lines -> Alcotest.failf "expected one response, got %d" (List.length lines)
+
+(* ---- health ---- *)
+
+let test_health () =
+  let c = collector () in
+  let server = Server.create ~workers:3 ~queue_capacity:8 () in
+  Server.submit server ~respond:(respond_to c)
+    "{\"schema\":\"agrid-job/1\",\"kind\":\"health\"}";
+  (match collected c with
+  | [ line ] ->
+      let j = parse_line line in
+      Alcotest.(check string) "type" "health" (get_str "type" j);
+      Alcotest.(check int) "workers" 3 (get_int "workers" j);
+      Alcotest.(check int) "queue empty" 0 (get_int "queue_depth" j);
+      Alcotest.(check bool) "uptime present" true (Json.get_float "uptime_s" j <> None)
+  | lines -> Alcotest.failf "expected one response, got %d" (List.length lines));
+  Server.drain server
+
+(* ---- hard shutdown answers queued jobs as dropped ---- *)
+
+let test_stop_drops_queued () =
+  let c = collector () in
+  let server = Server.create ~workers:2 ~queue_capacity:8 () in
+  (* pool intentionally not started: everything stays queued *)
+  for i = 0 to 4 do
+    Server.submit server ~respond:(respond_to c) (job_line ~tag:(Some (Fmt.str "q%d" i)) ())
+  done;
+  let dropped = Server.stop server in
+  Alcotest.(check int) "all five dropped" 5 dropped;
+  let lines = collected c in
+  Alcotest.(check int) "every job answered" 5 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check string) "dropped line" "dropped" (get_str "type" (parse_line l)))
+    lines;
+  let stats = Server.stats server in
+  Alcotest.(check int) "dropped counted" 5 stats.Server.s_dropped;
+  Alcotest.(check int) "stop is idempotent" 0 (Server.stop server)
+
+(* ---- served results are bit-identical to one-shot runs ---- *)
+
+let test_bit_identical_to_oneshot () =
+  let specs =
+    [
+      Job.default (tiny ());
+      { (Job.default (tiny ~seed:31 ())) with Job.mode = `Rescan };
+      {
+        (Job.default (tiny ~seed:8 ())) with
+        Job.events = Agrid_churn.Event.parse_trace "leave@40:1,rejoin@90:1";
+      };
+    ]
+  in
+  let c = collector () in
+  let server = Server.create ~workers:3 ~queue_capacity:8 () in
+  List.iter
+    (fun s ->
+      Server.submit server ~respond:(respond_to c)
+        (Json.to_string (Codec.job_to_json s)))
+    specs;
+  Server.drain server;
+  let by_id = List.map (fun l -> parse_line l) (collected c) in
+  List.iteri
+    (fun i spec ->
+      let j = List.find (fun j -> get_int "id" j = i) by_id in
+      let oneshot = Job.run spec in
+      Alcotest.(check string)
+        (Fmt.str "job %d status" i)
+        (Job.status_to_string oneshot.Job.status)
+        (get_str "status" j);
+      Alcotest.(check int) (Fmt.str "job %d t100" i) oneshot.Job.t100 (get_int "t100" j);
+      Alcotest.(check int) (Fmt.str "job %d aet" i) oneshot.Job.aet (get_int "aet" j);
+      Alcotest.(check int)
+        (Fmt.str "job %d final_clock" i)
+        oneshot.Job.final_clock (get_int "final_clock" j);
+      Alcotest.(check string)
+        (Fmt.str "job %d tec bits" i)
+        (Fmt.str "%Lx" (Int64.bits_of_float oneshot.Job.tec))
+        (get_str "tec_bits" j))
+    specs;
+  (* and Job.run itself is reproducible run-to-run *)
+  let s = List.nth specs 2 in
+  Alcotest.(check bool) "Job.run deterministic" true
+    (Job.equal_modulo_wall (Job.run s) (Job.run s))
+
+(* ---- per-job sinks merge into the pool sink ---- *)
+
+let test_obs_merge () =
+  let sink = Sink.create ~stride:1 () in
+  let c = collector () in
+  let server = Server.create ~obs:sink ~workers:2 ~queue_capacity:8 () in
+  Server.submit server ~respond:(respond_to c) (job_line ());
+  Server.submit server ~respond:(respond_to c) (job_line ~seed:31 ());
+  Server.submit server ~respond:(respond_to c) (job_line ~deadline_ms:(Some 0.) ());
+  Server.submit server ~respond:(respond_to c) "garbage";
+  Server.submit server ~respond:(respond_to c)
+    "{\"schema\":\"agrid-job/1\",\"kind\":\"health\"}";
+  Server.drain server;
+  Alcotest.(check int) "serve/accepted" 3 (counter_of sink "serve/accepted");
+  Alcotest.(check int) "serve/completed" 2 (counter_of sink "serve/completed");
+  Alcotest.(check int) "serve/deadline_missed" 1 (counter_of sink "serve/deadline_missed");
+  Alcotest.(check int) "serve/malformed" 1 (counter_of sink "serve/malformed");
+  Alcotest.(check int) "serve/health" 1 (counter_of sink "serve/health");
+  (* the two completed jobs' SLRH telemetry landed in the pool sink *)
+  Alcotest.(check bool) "slrh counters merged" true
+    (counter_of sink "slrh/clock_steps" > 0);
+  (* per-job latency histogram covers every finished job *)
+  (match List.assoc_opt "serve/latency_s" (Sink.metrics sink) with
+  | Some (Registry.Histogram h) ->
+      Alcotest.(check int) "latency observations" 3 (Agrid_obs.Hist.count h)
+  | _ -> Alcotest.fail "serve/latency_s histogram missing");
+  (* responses all arrived too *)
+  Alcotest.(check int) "responses" 5 (List.length (collected c))
+
+let suites =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "codec: typed rejections" `Quick test_codec_rejections;
+        Alcotest.test_case "queue overflow -> queue_full (deterministic)" `Quick
+          test_backpressure;
+        Alcotest.test_case "monotone ids, zero lost responses" `Quick
+          test_monotone_ids;
+        Alcotest.test_case "impossible deadline -> deadline_missed" `Quick
+          test_impossible_deadline;
+        Alcotest.test_case "Job.run deadline, directly" `Quick
+          test_job_deadline_direct;
+        Alcotest.test_case "bad scenario -> errored result" `Quick test_job_errored;
+        Alcotest.test_case "health request" `Quick test_health;
+        Alcotest.test_case "hard stop answers queued jobs as dropped" `Quick
+          test_stop_drops_queued;
+        Alcotest.test_case "served results bit-identical to one-shot" `Quick
+          test_bit_identical_to_oneshot;
+        Alcotest.test_case "telemetry merges into the pool sink" `Quick
+          test_obs_merge;
+      ] );
+  ]
