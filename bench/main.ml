@@ -511,17 +511,71 @@ let run_obs_profile config ~total_seconds =
   Fmt.pr "serve: %d requests, %d completed, %d deadline_missed, %d queue_full@."
     stats.Agrid_serve.Server.s_requests stats.Agrid_serve.Server.s_completed
     stats.Agrid_serve.Server.s_deadline_missed stats.Agrid_serve.Server.s_queue_full;
+  (* Fleet-router profile: two in-process backends behind a router, in
+     its own gated section. Submissions happen before the router starts
+     (the dispatcher isn't running yet), so the capacity-4 admission
+     overflow is deterministic; a huge probe interval means exactly the
+     two connect-time probes ever run; backends deep enough for the
+     in-flight cap mean saturation backpressure holds dispatches back
+     instead of burning retry attempts, so fleet/retries is pinned at
+     zero. Per-backend dispatch splits are timing-dependent and stay out
+     of the sink (see Router), while the two backends' serve/* counters
+     are deterministic in aggregate — so both backend sinks merge into
+     the section sink and the gate compares everything exactly. *)
+  let fleet_sink = Agrid_obs.Sink.create ~stride:8 () in
+  let b0_sink = Agrid_obs.Sink.create ~stride:8 () in
+  let b1_sink = Agrid_obs.Sink.create ~stride:8 () in
+  let b0 = Agrid_fleet.Sim.create ~obs:b0_sink ~workers:2 ~queue_capacity:8 "b0" in
+  let b1 = Agrid_fleet.Sim.create ~obs:b1_sink ~workers:2 ~queue_capacity:8 "b1" in
+  let router =
+    Agrid_fleet.Router.create ~obs:fleet_sink
+      {
+        Agrid_fleet.Router.default_config with
+        Agrid_fleet.Router.queue_capacity = 4;
+        inflight_cap = 4;
+        probe_interval_s = 3600.;
+        probe_timeout_s = 5.;
+      }
+      [ Agrid_fleet.Sim.spec b0; Agrid_fleet.Sim.spec b1 ]
+  in
+  let rsubmit line = Agrid_fleet.Router.submit router ~respond:ignore line in
+  rsubmit "not json";
+  rsubmit "{\"schema\":\"agrid-job/1\",\"kind\":\"health\"}";
+  rsubmit (job 11);
+  rsubmit (job 12);
+  rsubmit (job 13);
+  rsubmit (job 14);
+  rsubmit (job 15) (* fifth job overflows the capacity-4 admission queue *);
+  (match Agrid_fleet.Router.start router with
+  | Ok () -> ()
+  | Error msg -> failwith ("fleet bench: " ^ msg));
+  Agrid_fleet.Router.drain router;
+  let rstats = Agrid_fleet.Router.stats router in
+  Fmt.pr "fleet: %d requests, %d completed, %d queue_full, %d retries, %d probes@."
+    rstats.Agrid_fleet.Router.st_requests rstats.Agrid_fleet.Router.st_completed
+    rstats.Agrid_fleet.Router.st_queue_full rstats.Agrid_fleet.Router.st_retries
+    rstats.Agrid_fleet.Router.st_probes;
+  Agrid_fleet.Sim.shutdown b0;
+  Agrid_fleet.Sim.shutdown b1;
+  Agrid_obs.Sink.merge_into ~into:fleet_sink b0_sink;
+  Agrid_obs.Sink.merge_into ~into:fleet_sink b1_sink;
   let oc = open_out "BENCH_obs.json" in
   output_string oc
     (Agrid_obs.Export.summary_json ~total_seconds
-       ~sections:[ ("campaign", campaign_sink); ("serve", serve_sink) ]
+       ~sections:
+         [
+           ("campaign", campaign_sink);
+           ("serve", serve_sink);
+           ("fleet", fleet_sink);
+         ]
        sink);
   close_out oc;
-  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics; serve section: %d metrics)@."
+  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics; serve section: %d metrics; fleet section: %d metrics)@."
     (Agrid_obs.Sink.n_spans sink) (Agrid_obs.Sink.n_metrics sink)
     (Agrid_obs.Sink.n_spans campaign_sink)
     (Agrid_obs.Sink.n_metrics campaign_sink)
     (Agrid_obs.Sink.n_metrics serve_sink)
+    (Agrid_obs.Sink.n_metrics fleet_sink)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

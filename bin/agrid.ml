@@ -880,41 +880,27 @@ let serve_cmd =
         pump ~respond stdin
       in
       let serve_socket path =
-        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        (try Unix.unlink path with Unix.Unix_error _ -> ());
-        (try
-           Unix.bind sock (Unix.ADDR_UNIX path);
-           Unix.listen sock 8
-         with Unix.Unix_error (err, _, _) ->
-           Fmt.epr "agrid serve: cannot listen on %s: %s@." path
-             (Unix.error_message err);
-           exit 2);
-        Fmt.epr "agrid serve: listening on %s (%d workers, queue %d)@." path
-          workers queue;
-        let rec accept_loop () =
-          if not (Atomic.get stop_requested) then
-            match Unix.accept sock with
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-            | fd, _ ->
-                let ic = Unix.in_channel_of_descr fd in
-                let oc = Unix.out_channel_of_descr fd in
-                let respond line =
-                  output_string oc line;
-                  output_char oc '\n';
-                  flush oc
-                in
-                pump ~respond ic;
-                (* answer this connection's jobs before hanging up *)
-                Server.quiesce server;
-                (try flush oc with Sys_error _ -> ());
-                (try Unix.close fd with Unix.Unix_error _ -> ());
-                accept_loop ()
-        in
-        Fun.protect
-          ~finally:(fun () ->
-            (try Unix.close sock with Unix.Unix_error _ -> ());
-            try Unix.unlink path with Unix.Unix_error _ -> ())
-          accept_loop
+        let module Transport = Agrid_serve.Transport in
+        match Transport.listen ~path with
+        | Error msg ->
+            Fmt.epr "agrid serve: %s@." msg;
+            exit 2
+        | Ok t ->
+            Fmt.epr "agrid serve: listening on %s (%d workers, queue %d)@."
+              path workers queue;
+            let stop () = Atomic.get stop_requested in
+            Fun.protect
+              ~finally:(fun () -> Transport.shutdown t)
+              (fun () ->
+                Transport.accept_loop ~obs:sink ~stop t
+                  ~handle:(fun ~respond ~ic ->
+                    let r =
+                      Transport.pump ~stop ic ~on_line:(fun line ->
+                          Server.submit server ~respond line)
+                    in
+                    (* answer this connection's jobs before hanging up *)
+                    Server.quiesce server;
+                    r))
       in
       (match socket with None -> serve_stdin () | Some path -> serve_socket path);
       let dropped =
@@ -956,6 +942,179 @@ let serve_cmd =
        ~doc:"Run the scenario service: a long-lived daemon reading one agrid-job/1 JSON request per line (from stdin or a Unix-domain socket) and streaming one JSON result line per job from a persistent worker pool. SIGINT/SIGTERM finishes in-flight jobs and reports dropped queue entries; EOF drains the whole queue. Pool telemetry (serve/* counters, queue depth, per-job latency) lands in --obs.")
     Term.(const action $ workers_t $ queue_t $ socket_t $ obs_t)
 
+(* ---- router ---- *)
+
+let router_cmd =
+  let module Router = Agrid_fleet.Router in
+  let module Transport = Agrid_serve.Transport in
+  let action backend_paths queue inflight retries backoff_ms probe_interval_ms
+      probe_timeout_ms seed socket obs_file =
+    let invalid msg =
+      Fmt.epr "agrid router: %s@." msg;
+      2
+    in
+    if backend_paths = [] then
+      invalid "at least one --backend socket path is required"
+    else if queue <= 0 then invalid "--queue must be positive"
+    else if inflight <= 0 then invalid "--inflight must be positive"
+    else if retries <= 0 then invalid "--retries must be positive"
+    else if backoff_ms <= 0. then invalid "--backoff-ms must be positive"
+    else if probe_interval_ms <= 0. then
+      invalid "--probe-interval-ms must be positive"
+    else if probe_timeout_ms <= 0. then
+      invalid "--probe-timeout-ms must be positive"
+    else begin
+      let sink = sink_for obs_file in
+      let config =
+        {
+          Router.default_config with
+          Router.queue_capacity = queue;
+          inflight_cap = inflight;
+          max_attempts = retries;
+          backoff_base_s = backoff_ms /. 1000.;
+          backoff_cap_s = Float.max (backoff_ms /. 1000.) Router.default_config.Router.backoff_cap_s;
+          probe_interval_s = probe_interval_ms /. 1000.;
+          probe_timeout_s = probe_timeout_ms /. 1000.;
+          seed;
+        }
+      in
+      let spec path =
+        {
+          Router.name = path;
+          connect =
+            (fun () ->
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              (try Unix.connect fd (Unix.ADDR_UNIX path)
+               with e ->
+                 (try Unix.close fd with Unix.Unix_error _ -> ());
+                 raise e);
+              fd);
+        }
+      in
+      let router =
+        Router.create ~obs:sink config (List.map spec backend_paths)
+      in
+      match Router.start router with
+      | Error msg ->
+          Fmt.epr "agrid router: %s@." msg;
+          2
+      | Ok () ->
+          let stop_requested = Atomic.make false in
+          let handler =
+            Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)
+          in
+          Sys.set_signal Sys.sigint handler;
+          Sys.set_signal Sys.sigterm handler;
+          let stop () = Atomic.get stop_requested in
+          (match socket with
+          | None ->
+              let respond line =
+                print_string line;
+                print_newline ();
+                flush stdout
+              in
+              ignore
+                (Transport.pump ~stop stdin ~on_line:(fun line ->
+                     Router.submit router ~respond line))
+          | Some path -> (
+              match Transport.listen ~path with
+              | Error msg ->
+                  Fmt.epr "agrid router: %s@." msg;
+                  exit 2
+              | Ok t ->
+                  Fmt.epr "agrid router: listening on %s (%d backends)@." path
+                    (List.length backend_paths);
+                  Fun.protect
+                    ~finally:(fun () -> Transport.shutdown t)
+                    (fun () ->
+                      Transport.accept_loop ~obs:sink
+                        ~counter:"fleet/conn_errors" ~stop t
+                        ~handle:(fun ~respond ~ic ->
+                          let r =
+                            Transport.pump ~stop ic ~on_line:(fun line ->
+                                Router.submit router ~respond line)
+                          in
+                          (* answer this connection's jobs before hanging up *)
+                          Router.quiesce router;
+                          r))));
+          let dropped =
+            if Atomic.get stop_requested then Router.stop router
+            else begin
+              Router.drain router;
+              0
+            end
+          in
+          Fmt.epr "agrid router: %a@." Router.pp_stats (Router.stats router);
+          if dropped > 0 then
+            Fmt.epr "agrid router: dropped %d queued job(s) on shutdown@."
+              dropped;
+          write_obs obs_file sink;
+          0
+    end
+  in
+  let backends_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "backend" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of an `agrid serve` backend; repeat once per backend. At least one is required.")
+  in
+  let queue_t =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Router admission queue capacity; requests beyond it are rejected with a typed queue_full response (default 64).")
+  in
+  let inflight_t =
+    Arg.(
+      value & opt int 8
+      & info [ "inflight" ] ~docv:"N"
+          ~doc:"Maximum unresolved jobs per backend before the router holds further dispatches back (default 8).")
+  in
+  let retries_t =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Dispatch attempts per job before surfacing a typed all_backends_saturated rejection (default 5).")
+  in
+  let backoff_t =
+    Arg.(
+      value & opt float 50.
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base retry backoff in milliseconds, doubled per attempt with jitter (default 50).")
+  in
+  let probe_interval_t =
+    Arg.(
+      value & opt float 2000.
+      & info [ "probe-interval-ms" ] ~docv:"MS"
+          ~doc:"Health-probe period per backend (default 2000).")
+  in
+  let probe_timeout_t =
+    Arg.(
+      value & opt float 1000.
+      & info [ "probe-timeout-ms" ] ~docv:"MS"
+          ~doc:"Probe round-trip deadline; consecutive misses degrade then kill the connection, after which the router reconnects with backoff (default 1000).")
+  in
+  let seed_t =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Backoff-jitter PRNG seed, for reproducible runs (default 0).")
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket instead of stdin (one connection at a time; responses stream back on the same connection).")
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:"Run the fault-tolerant fleet front end: accepts agrid-job/1 request lines (stdin or a Unix-domain socket) and load-balances them over health-checked `agrid serve` backends. Backend saturation is retried with jittered exponential backoff before a typed all_backends_saturated rejection; a dying backend's accepted-but-unwritten jobs fail over to its peers, and ambiguous in-flight jobs surface as typed maybe_executed lines — never re-run (at-most-once). Exactly one response line per request, with monotone ids. Fleet telemetry (fleet/* counters, probe RTT histograms) lands in --obs.")
+    Term.(
+      const action $ backends_t $ queue_t $ inflight_t $ retries_t $ backoff_t
+      $ probe_interval_t $ probe_timeout_t $ seed_t $ socket_t $ obs_t)
+
 (* ---- dot ---- *)
 
 let dot_cmd =
@@ -978,6 +1137,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; serve_cmd; prof_cmd; explain_cmd;
+          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; serve_cmd; router_cmd; prof_cmd; explain_cmd;
             ledger_diff_cmd; trace_cmd; tables_cmd; figure2_cmd; ub_cmd; calibrate_cmd;
             export_cmd; import_cmd; dot_cmd ]))

@@ -1,0 +1,54 @@
+(* The router's pure decision rules, separated from the threads and
+   sockets so they can be unit-tested exhaustively: backend selection,
+   retry backoff and probe classification. Everything here is
+   deterministic given its inputs — the only randomness (backoff jitter)
+   comes in as an explicit uniform draw. *)
+
+type health = Healthy | Degraded | Dead
+
+let health_to_string = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Dead -> "dead"
+
+(* Least-loaded among the healthiest tier, lowest index on ties (the tie
+   break makes dispatch reproducible in tests). [`Wait] — somebody is
+   alive but everyone alive is at their in-flight cap — is backpressure,
+   not failure: the dispatcher holds the job without consuming one of its
+   bounded attempts. [`Unavailable] — no backend alive — does consume an
+   attempt, which is what eventually surfaces [all_backends_saturated]. *)
+let select ~healths ~inflight ~cap =
+  let n = Array.length healths in
+  if n <> Array.length inflight then
+    invalid_arg "Policy.select: healths and inflight lengths differ";
+  let best_at tier =
+    let best = ref None in
+    for i = n - 1 downto 0 do
+      if healths.(i) = tier && inflight.(i) < cap then
+        match !best with
+        | Some j when inflight.(j) < inflight.(i) -> ()
+        | Some j when inflight.(j) = inflight.(i) && j < i -> ()
+        | _ -> best := Some i
+    done;
+    !best
+  in
+  match best_at Healthy with
+  | Some i -> `Pick i
+  | None -> (
+      match best_at Degraded with
+      | Some i -> `Pick i
+      | None ->
+          if Array.exists (fun h -> h <> Dead) healths then `Wait else `Unavailable)
+
+(* Exponential backoff with full-range-ish jitter: the deterministic core
+   doubles per attempt up to [cap_s], and the uniform draw [u] scales it
+   into [50%, 100%] so simultaneous retries decorrelate without ever
+   retrying sooner than half the nominal delay. *)
+let backoff_s ~base_s ~cap_s ~attempt ~u =
+  if attempt < 1 then invalid_arg "Policy.backoff_s: attempt must be >= 1";
+  if u < 0. || u >= 1. then invalid_arg "Policy.backoff_s: u must be in [0,1)";
+  let nominal = base_s *. (2. ** float_of_int (attempt - 1)) in
+  Float.min cap_s nominal *. (0.5 +. (0.5 *. u))
+
+let classify_rtt ~rtt_s ~degraded_rtt_s =
+  if rtt_s > degraded_rtt_s then Degraded else Healthy

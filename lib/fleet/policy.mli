@@ -1,0 +1,35 @@
+(** The fleet router's pure decision rules — backend selection, retry
+    backoff, probe classification — kept free of threads and sockets so
+    the unit suite can pin them exhaustively. Deterministic given their
+    inputs; the backoff jitter's randomness enters as an explicit uniform
+    draw. *)
+
+type health = Healthy | Degraded | Dead
+
+val health_to_string : health -> string
+(** ["healthy"] / ["degraded"] / ["dead"] — the spellings in
+    fleet health lines and stats output. *)
+
+val select :
+  healths:health array ->
+  inflight:int array ->
+  cap:int ->
+  [ `Pick of int | `Wait | `Unavailable ]
+(** Choose a backend for one job: the least-loaded [Healthy] backend
+    under the in-flight [cap], falling back to the least-loaded
+    [Degraded] one; lowest index wins ties (reproducible dispatch).
+    [`Wait]: someone is alive but everyone alive is at cap — hold the job
+    without consuming an attempt (backpressure). [`Unavailable]: nobody
+    is alive — consuming attempts toward [all_backends_saturated].
+    @raise Invalid_argument when the arrays' lengths differ. *)
+
+val backoff_s : base_s:float -> cap_s:float -> attempt:int -> u:float -> float
+(** Delay before retry number [attempt] (1-based): [base_s] doubling per
+    attempt, capped at [cap_s], jittered into [50%, 100%] of nominal by
+    the uniform draw [u].
+    @raise Invalid_argument when [attempt < 1] or [u] is outside [\[0,1)]. *)
+
+val classify_rtt : rtt_s:float -> degraded_rtt_s:float -> health
+(** A probe that answered: [Healthy] when the round trip is within
+    [degraded_rtt_s], [Degraded] otherwise. (Probes that never answer are
+    the maintenance loop's business, not this function's.) *)

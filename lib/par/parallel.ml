@@ -153,6 +153,34 @@ module Chan = struct
         in
         wait ())
 
+  (* Bounded wait. Stdlib [Condition] has no timed wait, so this polls:
+     check under the lock, sleep up to 1 ms, repeat until the deadline.
+     The millisecond resolution is fine for its callers (the fleet
+     router's dispatcher and probe loops, which tick at tens of
+     milliseconds) and keeps the channel free of any platform-specific
+     timed-wait dependency. *)
+  let try_pop t ~timeout_s =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec attempt () =
+      let status =
+        with_lock t (fun () ->
+            match Queue.take_opt t.buf with
+            | Some x -> `Popped x
+            | None -> (
+                match t.state with `Sealed | `Closed -> `Closed | `Open -> `Empty))
+      in
+      match status with
+      | (`Popped _ | `Closed) as r -> r
+      | `Empty ->
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0. then `Timeout
+          else begin
+            Unix.sleepf (Float.min remaining 0.001);
+            attempt ()
+          end
+    in
+    attempt ()
+
   let seal t =
     with_lock t (fun () ->
         if t.state = `Open then t.state <- `Sealed;

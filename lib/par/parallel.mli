@@ -64,6 +64,15 @@ module Chan : sig
   (** Block until an item is available ([Some]) or the channel can never
       produce one again ([None]: sealed and drained, or closed). *)
 
+  val try_pop : 'a t -> timeout_s:float -> [ `Popped of 'a | `Timeout | `Closed ]
+  (** Like {!pop}, but wait at most [timeout_s] seconds (~1 ms
+      resolution; [timeout_s <= 0.] checks once without waiting).
+      [`Timeout] means the channel is still open but produced nothing in
+      time; [`Closed] is {!pop}'s [None] (sealed and drained, or
+      closed). The fleet router's dispatcher and probe loops use this so
+      they can interleave timed work without ever blocking
+      indefinitely. *)
+
   val seal : 'a t -> unit
   (** Graceful end-of-input: no further pushes; buffered items remain
       poppable. Idempotent; a no-op after {!close}. *)

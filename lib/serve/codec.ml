@@ -167,15 +167,38 @@ let reason_to_string = function
   | `Queue_full -> "queue_full"
   | `Malformed -> "malformed"
   | `Draining -> "draining"
+  | `All_backends_saturated -> "all_backends_saturated"
 
-let rejected_line ~id ~reason ~detail =
+let reason_of_string = function
+  | "queue_full" -> Some `Queue_full
+  | "malformed" -> Some `Malformed
+  | "draining" -> Some `Draining
+  | "all_backends_saturated" -> Some `All_backends_saturated
+  | _ -> None
+
+(* [?tag]: queue_full/draining rejections echo the job's tag so a relaying
+   router can correlate them back to the in-flight entry; malformed lines
+   carry no tag because no tag ever parsed. *)
+let rejected_line ?(tag = None) ~id ~reason ~detail () =
   Json.to_string
     (base ~id "rejected"
        [
-         ("reason", Json.Str (reason_to_string reason)); ("detail", Json.Str detail);
+         ("reason", Json.Str (reason_to_string reason));
+         tag_field tag;
+         ("detail", Json.Str detail);
        ])
 
 let dropped_line ~id ~tag = Json.to_string (base ~id "dropped" [ tag_field tag ])
+
+let maybe_executed_line ~id ~tag ~backend ~detail =
+  Json.to_string
+    (base ~id "maybe_executed"
+       [
+         tag_field tag;
+         ("status", Json.Str "maybe_executed");
+         ("backend", Json.Str backend);
+         ("detail", Json.Str detail);
+       ])
 
 let health_line ~id ~uptime_s ~queue_depth ~workers ~accepted ~completed =
   Json.to_string
@@ -187,3 +210,96 @@ let health_line ~id ~uptime_s ~queue_depth ~workers ~accepted ~completed =
          ("accepted", Json.Int accepted);
          ("completed", Json.Int completed);
        ])
+
+let fleet_health_line ~id ~uptime_s ~queue_depth ~backends ~accepted ~completed =
+  Json.to_string
+    (base ~id "health"
+       [
+         ("uptime_s", Json.Flt uptime_s);
+         ("queue_depth", Json.Int queue_depth);
+         ( "backends",
+           Json.Arr
+             (List.map
+                (fun (name, health, in_flight) ->
+                  Json.Obj
+                    [
+                      ("name", Json.Str name);
+                      ("health", Json.Str health);
+                      ("in_flight", Json.Int in_flight);
+                    ])
+                backends) );
+         ("accepted", Json.Int accepted);
+         ("completed", Json.Int completed);
+       ])
+
+(* ---- response parsing (the router's view of a backend's lines) ---- *)
+
+type response = {
+  r_type : [ `Result | `Rejected | `Dropped | `Health | `Maybe_executed ];
+  r_id : int;
+  r_tag : string option;
+  r_status : string option;
+  r_reason : [ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] option;
+  r_json : Json.t;
+}
+
+let parse_response line =
+  match Json.parse line with
+  | exception Json.Parse_error msg -> Error (Fmt.str "not JSON: %s" msg)
+  | j -> (
+      match Json.get_string "schema" j with
+      | Some s when s = result_schema -> (
+          let* ty =
+            match Json.get_string "type" j with
+            | Some "result" -> Ok `Result
+            | Some "rejected" -> Ok `Rejected
+            | Some "dropped" -> Ok `Dropped
+            | Some "health" -> Ok `Health
+            | Some "maybe_executed" -> Ok `Maybe_executed
+            | Some other -> Error (Fmt.str "unknown response type %S" other)
+            | None -> Error "missing \"type\" field"
+          in
+          let* id =
+            match Json.get_int "id" j with
+            | Some id -> Ok id
+            | None -> Error "missing \"id\" field"
+          in
+          let* reason =
+            match (ty, Json.get_string "reason" j) with
+            | `Rejected, Some r -> (
+                match reason_of_string r with
+                | Some r -> Ok (Some r)
+                | None -> Error (Fmt.str "unknown rejection reason %S" r))
+            | `Rejected, None -> Error "rejected line without a reason"
+            | _, _ -> Ok None
+          in
+          Ok
+            {
+              r_type = ty;
+              r_id = id;
+              r_tag = Json.get_string "tag" j;
+              r_status = Json.get_string "status" j;
+              r_reason = reason;
+              r_json = j;
+            })
+      | Some other ->
+          Error (Fmt.str "unsupported schema %S (expected %S)" other result_schema)
+      | None -> Error (Fmt.str "missing \"schema\" field (expected %S)" result_schema))
+
+(* Rewrite a relayed response's identity: the router's upstream id and the
+   client's original tag replace the backend-local ones, and the backend's
+   name is recorded. Everything else (tec_bits included) passes through
+   the parsed value untouched. *)
+let with_identity ~id ~tag ~backend json =
+  match json with
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match k with
+             | "id" -> (k, Json.Int id)
+             | "tag" -> tag_field tag
+             | _ -> (k, v))
+           fields
+        @ [ ("backend", Json.Str backend) ])
+  | other -> other

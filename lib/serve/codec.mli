@@ -12,8 +12,11 @@
     {b Responses} carry [{"schema":"agrid-job-result/1","type":...,"id":N}]
     where [id] is the server's monotone request id (every request gets
     one, malformed included): [type] is ["result"], ["rejected"] (reason
-    ["queue_full"], ["malformed"] or ["draining"]), ["dropped"] (queued
-    job discarded by a hard shutdown) or ["health"].
+    ["queue_full"], ["malformed"], ["draining"] or — from the fleet
+    router — ["all_backends_saturated"]), ["dropped"] (queued job
+    discarded by a hard shutdown), ["maybe_executed"] (fleet router: the
+    backend holding this in-flight job died, so under at-most-once
+    semantics the job is not re-run) or ["health"].
 
     All parsers are total — hostile input comes back as [Error], pinned
     by the fuzz suite's mutation corpus. *)
@@ -44,9 +47,23 @@ val result_line : id:int -> tag:string option -> latency_s:float -> Job.result -
     latency seconds. *)
 
 val rejected_line :
-  id:int -> reason:[ `Queue_full | `Malformed | `Draining ] -> detail:string -> string
+  ?tag:string option ->
+  id:int ->
+  reason:[ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] ->
+  detail:string ->
+  unit ->
+  string
+(** [?tag] (default [None]) echoes the job's tag on [queue_full] /
+    [draining] rejections so a relaying router can correlate the line to
+    its in-flight entry; [malformed] rejections never have one. *)
 
 val dropped_line : id:int -> tag:string option -> string
+
+val maybe_executed_line :
+  id:int -> tag:string option -> backend:string -> detail:string -> string
+(** The fleet router's at-most-once ambiguity report: [backend] died with
+    this job in flight, so it may or may not have executed and is not
+    re-run. Carries [status:"maybe_executed"] alongside the type. *)
 
 val health_line :
   id:int ->
@@ -56,3 +73,41 @@ val health_line :
   accepted:int ->
   completed:int ->
   string
+
+val fleet_health_line :
+  id:int ->
+  uptime_s:float ->
+  queue_depth:int ->
+  backends:(string * string * int) list ->
+  accepted:int ->
+  completed:int ->
+  string
+(** The router's answer to a health probe: per-backend
+    [(name, health, in_flight)] triples instead of a worker count. *)
+
+val reason_to_string :
+  [ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] -> string
+
+val reason_of_string :
+  string -> [ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] option
+
+(** {2 Response parsing} — the router's view of a backend's lines. *)
+
+type response = {
+  r_type : [ `Result | `Rejected | `Dropped | `Health | `Maybe_executed ];
+  r_id : int;  (** the {e sender's} id — backend-local when relayed *)
+  r_tag : string option;
+  r_status : string option;  (** results: ["ok"] / ["deadline_missed"] / ["errored"] *)
+  r_reason : [ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] option;
+      (** present exactly when [r_type = `Rejected] *)
+  r_json : Agrid_obs.Json.t;  (** the full parsed line, for relaying *)
+}
+
+val parse_response : string -> (response, string) result
+(** Parse one response line. Never raises — total on hostile bytes, like
+    {!parse_request}. *)
+
+val with_identity : id:int -> tag:string option -> backend:string -> Agrid_obs.Json.t -> Agrid_obs.Json.t
+(** Rewrite a relayed response's [id] and [tag] to the router's upstream
+    identity and append the backend's name; every other field ([tec_bits]
+    included) passes through untouched. *)

@@ -167,7 +167,7 @@ let submit t ~respond line =
       with_lock t.lock (fun () ->
           t.malformed <- t.malformed + 1;
           obs_incr t "serve/malformed");
-      send t respond (Codec.rejected_line ~id ~reason:`Malformed ~detail)
+      send t respond (Codec.rejected_line ~id ~reason:`Malformed ~detail ())
   | Ok Codec.Health -> send t respond (health_payload t ~id)
   | Ok (Codec.Submit spec) -> (
       let e =
@@ -193,15 +193,17 @@ let submit t ~respond line =
               t.queue_full <- t.queue_full + 1;
               obs_incr t "serve/queue_full");
           send t respond
-            (Codec.rejected_line ~id ~reason:`Queue_full
+            (Codec.rejected_line ~tag:spec.Job.tag ~id ~reason:`Queue_full
                ~detail:
-                 (Fmt.str "queue at capacity (%d queued)" (Chan.length t.chan)))
+                 (Fmt.str "queue at capacity (%d queued)" (Chan.length t.chan))
+               ())
       | `Rejected `Closed ->
           with_lock t.lock (fun () ->
               t.draining <- t.draining + 1;
               obs_incr t "serve/draining");
           send t respond
-            (Codec.rejected_line ~id ~reason:`Draining ~detail:"server is shutting down"))
+            (Codec.rejected_line ~tag:spec.Job.tag ~id ~reason:`Draining
+               ~detail:"server is shutting down" ()))
 
 let quiesce t =
   with_lock t.lock (fun () ->

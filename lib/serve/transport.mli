@@ -1,0 +1,46 @@
+(** Hardened Unix-domain socket transport shared by [agrid serve] and the
+    fleet router's front end.
+
+    The accept loop never crashes the daemon on connection-level trouble:
+    EINTR retries the accept, other accept failures and mid-connection
+    read/write errors drop that one connection and keep listening. Each
+    dropped connection or failed response write increments an obs counter
+    (default ["serve/conn_errors"]) so flapping clients are visible in the
+    telemetry export. *)
+
+type t
+(** A bound, listening Unix-domain socket. *)
+
+val listen : path:string -> (t, string) result
+(** Bind and listen on [path], unlinking any stale socket file first.
+    [Error] carries a human-readable reason (the caller decides the exit
+    code). *)
+
+val shutdown : t -> unit
+(** Close the listening socket and unlink its path. Safe to call while an
+    {!accept_loop} is blocked in accept — the loop exits. *)
+
+val pump :
+  stop:(unit -> bool) ->
+  on_line:(string -> unit) ->
+  in_channel ->
+  [ `Eof | `Read_error | `Stopped ]
+(** Feed each line of [ic] to [on_line] until end of input, a read error
+    (signal-interrupted or reset by the peer) or [stop ()] turns true
+    (checked between lines). Never raises. *)
+
+val accept_loop :
+  ?obs:Agrid_obs.Sink.t ->
+  ?counter:string ->
+  stop:(unit -> bool) ->
+  handle:
+    (respond:(string -> unit) ->
+     ic:in_channel ->
+     [ `Eof | `Read_error | `Stopped ]) ->
+  t ->
+  unit
+(** Accept connections one at a time until [stop ()] turns true or the
+    socket is {!shutdown}. For each connection, [handle] gets the client's
+    input channel and a [respond] that writes one line and flushes
+    (write failures are counted, never raised). The connection's fd is
+    flushed and closed after [handle] returns, whatever it returns. *)

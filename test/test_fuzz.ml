@@ -299,6 +299,62 @@ let test_request_fuzz () =
               (Printexc.to_string e) s)
   done
 
+(* the router's backend-response parser must be total too: the fleet
+   survives a backend emitting any damaged line (it is counted as a
+   protocol error, never an exception), so every response shape the
+   system can emit — including the fleet-only maybe_executed /
+   all_backends_saturated / fleet-health lines — goes through the
+   mutation grinder *)
+let test_response_fuzz () =
+  let result =
+    let scenario =
+      Serialize.Generated
+        { seed = 7; scale = 0.03; etc_index = 0; dag_index = 0; case = Agrid_platform.Grid.A }
+    in
+    Job.run (Job.default scenario)
+  in
+  let corpus =
+    Array.of_list
+      [
+        Codec.result_line ~id:3 ~tag:(Some "t3") ~latency_s:0.25 result;
+        Codec.rejected_line ~id:4 ~reason:`Malformed ~detail:"not JSON" ();
+        Codec.rejected_line ~tag:(Some "t5") ~id:5 ~reason:`Queue_full
+          ~detail:"queue full (16 jobs)" ();
+        Codec.rejected_line ~tag:(Some "t6") ~id:6 ~reason:`All_backends_saturated
+          ~detail:"5 attempts exhausted" ();
+        Codec.rejected_line ~tag:None ~id:7 ~reason:`Draining ~detail:"shutting down" ();
+        Codec.dropped_line ~id:8 ~tag:None;
+        Codec.maybe_executed_line ~id:9 ~tag:(Some "t9") ~backend:"b1"
+          ~detail:"backend died with the job in flight";
+        Codec.health_line ~id:10 ~uptime_s:1.5 ~queue_depth:2 ~workers:4
+          ~accepted:7 ~completed:5;
+        Codec.fleet_health_line ~id:11 ~uptime_s:2.5 ~queue_depth:0
+          ~backends:[ ("b0", "healthy", 3); ("b1", "degraded", 0) ]
+          ~accepted:9 ~completed:9;
+      ]
+  in
+  (* unmutated lines must parse, with the reason round-tripping *)
+  Array.iter
+    (fun line ->
+      match Codec.parse_response line with
+      | Ok r -> (
+          match r.Codec.r_reason with
+          | Some reason ->
+              if Codec.reason_of_string (Codec.reason_to_string reason) <> Some reason
+              then Alcotest.failf "reason spelling does not round-trip on %S" line
+          | None -> ())
+      | Error msg -> Alcotest.failf "own response line rejected: %s on %S" msg line)
+    corpus;
+  let rng = Rng.of_int 0xF009 in
+  for _ = 1 to 1200 do
+    let base = corpus.(Rng.next_int rng (Array.length corpus)) in
+    let s = mutate_n rng (1 + Rng.next_int rng 4) base in
+    match Codec.parse_response s with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "parse_response raised %s on %S" (Printexc.to_string e) s
+  done
+
 let suites =
   [
     ( "fuzz",
@@ -315,5 +371,7 @@ let suites =
           test_pinned_realize_roundtrip;
         Alcotest.test_case "request parsers: mutation corpus" `Quick
           test_request_fuzz;
+        Alcotest.test_case "response parser: mutation corpus" `Quick
+          test_response_fuzz;
       ] );
   ]

@@ -92,6 +92,77 @@ let test_run_workers_bad_domains () =
   | () -> Alcotest.fail "negative n accepted"
   | exception Invalid_argument _ -> ()
 
+(* ---- Chan.try_pop: the bounded wait the fleet dispatcher relies on ---- *)
+
+let test_try_pop_pops () =
+  let c = Parallel.Chan.create ~capacity:4 in
+  (match Parallel.Chan.try_push c 42 with
+  | `Accepted _ -> ()
+  | `Rejected _ -> Alcotest.fail "push rejected on an empty open channel");
+  match Parallel.Chan.try_pop c ~timeout_s:0.5 with
+  | `Popped v -> Alcotest.(check int) "item" 42 v
+  | `Timeout -> Alcotest.fail "timed out with an item buffered"
+  | `Closed -> Alcotest.fail "closed on an open channel"
+
+let test_try_pop_times_out () =
+  let c : int Parallel.Chan.t = Parallel.Chan.create ~capacity:4 in
+  let t0 = Unix.gettimeofday () in
+  (match Parallel.Chan.try_pop c ~timeout_s:0.05 with
+  | `Timeout -> ()
+  | `Popped _ -> Alcotest.fail "popped from an empty channel"
+  | `Closed -> Alcotest.fail "closed on an open channel");
+  let waited = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "waited at least ~the timeout" true (waited >= 0.04);
+  (* nonpositive timeout checks once, without waiting *)
+  match Parallel.Chan.try_pop c ~timeout_s:0. with
+  | `Timeout -> ()
+  | _ -> Alcotest.fail "zero timeout should report `Timeout when empty"
+
+let test_try_pop_sealed_drains_then_closes () =
+  let c = Parallel.Chan.create ~capacity:4 in
+  ignore (Parallel.Chan.try_push c 1);
+  ignore (Parallel.Chan.try_push c 2);
+  Parallel.Chan.seal c;
+  (* buffered items stay poppable after a seal... *)
+  (match Parallel.Chan.try_pop c ~timeout_s:0.1 with
+  | `Popped v -> Alcotest.(check int) "first" 1 v
+  | _ -> Alcotest.fail "sealed channel lost its buffer");
+  (match Parallel.Chan.try_pop c ~timeout_s:0.1 with
+  | `Popped v -> Alcotest.(check int) "second" 2 v
+  | _ -> Alcotest.fail "sealed channel lost its buffer");
+  (* ...then the drained seal reports `Closed immediately, not `Timeout *)
+  let t0 = Unix.gettimeofday () in
+  (match Parallel.Chan.try_pop c ~timeout_s:5.0 with
+  | `Closed -> ()
+  | `Timeout -> Alcotest.fail "drained sealed channel should be `Closed"
+  | `Popped _ -> Alcotest.fail "popped from a drained channel");
+  Alcotest.(check bool) "no wait on a drained seal" true
+    (Unix.gettimeofday () -. t0 < 1.0)
+
+let test_try_pop_closed () =
+  let c = Parallel.Chan.create ~capacity:4 in
+  ignore (Parallel.Chan.try_push c 7);
+  let dropped = Parallel.Chan.close c in
+  Alcotest.(check (list int)) "close returns the buffer" [ 7 ] dropped;
+  match Parallel.Chan.try_pop c ~timeout_s:0.1 with
+  | `Closed -> ()
+  | _ -> Alcotest.fail "closed channel must report `Closed"
+
+let test_try_pop_wakes_on_push () =
+  let c = Parallel.Chan.create ~capacity:4 in
+  let pusher =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.03;
+        ignore (Parallel.Chan.try_push c 99))
+      ()
+  in
+  (match Parallel.Chan.try_pop c ~timeout_s:2.0 with
+  | `Popped v -> Alcotest.(check int) "item" 99 v
+  | `Timeout -> Alcotest.fail "missed an item pushed within the timeout"
+  | `Closed -> Alcotest.fail "closed on an open channel");
+  Thread.join pusher
+
 let suites =
   [
     ( "par",
@@ -110,5 +181,11 @@ let suites =
           test_run_workers_zero_items;
         Alcotest.test_case "run_workers rejects bad bounds" `Quick
           test_run_workers_bad_domains;
+        Alcotest.test_case "try_pop pops a buffered item" `Quick test_try_pop_pops;
+        Alcotest.test_case "try_pop times out" `Quick test_try_pop_times_out;
+        Alcotest.test_case "try_pop on sealed channel" `Quick
+          test_try_pop_sealed_drains_then_closes;
+        Alcotest.test_case "try_pop on closed channel" `Quick test_try_pop_closed;
+        Alcotest.test_case "try_pop wakes on push" `Quick test_try_pop_wakes_on_push;
       ] );
   ]

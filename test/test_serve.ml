@@ -289,6 +289,71 @@ let test_obs_merge () =
   (* responses all arrived too *)
   Alcotest.(check int) "responses" 5 (List.length (collected c))
 
+(* ---- the hardened socket transport survives hostile clients ---- *)
+
+let test_transport_survives_abrupt_disconnects () =
+  let sink = Sink.create () in
+  let server = Server.create ~workers:2 ~queue_capacity:8 () in
+  Server.start server;
+  let path = Filename.temp_file "agrid_transport" ".sock" in
+  let tr =
+    match Agrid_serve.Transport.listen ~path with
+    | Ok tr -> tr
+    | Error msg -> Alcotest.failf "listen: %s" msg
+  in
+  let stop = Atomic.make false in
+  let loop =
+    Thread.create
+      (fun () ->
+        Agrid_serve.Transport.accept_loop ~obs:sink
+          ~stop:(fun () -> Atomic.get stop)
+          ~handle:(fun ~respond ~ic ->
+            let r =
+              Agrid_serve.Transport.pump
+                ~stop:(fun () -> Atomic.get stop)
+                ~on_line:(fun line -> Server.submit server ~respond line)
+                ic
+            in
+            Server.quiesce server;
+            r)
+          tr)
+      ()
+  in
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  (* connection 1: shut our receive side before submitting, so the
+     daemon's response write hits a broken pipe — it must count the error
+     and keep serving, not die of SIGPIPE or an exception *)
+  let fd1 = connect () in
+  Unix.shutdown fd1 Unix.SHUTDOWN_RECEIVE;
+  let line = job_line () ^ "\n" in
+  ignore (Unix.write_substring fd1 line 0 (String.length line));
+  Unix.close fd1;
+  (* connection 2 (after the carnage): a normal request/response works *)
+  let fd2 = connect () in
+  let health = "{\"schema\":\"agrid-job/1\",\"kind\":\"health\"}\n" in
+  ignore (Unix.write_substring fd2 health 0 (String.length health));
+  let ic2 = Unix.in_channel_of_descr fd2 in
+  let answer =
+    match input_line ic2 with
+    | l -> l
+    | exception End_of_file -> Alcotest.fail "no response on the clean connection"
+  in
+  Alcotest.(check string) "health answered" "health"
+    (get_str "type" (parse_line answer));
+  Unix.close fd2;
+  Atomic.set stop true;
+  Agrid_serve.Transport.shutdown tr;
+  Thread.join loop;
+  Server.drain server;
+  Alcotest.(check bool) "conn error counted" true
+    (counter_of sink "serve/conn_errors" >= 1);
+  Alcotest.(check int) "both requests reached the server" 2
+    (Server.stats server).Server.s_requests
+
 let suites =
   [
     ( "serve",
@@ -310,5 +375,7 @@ let suites =
           test_bit_identical_to_oneshot;
         Alcotest.test_case "telemetry merges into the pool sink" `Quick
           test_obs_merge;
+        Alcotest.test_case "transport survives abrupt disconnects" `Quick
+          test_transport_survives_abrupt_disconnects;
       ] );
   ]
