@@ -479,6 +479,37 @@ let run_obs_profile config ~total_seconds =
        (List.map
           (fun (l : Agrid_exper.Campaign.level) -> Fmt.str "%.2f" l.completion_rate)
           levels));
+  (* Online dual-ascent profile: one adaptive-lagrange run plus one churn
+     run with chance-constrained admission, in its own gated section. The
+     controller's trajectory is seed-deterministic (the differential
+     suite pins adaptive rescan and incremental modes bit-identical), so
+     the gate compares lagrange/updates, lagrange/churn_updates and the
+     final schedule counters exactly; the lambda gauges and the violation
+     histogram never reach the summary (counters and spans only). A fresh
+     controller per run — Adapt.t is mutable run state, not config. *)
+  let lagrange_sink = Agrid_obs.Sink.create ~stride:8 () in
+  let adapt_spec =
+    { Agrid_core.Adapt.default_spec with Agrid_core.Adapt.prob = Some 0.9; sigma = 0.05 }
+  in
+  let adaptive_params () =
+    {
+      params with
+      Agrid_core.Slrh.obs = lagrange_sink;
+      adapt = Some (Agrid_core.Adapt.create adapt_spec weights);
+      feas_mode = Agrid_core.Adapt.feas_mode adapt_spec;
+    }
+  in
+  let ao = Agrid_core.Slrh.run (adaptive_params ()) workload in
+  Agrid_obs.Sink.add lagrange_sink "bench/adaptive_t100"
+    (Agrid_sched.Schedule.n_primary ao.Agrid_core.Slrh.schedule);
+  Agrid_obs.Sink.add lagrange_sink "bench/adaptive_mapped"
+    (Agrid_sched.Schedule.n_mapped ao.Agrid_core.Slrh.schedule);
+  ignore
+    (Agrid_core.Dynamic.run_churn (adaptive_params ()) workload
+       [
+         { Agrid_churn.Event.at = tau / 8; kind = Agrid_churn.Event.Leave 1 };
+         { Agrid_churn.Event.at = tau / 2; kind = Agrid_churn.Event.Rejoin 1 };
+       ]);
   (* Scenario-service profile: a fixed request mix through an in-process
      server, in its own gated section. Submissions happen before the
      worker pool starts (drain starts it lazily), so the queue overflow
@@ -565,15 +596,17 @@ let run_obs_profile config ~total_seconds =
        ~sections:
          [
            ("campaign", campaign_sink);
+           ("lagrange", lagrange_sink);
            ("serve", serve_sink);
            ("fleet", fleet_sink);
          ]
        sink);
   close_out oc;
-  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics; serve section: %d metrics; fleet section: %d metrics)@."
+  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics; lagrange section: %d metrics; serve section: %d metrics; fleet section: %d metrics)@."
     (Agrid_obs.Sink.n_spans sink) (Agrid_obs.Sink.n_metrics sink)
     (Agrid_obs.Sink.n_spans campaign_sink)
     (Agrid_obs.Sink.n_metrics campaign_sink)
+    (Agrid_obs.Sink.n_metrics lagrange_sink)
     (Agrid_obs.Sink.n_metrics serve_sink)
     (Agrid_obs.Sink.n_metrics fleet_sink)
 

@@ -101,6 +101,87 @@ let spec_of ~seed ~scale =
 let workload_of ~seed ~scale ~etc ~dag ~case =
   Workload.build (spec_of ~seed ~scale) ~etc_index:etc ~dag_index:dag ~case
 
+(* ---- online dual ascent (--scheduler adaptive-lagrange) ---- *)
+
+let scheduler_t =
+  Arg.(
+    value
+    & opt string "slrh"
+    & info [ "scheduler" ] ~docv:"NAME"
+        ~doc:"Weight policy for the SLRH variants: 'slrh' (constant Lagrangian weights — the paper's heuristic, the default) or 'adaptive-lagrange' (online dual ascent on the energy/AET multipliers during the run; tune with the --adapt-* options).")
+
+let adapt_step_t =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "adapt-step" ] ~docv:"C"
+        ~doc:"Dual-ascent step constant: round k steps the multipliers by C/sqrt(k).")
+
+let adapt_init_energy_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "adapt-init-energy" ] ~docv:"L"
+        ~doc:"Initial energy multiplier (default: beta/alpha derived from the weights).")
+
+let adapt_init_aet_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "adapt-init-aet" ] ~docv:"L"
+        ~doc:"Initial AET multiplier (default: gamma/alpha derived from the weights).")
+
+let adapt_prob_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "adapt-prob" ] ~docv:"P"
+        ~doc:"Chance-constrained feasibility: inflate energy-admission bounds by the Gaussian margin 1 + Phi^-1(P) * sigma so they hold with service probability ~P under --adapt-sigma relative estimation error (default: conservative bounds, no margin).")
+
+let adapt_sigma_t =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "adapt-sigma" ] ~docv:"S"
+        ~doc:"Relative estimation error assumed by the --adapt-prob margin.")
+
+(* The six scheduler flags bundled into one term; commands validate the
+   bundle with [adapt_spec_or_die] so every bad knob is a one-line
+   stderr message and exit 2, like the other argument errors. *)
+let adapt_opts_t =
+  let combine scheduler step_c init_energy init_aet prob sigma =
+    (scheduler, { Adapt.step_c; init_energy; init_aet; prob; sigma })
+  in
+  Term.(
+    const combine $ scheduler_t $ adapt_step_t $ adapt_init_energy_t
+    $ adapt_init_aet_t $ adapt_prob_t $ adapt_sigma_t)
+
+let adapt_spec_or_die ~cmd (scheduler, spec) =
+  match scheduler with
+  | "slrh" -> None
+  | "adaptive-lagrange" -> (
+      match Adapt.validate_spec spec with
+      | Ok () -> Some spec
+      | Error msg ->
+          Fmt.epr "agrid %s: adaptive-lagrange: %s@." cmd msg;
+          exit 2)
+  | s ->
+      Fmt.epr "agrid %s: unknown scheduler %S (expected slrh or adaptive-lagrange)@."
+        cmd s;
+      exit 2
+
+(* Attach a fresh controller (and the spec's implied feasibility mode) to
+   SLRH params; [None] leaves the run bit-identical to the constant-weight
+   scheduler. *)
+let with_adapt params = function
+  | None -> params
+  | Some spec ->
+      {
+        params with
+        Slrh.adapt = Some (Adapt.create spec params.Slrh.weights);
+        feas_mode = Adapt.feas_mode spec;
+      }
+
 (* ---- telemetry plumbing shared by run / dynamic / churn / prof ---- *)
 
 let obs_t =
@@ -197,7 +278,13 @@ let print_gantt schedule =
     (Agrid_report.Gantt.make ~title:"schedule (P primary, s secondary, x transfer)" lanes)
 
 let run_cmd =
-  let action seed scale case etc dag heuristic alpha beta delta_t horizon mode gantt trace_file obs_file ledger_file =
+  let action seed scale case etc dag heuristic alpha beta delta_t horizon mode adapt_opts gantt trace_file obs_file ledger_file =
+    let adapt_spec = adapt_spec_or_die ~cmd:"run" adapt_opts in
+    (match (adapt_spec, heuristic) with
+    | Some _, (`Maxmax | `Minmin | `Lrnn | `Greedy | `Random) ->
+        Fmt.epr "agrid run: --scheduler adaptive-lagrange applies to the SLRH variants only@.";
+        exit 2
+    | _ -> ());
     let workload = workload_of ~seed ~scale ~etc ~dag ~case in
     let weights = Objective.make_weights ~alpha ~beta in
     Fmt.pr "%a@." Workload.pp workload;
@@ -212,14 +299,16 @@ let run_cmd =
             match h with `Slrh1 -> Slrh.V1 | `Slrh2 -> Slrh.V2 | `Slrh3 -> Slrh.V3
           in
           let params =
-            {
-              (Slrh.default_params ~variant weights) with
-              Slrh.delta_t;
-              horizon;
-              mode;
-              tracer;
-              obs = sink;
-            }
+            with_adapt
+              {
+                (Slrh.default_params ~variant weights) with
+                Slrh.delta_t;
+                horizon;
+                mode;
+                tracer;
+                obs = sink;
+              }
+              adapt_spec
           in
           let o = Slrh.run params workload in
           Fmt.pr "%s: %a@." (Slrh.variant_to_string variant) Slrh.pp_outcome o;
@@ -272,7 +361,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ heuristic_t $ alpha_t
-      $ beta_t $ delta_t_t $ horizon_t $ mode_t $ gantt_t $ trace_t $ obs_t $ ledger_t)
+      $ beta_t $ delta_t_t $ horizon_t $ mode_t $ adapt_opts_t $ gantt_t $ trace_t
+      $ obs_t $ ledger_t)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Map one scenario with a chosen heuristic and validate the result.")
@@ -327,12 +417,15 @@ let tune_cmd =
 (* ---- dynamic ---- *)
 
 let dynamic_cmd =
-  let action seed scale etc dag alpha beta machine at_fraction obs_file =
+  let action seed scale etc dag alpha beta machine at_fraction adapt_opts obs_file =
+    let adapt_spec = adapt_spec_or_die ~cmd:"dynamic" adapt_opts in
     let workload = workload_of ~seed ~scale ~etc ~dag ~case:Agrid_platform.Grid.A in
     let weights = Objective.make_weights ~alpha ~beta in
     let at = int_of_float (float_of_int (Workload.tau workload) *. at_fraction) in
     let sink = sink_for obs_file in
-    let params = { (Slrh.default_params weights) with Slrh.obs = sink } in
+    let params =
+      with_adapt { (Slrh.default_params weights) with Slrh.obs = sink } adapt_spec
+    in
     let o = Dynamic.run_with_loss params workload { Dynamic.at; machine } in
     Fmt.pr "%a@." Dynamic.pp_outcome o;
     let r = Validate.check o.Dynamic.schedule in
@@ -350,7 +443,7 @@ let dynamic_cmd =
     (Cmd.info "dynamic" ~doc:"Lose a machine mid-run and reschedule on-the-fly (extension).")
     Term.(
       const action $ seed_t $ scale_t $ etc_t $ dag_t $ alpha_t $ beta_t $ machine_t
-      $ at_t $ obs_t)
+      $ at_t $ adapt_opts_t $ obs_t)
 
 (* ---- tables ---- *)
 
@@ -464,7 +557,8 @@ let import_cmd =
 (* ---- churn ---- *)
 
 let churn_cmd =
-  let action seed scale etc dag case alpha beta mode shards events mc intensities policy budget obs_file ledger_file =
+  let action seed scale etc dag case alpha beta mode adapt_opts shards events mc intensities policy budget obs_file ledger_file =
+    let adapt_spec = adapt_spec_or_die ~cmd:"churn" adapt_opts in
     let weights = Objective.make_weights ~alpha ~beta in
     let policy =
       Agrid_churn.Retry.make
@@ -485,7 +579,11 @@ let churn_cmd =
         let workload = workload_of ~seed ~scale ~etc ~dag ~case in
         let events = Agrid_churn.Event.parse_trace trace in
         let sink = sink_for ~ledger:ledger_file obs_file in
-        let params = { (Slrh.default_params weights) with Slrh.mode; obs = sink } in
+        let params =
+          with_adapt
+            { (Slrh.default_params weights) with Slrh.mode; obs = sink }
+            adapt_spec
+        in
         let o = Dynamic.run_churn ~policy params workload events in
         Fmt.pr "trace: %s@." (Agrid_churn.Event.trace_to_string events);
         List.iter
@@ -502,8 +600,8 @@ let churn_cmd =
         let config = config_of_options seed scale 1 1 in
         let sink = sink_for obs_file in
         let levels =
-          Campaign.run ~obs:sink ~weights ~policy ?intensities ~replicates:n ?shards
-            ~seed config
+          Campaign.run ~obs:sink ~weights ~policy ?adapt:adapt_spec ?intensities
+            ~replicates:n ?shards ~seed config
         in
         Fmt.pr "%a@." Agrid_report.Table.pp (Campaign.table levels);
         write_obs obs_file sink;
@@ -572,8 +670,8 @@ let churn_cmd =
        ~doc:"Drive SLRH through a scripted churn trace, or run a Monte Carlo survivability campaign (extension).")
     Term.(
       const action $ seed_t $ scale_t $ etc_t $ dag_t $ case_t $ alpha_t $ beta_t
-      $ mode_t $ shards_t $ events_t $ mc_t $ intensities_t $ policy_t $ budget_t
-      $ obs_t $ ledger_t)
+      $ mode_t $ adapt_opts_t $ shards_t $ events_t $ mc_t $ intensities_t $ policy_t
+      $ budget_t $ obs_t $ ledger_t)
 
 (* ---- prof ---- *)
 
@@ -712,14 +810,14 @@ let ledger_pos_t ~docv ~doc idx =
   Arg.(required & pos idx (some string) None & info [] ~docv ~doc)
 
 let explain_cmd =
-  let action path task machine clock =
+  let action path task machine clock round =
     match load_ledger path with
     | Error msg ->
         Fmt.epr "agrid explain: %s@." msg;
         2
     | Ok led -> (
-        match (task, machine, clock) with
-        | Some task, None, None -> (
+        match (task, machine, clock, round) with
+        | Some task, None, None, None -> (
             match Agrid_obs.Ledger.explain_task led ~task with
             | Some report ->
                 Fmt.pr "%s@." report;
@@ -727,7 +825,7 @@ let explain_cmd =
             | None ->
                 Fmt.pr "subtask %d: no record in this ledger@." task;
                 1)
-        | None, Some machine, Some clock -> (
+        | None, Some machine, Some clock, None -> (
             match Agrid_obs.Ledger.explain_idle led ~machine ~clock with
             | Some report ->
                 Fmt.pr "%s@." report;
@@ -735,11 +833,19 @@ let explain_cmd =
             | None ->
                 Fmt.pr "machine %d at clock %d: no record in this ledger@." machine clock;
                 1)
+        | None, None, None, Some round -> (
+            match Agrid_obs.Ledger.explain_multiplier led ~round with
+            | Some report ->
+                Fmt.pr "%s@." report;
+                0
+            | None ->
+                Fmt.pr "dual round %d: no record in this ledger@." round;
+                1)
         | _ ->
             Fmt.epr
-              "agrid explain: ask one question — either --task N (why did this subtask \
-               map where it did?) or --machine J --clock K (why was this machine idle \
-               there?)@.";
+              "agrid explain: ask one question — --task N (why did this subtask map \
+               where it did?), --machine J --clock K (why was this machine idle \
+               there?), or --round R (why did dual round R move the multipliers?)@.";
             2)
   in
   let task_t =
@@ -751,13 +857,16 @@ let explain_cmd =
   let clock_t =
     Arg.(value & opt (some int) None & info [ "clock" ] ~docv:"K" ~doc:"With --machine: the timestep to explain.")
   in
+  let round_t =
+    Arg.(value & opt (some int) None & info [ "round" ] ~docv:"R" ~doc:"Explain dual-ascent round R: trigger, measured subgradients, step size and the weights before/after (adaptive-lagrange runs).")
+  in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Answer mapping questions from a decision ledger (written by `agrid run --ledger` or `agrid churn --ledger`): why a subtask mapped where it did, or why a machine sat idle at a timestep.")
+       ~doc:"Answer mapping questions from a decision ledger (written by `agrid run --ledger` or `agrid churn --ledger`): why a subtask mapped where it did, why a machine sat idle at a timestep, or why a dual-ascent round moved the Lagrangian multipliers.")
     Term.(
       const action
       $ ledger_pos_t ~docv:"LEDGER" ~doc:"Decision-ledger JSONL file." 0
-      $ task_t $ machine_t $ clock_t)
+      $ task_t $ machine_t $ clock_t $ round_t)
 
 (* ---- ledger-diff ---- *)
 

@@ -42,8 +42,15 @@ type outcome = {
   post_loss : Slrh.outcome;
 }
 
-(* The SLRH receding-horizon loop as a churn-engine phase runner. *)
+(* The SLRH receding-horizon loop as a churn-engine phase runner. A phase
+   starting after clock 0 begins right after churn events fired, so the
+   dual-ascent controller (when attached) re-prices the constraints
+   against the post-event grid before the phase's first sweep. *)
 let slrh_runner params ~start_clock ~until ~mask ~eligible sched =
+  (match params.Slrh.adapt with
+  | Some a when start_clock > 0 ->
+      Adapt.on_churn a ~obs:params.Slrh.obs ~clock:start_clock sched
+  | Some _ | None -> ());
   let o = Slrh.continue_run ?until ~start_clock ~mask ~eligible params sched in
   (o, o.Slrh.final_clock)
 

@@ -13,11 +13,41 @@
 open Agrid_workload
 open Agrid_sched
 
-type mode = Conservative | Optimistic
+type mode =
+  | Conservative
+  | Optimistic
+  | Chance of { p : float; sigma : float }
 
 let mode_to_string = function
   | Conservative -> "conservative"
   | Optimistic -> "optimistic"
+  | Chance { p; sigma } -> Fmt.str "chance(p=%g,sigma=%g)" p sigma
+
+(* Smart constructor so an invalid service probability or sigma fails
+   loudly at configuration time, not silently inside a pool filter. *)
+let chance ~p ~sigma =
+  ignore (Agrid_lagrange.Chance.inflation ~p ~sigma);
+  Chance { p; sigma }
+
+(* The worst-case child-communication surcharge for the mode. The chance
+   mode keeps the conservative bound — its margin handles estimation
+   error, not the unknown child placement. *)
+let comm_bound ~mode wl ~task ~machine ~version =
+  match mode with
+  | Optimistic -> 0.
+  | Conservative | Chance _ ->
+      Workload.worst_case_child_comm_energy wl ~task ~machine ~version
+
+(* Gaussian chance margin on a nominal energy bound: inflate by
+   (1 + z * sigma), z = Phi^-1(p). Conservative/Optimistic pass through
+   untouched (no multiplication), keeping those modes bit-identical to
+   their historical selves; chance with p = 0.5 or sigma = 0 has factor
+   exactly 1, and x *. 1. = x, so it coincides with Conservative bit for
+   bit (a differential pair in the test suite). *)
+let apply_margin ~mode req =
+  match mode with
+  | Conservative | Optimistic -> req
+  | Chance { p; sigma } -> req *. Agrid_lagrange.Chance.inflation ~p ~sigma
 
 (* Typed admissibility verdicts. The pool check used to answer only
    yes/no; the decision ledger needs to know WHY a subtask stayed out of
@@ -44,27 +74,34 @@ let pp_infeasibility ppf = function
 let required_energy ?(mode = Conservative) sched ~task ~machine ~version =
   let wl = Schedule.workload sched in
   let exec = Workload.exec_energy wl ~task ~machine ~version in
-  let comm =
-    match mode with
-    | Optimistic -> 0.
-    | Conservative ->
-        Workload.worst_case_child_comm_energy wl ~task ~machine ~version
-  in
-  exec +. comm
+  let comm = comm_bound ~mode wl ~task ~machine ~version in
+  apply_margin ~mode (exec +. comm)
 
 let version_verdict ?(mode = Conservative) sched ~task ~machine ~version =
   let wl = Schedule.workload sched in
   let exec = Workload.exec_energy wl ~task ~machine ~version in
-  let comm =
-    match mode with
-    | Optimistic -> 0.
-    | Conservative ->
-        Workload.worst_case_child_comm_energy wl ~task ~machine ~version
-  in
+  let comm = comm_bound ~mode wl ~task ~machine ~version in
   let available = Schedule.energy_remaining sched machine in
-  if available >= exec +. comm then Ok ()
-  else if available < exec then Error (Exec_energy { version; required = exec; available })
-  else Error (Comm_energy { version; exec; comm; available })
+  match mode with
+  | Conservative | Optimistic ->
+      (* the historical branch, float for float *)
+      if available >= exec +. comm then Ok ()
+      else if available < exec then
+        Error (Exec_energy { version; required = exec; available })
+      else Error (Comm_energy { version; exec; comm; available })
+  | Chance _ ->
+      (* the margin inflates both report terms proportionally, so the
+         ledger's exec/comm split still sums to the tested bound *)
+      let required = apply_margin ~mode (exec +. comm) in
+      if available >= required then Ok ()
+      else
+        let exec_infl = apply_margin ~mode exec in
+        if available < exec_infl then
+          Error (Exec_energy { version; required = exec_infl; available })
+        else
+          Error
+            (Comm_energy
+               { version; exec = exec_infl; comm = required -. exec_infl; available })
 
 let version_feasible ?mode sched ~task ~machine ~version =
   match version_verdict ?mode sched ~task ~machine ~version with
@@ -145,13 +182,11 @@ module Memo = struct
         Workload.exec_energy wl ~task ~machine ~version:Version.Secondary
       in
       let comm =
-        match t.mode with
-        | Optimistic -> 0.
-        | Conservative ->
-            Workload.worst_case_child_comm_energy wl ~task ~machine
-              ~version:Version.Secondary
+        comm_bound ~mode:t.mode wl ~task ~machine ~version:Version.Secondary
       in
-      let v = exec +. comm in
+      (* same expression [version_verdict] tests under every mode, so
+         memoised and rescan admissions stay bit-identical *)
+      let v = apply_margin ~mode:t.mode (exec +. comm) in
       t.required.(i) <- v;
       v
     end

@@ -8,8 +8,20 @@ open Agrid_sched
 type mode =
   | Conservative  (** paper: every child on the worst link in the grid *)
   | Optimistic  (** ablation: children assumed co-located (zero comm) *)
+  | Chance of { p : float; sigma : float }
+      (** chance-constrained: the conservative bound inflated by the
+          Gaussian margin [1 + Phi^-1(p) * sigma]
+          ({!Agrid_lagrange.Chance.inflation}) so admissions hold with
+          service probability ~[p] under relative estimation error
+          [sigma]. [p = 0.5] or [sigma = 0] coincides bit-for-bit with
+          [Conservative]. Build through {!chance} to validate. *)
 
 val mode_to_string : mode -> string
+
+val chance : p:float -> sigma:float -> mode
+(** [Chance { p; sigma }] with the parameters validated.
+    @raise Invalid_argument if [p] is outside (0, 1) or [sigma] is
+    negative or non-finite. *)
 
 type infeasibility =
   | Parent_unmapped of { parent : int }

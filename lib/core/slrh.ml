@@ -86,6 +86,12 @@ type params = {
           stands (the scenario service's per-job wall-clock deadline).
           The default never cancels, leaving the loop bit-identical to
           the uncancellable one. *)
+  adapt : Adapt.t option;
+      (** online dual-ascent controller: when set, scoring reads ITS
+          weights (seeded from [weights]) instead of the static ones, and
+          the main loop runs a dual round at each commit epoch. [None]
+          (the default) keeps the run bit-identical to the historical
+          constant-weights scheduler. *)
 }
 
 let default_params ?(variant = V1) weights =
@@ -101,7 +107,16 @@ let default_params ?(variant = V1) weights =
     tracer = None;
     obs = Agrid_obs.Sink.noop;
     cancel = (fun () -> false);
+    adapt = None;
   }
+
+(* The weights scoring reads THIS timestep: the adaptive controller's
+   current iterate when one is attached, the static params otherwise.
+   Re-read at every use, so a dual round between timesteps changes
+   scoring without touching any cached pool state (pool membership and
+   memoised energy bounds never read the weights). *)
+let live_weights params =
+  match params.adapt with None -> params.weights | Some a -> Adapt.weights a
 
 (* Pool sizes live well under a hundred for every workload here; linear
    buckets of 4 keep the histogram readable. *)
@@ -320,15 +335,15 @@ let scored_pool params ~cache ~eligible sched ~machine ~now stats_candidates =
     | None ->
         fun task ->
           let version, score =
-            Objective.best_version params.weights sched ~task ~machine ~now
+            Objective.best_version (live_weights params) sched ~task ~machine ~now
           in
           (task, version, score)
     | Some c ->
         fun task ->
           let bound = bound_for c sched ~task ~machine in
           let version, score =
-            Objective.best_version_with params.weights sched ~bound ~task ~machine
-              ~now
+            Objective.best_version_with (live_weights params) sched ~bound ~task
+              ~machine ~now
           in
           (task, version, score)
   in
@@ -391,7 +406,8 @@ let try_assign params sched ~machine ~now ~scored plans_attempted =
            decision was made, and is_mapped still excludes only earlier
            commits *)
         let parts =
-          Objective.estimate_parts params.weights sched ~task ~version ~machine ~now
+          Objective.estimate_parts (live_weights params) sched ~task ~version
+            ~machine ~now
         in
         let runner_up =
           List.find_map
@@ -619,6 +635,11 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
       else record_idle ~machine:j ~cause:Agrid_obs.Ledger.Busy;
       incr machine
     done;
+    (* after the sweep: one dual round if this timestep committed anything
+       (Adapt skips timesteps that advanced nothing) *)
+    (match params.adapt with
+    | None -> ()
+    | Some a -> Adapt.on_timestep a ~obs ~clock:!now sched);
     let sampled =
       Agrid_obs.Sink.tick_snapshot obs ~make:(fun () ->
           {

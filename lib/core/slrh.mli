@@ -80,6 +80,14 @@ type params = {
           enforce per-job wall-clock deadlines without preemption. The
           default never cancels; the loop is then bit-identical to the
           uncancellable one. *)
+  adapt : Adapt.t option;
+      (** online Lagrangian dual ascent ({!Adapt}): when set, every score
+          reads the controller's current weights instead of [weights],
+          and the main loop runs one dual round after any timestep that
+          committed an assignment (plus churn-triggered rounds injected
+          by {!Dynamic}). [None] (the default) is bit-identical to the
+          historical constant-weights run. The controller is mutable —
+          build a fresh one per run. *)
 }
 
 val default_params : ?variant:variant -> Objective.weights -> params

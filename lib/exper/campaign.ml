@@ -38,7 +38,7 @@ let rng_for ~seed ~level ~rep =
 
 let run ?(obs = Agrid_obs.Sink.noop)
     ?(weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3)
-    ?(policy = Agrid_churn.Retry.default) ?(intensities = default_intensities)
+    ?(policy = Agrid_churn.Retry.default) ?adapt ?(intensities = default_intensities)
     ?(replicates = 32) ?(down_fraction = 0.15) ?shards ~seed (config : Config.t) =
   if replicates <= 0 then invalid_arg "Campaign.run: nonpositive replicate count";
   (match shards with
@@ -80,6 +80,19 @@ let run ?(obs = Agrid_obs.Sink.noop)
      (pinned by the differential suite). *)
   let one_replicate ~rsink ~level ~intensity rep =
     let rparams = { params with Agrid_core.Slrh.obs = rsink } in
+    (* the dual-ascent controller is mutable per-run state: every
+       replicate seeds a fresh one from the same spec, so results stay
+       independent of the shard layout *)
+    let rparams =
+      match adapt with
+      | None -> rparams
+      | Some spec ->
+          {
+            rparams with
+            Agrid_core.Slrh.adapt = Some (Agrid_core.Adapt.create spec weights);
+            feas_mode = Agrid_core.Adapt.feas_mode spec;
+          }
+    in
     let trace =
       if intensity = 0. then []
       else

@@ -29,6 +29,7 @@ val run :
   ?obs:Agrid_obs.Sink.t ->
   ?weights:Agrid_core.Objective.weights ->
   ?policy:Agrid_churn.Retry.policy ->
+  ?adapt:Agrid_core.Adapt.spec ->
   ?intensities:float list ->
   ?replicates:int ->
   ?down_fraction:float ->
@@ -40,6 +41,12 @@ val run :
     (default 0.15) sets the mean outage length as a fraction of tau;
     intensity [x] gives mean up-time [tau / x] (intensity 0 is the static
     baseline: no events are sampled). [replicates] defaults to 32.
+
+    [?adapt] runs every replicate under online dual ascent
+    ({!Agrid_core.Adapt}) seeded from [weights], with the spec's implied
+    feasibility mode; each replicate gets a fresh controller, so
+    aggregates remain shard-count-invariant. The spec must already be
+    validated ({!Agrid_core.Adapt.validate_spec}).
 
     [?shards] splits each level's replicates into that many contiguous
     blocks run on worker domains via {!Agrid_par.Parallel.run_workers}

@@ -58,6 +58,23 @@ type entry =
     }
   | Idle of { clock : int; machine : int; cause : idle_cause }
   | Churn of { clock : int; machine : int; event : string; detail : float }
+  | Multiplier of {
+      clock : int;
+      epoch : int;
+      round : int;
+      trigger : string;
+      step : float;
+      g_energy : float;
+      g_aet : float;
+      lambda_energy : float;
+      lambda_aet : float;
+      alpha_before : float;
+      beta_before : float;
+      gamma_before : float;
+      alpha : float;
+      beta : float;
+      gamma : float;
+    }
 
 type t = { mutable rev_entries : entry list; mutable length : int }
 
@@ -121,6 +138,15 @@ let pp_entry ppf = function
         (idle_cause_to_string cause)
   | Churn { clock; machine; event; detail } ->
       Fmt.pf ppf "clock %d machine %d: churn %s (%.3f)" clock machine event detail
+  | Multiplier { clock; epoch; round; trigger; step; g_energy; g_aet;
+                 lambda_energy; lambda_aet; alpha_before; beta_before;
+                 gamma_before; alpha; beta; gamma } ->
+      Fmt.pf ppf
+        "clock %d: DUAL round %d (%s, epoch %d) step %.6f on g = (energy %+.6f, \
+         aet %+.6f) -> lambda = (%.6f, %.6f), weights (%.4f, %.4f, %.4f) -> \
+         (%.4f, %.4f, %.4f)"
+        clock round trigger epoch step g_energy g_aet lambda_energy lambda_aet
+        alpha_before beta_before gamma_before alpha beta gamma
 
 (* ---- JSONL ---- *)
 
@@ -186,6 +212,17 @@ let json_of_entry e =
       Obj
         [ ("type", Str "churn"); ("clock", Int clock); ("machine", Int machine);
           ("event", Str event); ("detail", Flt detail) ]
+  | Multiplier { clock; epoch; round; trigger; step; g_energy; g_aet;
+                 lambda_energy; lambda_aet; alpha_before; beta_before;
+                 gamma_before; alpha; beta; gamma } ->
+      Obj
+        [ ("type", Str "multiplier"); ("clock", Int clock); ("epoch", Int epoch);
+          ("round", Int round); ("trigger", Str trigger); ("step", Flt step);
+          ("g_energy", Flt g_energy); ("g_aet", Flt g_aet);
+          ("lambda_energy", Flt lambda_energy); ("lambda_aet", Flt lambda_aet);
+          ("alpha_before", Flt alpha_before); ("beta_before", Flt beta_before);
+          ("gamma_before", Flt gamma_before); ("alpha", Flt alpha);
+          ("beta", Flt beta); ("gamma", Flt gamma) ]
 
 let jsonl_lines t =
   let meta =
@@ -334,6 +371,26 @@ let of_jsonl s =
                    event = req_str lineno v "event";
                    detail = req_float lineno v "detail";
                  })
+        | Some "multiplier" ->
+            record t
+              (Multiplier
+                 {
+                   clock = req_int lineno v "clock";
+                   epoch = req_int lineno v "epoch";
+                   round = req_int lineno v "round";
+                   trigger = req_str lineno v "trigger";
+                   step = req_float lineno v "step";
+                   g_energy = req_float lineno v "g_energy";
+                   g_aet = req_float lineno v "g_aet";
+                   lambda_energy = req_float lineno v "lambda_energy";
+                   lambda_aet = req_float lineno v "lambda_aet";
+                   alpha_before = req_float lineno v "alpha_before";
+                   beta_before = req_float lineno v "beta_before";
+                   gamma_before = req_float lineno v "gamma_before";
+                   alpha = req_float lineno v "alpha";
+                   beta = req_float lineno v "beta";
+                   gamma = req_float lineno v "gamma";
+                 })
         | Some other -> fail lineno "unknown entry type %S" other
       end)
     lines;
@@ -401,14 +458,47 @@ let explain_idle t ~machine ~clock =
     t;
   if !found then Some (Buffer.contents b) else None
 
+(* Why did dual round [round] move the multipliers? Reports the full
+   update record — trigger, epoch, step size, measured subgradients and
+   the weights before/after — plus any churn events recorded at the same
+   clock (the usual reason a round fired off-epoch). *)
+let explain_multiplier t ~round =
+  (* churn entries at the update's clock are recorded BEFORE the update
+     they provoked, so locate the round's clock first, then render that
+     clock's churn context followed by the update itself *)
+  let at_clock = ref None in
+  iter
+    (function
+      | Multiplier m when m.round = round && !at_clock = None ->
+          at_clock := Some m.clock
+      | _ -> ())
+    t;
+  match !at_clock with
+  | None -> None
+  | Some k ->
+      let b = Buffer.create 256 in
+      let line fmt =
+        Fmt.kstr (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt
+      in
+      iter
+        (fun e ->
+          match e with
+          | Churn c when c.clock = k -> line "%a" pp_entry e
+          | Multiplier m when m.round = round -> line "%a" pp_entry e
+          | _ -> ())
+        t;
+      Some (Buffer.contents b)
+
 (* ---- diff ---- *)
 
 (* The DECISION stream of a ledger: commits and idles, in order. Candidate
    entries are context (they explain a decision); churn entries are inputs
-   rather than scheduler choices. *)
+   rather than scheduler choices; multiplier entries are controller state,
+   whose mapping consequences show up as later commits anyway. *)
 let decisions t =
   List.filter
-    (function Commit _ | Idle _ -> true | Candidate _ | Churn _ -> false)
+    (function
+      | Commit _ | Idle _ -> true | Candidate _ | Churn _ | Multiplier _ -> false)
     (Array.to_list (entries t))
 
 (* Two decisions are the SAME decision iff their structural fields agree —

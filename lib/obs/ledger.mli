@@ -57,6 +57,25 @@ type entry =
     }
   | Idle of { clock : int; machine : int; cause : idle_cause }
   | Churn of { clock : int; machine : int; event : string; detail : float }
+  | Multiplier of {
+      clock : int;
+      epoch : int;  (** mapped-subtask count when the update fired *)
+      round : int;  (** dual-ascent round (1-based; sets the step size) *)
+      trigger : string;  (** ["epoch"] (commit progress) or ["churn"] *)
+      step : float;  (** step size used, [c / sqrt round] *)
+      g_energy : float;  (** energy-pacing subgradient TEC/TSE - clock/tau *)
+      g_aet : float;  (** extent-pacing subgradient AET/tau - mapped/|T| *)
+      lambda_energy : float;  (** multiplier AFTER the projected step *)
+      lambda_aet : float;
+      alpha_before : float;
+      beta_before : float;
+      gamma_before : float;
+      alpha : float;
+      beta : float;
+      gamma : float;
+    }
+      (** An online dual-ascent update ({!module:Agrid_core} [Adapt]):
+          why the Lagrangian weights moved at this clock. *)
 
 type t
 
@@ -100,10 +119,19 @@ val explain_idle : t -> machine:int -> clock:int -> string option
     instead if the machine was in fact not idle there. [None] when the
     ledger holds no record for that step. *)
 
+val explain_multiplier : t -> round:int -> string option
+(** Why dual round [round] moved the multipliers: the full update record
+    (trigger, epoch, step size, measured subgradients, weights before and
+    after) preceded by any churn entries at the same clock — the usual
+    cause of an off-epoch update. [None] when no such round was
+    recorded. *)
+
 (** {2 Diff} *)
 
 val decisions : t -> entry list
-(** The decision stream: {!Commit} and {!Idle} entries, in order. *)
+(** The decision stream: {!Commit} and {!Idle} entries, in order.
+    {!Candidate}, {!Churn} and {!Multiplier} entries are context, not
+    scheduler choices. *)
 
 type divergence = {
   div_index : int;  (** position in the decision stream *)

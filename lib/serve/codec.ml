@@ -70,10 +70,38 @@ let parse_job j =
     opt_field j "deadline_ms" (fun v -> Option.map Option.some (Json.to_float v))
       ~default:None
   in
+  let* scheduler = opt_field j "scheduler" Json.to_string_value ~default:"slrh" in
+  let opt_float name =
+    opt_field j name (fun v -> Option.map Option.some (Json.to_float v)) ~default:None
+  in
+  let* adapt_step = opt_field j "adapt_step" Json.to_float ~default:0.5 in
+  let* adapt_init_energy = opt_float "adapt_init_energy" in
+  let* adapt_init_aet = opt_float "adapt_init_aet" in
+  let* adapt_prob = opt_float "adapt_prob" in
+  let* adapt_sigma = opt_field j "adapt_sigma" Json.to_float ~default:0.1 in
+  let* adapt =
+    match scheduler with
+    | "slrh" -> Ok None
+    | "adaptive-lagrange" ->
+        let spec =
+          {
+            Agrid_core.Adapt.step_c = adapt_step;
+            init_energy = adapt_init_energy;
+            init_aet = adapt_init_aet;
+            prob = adapt_prob;
+            sigma = adapt_sigma;
+          }
+        in
+        let* () = Agrid_core.Adapt.validate_spec spec in
+        Ok (Some spec)
+    | s -> Error (Fmt.str "unknown scheduler %S (expected slrh|adaptive-lagrange)" s)
+  in
   if delta_t <= 0 then Error "delta_t must be positive"
   else if horizon <= 0 then Error "horizon must be positive"
   else if not (Float.is_finite alpha && Float.is_finite beta) then
     Error "alpha/beta must be finite"
+  else if adapt <> None && alpha <= 0. then
+    Error "adaptive-lagrange needs alpha > 0 to seed the multipliers"
   else
     Ok
       (Submit
@@ -86,6 +114,7 @@ let parse_job j =
            delta_t;
            horizon;
            mode;
+           adapt;
            events;
            deadline_ms;
          })
@@ -106,7 +135,7 @@ let parse_request line =
 
 let job_to_json (s : Job.spec) =
   Json.Obj
-    [
+    ([
       ("schema", Json.Str schema);
       ("kind", Json.Str "job");
       ("tag", match s.Job.tag with None -> Json.Null | Some t -> Json.Str t);
@@ -121,6 +150,24 @@ let job_to_json (s : Job.spec) =
       ( "deadline_ms",
         match s.Job.deadline_ms with None -> Json.Null | Some ms -> Json.Flt ms );
     ]
+    @
+    (* the adapt knobs ride along only for adaptive jobs, keeping
+       constant-weight job lines byte-identical to the historical wire
+       format *)
+    match s.Job.adapt with
+    | None -> []
+    | Some a ->
+        let opt name v =
+          match v with None -> [] | Some x -> [ (name, Json.Flt x) ]
+        in
+        [
+          ("scheduler", Json.Str "adaptive-lagrange");
+          ("adapt_step", Json.Flt a.Agrid_core.Adapt.step_c);
+        ]
+        @ opt "adapt_init_energy" a.Agrid_core.Adapt.init_energy
+        @ opt "adapt_init_aet" a.Agrid_core.Adapt.init_aet
+        @ opt "adapt_prob" a.Agrid_core.Adapt.prob
+        @ [ ("adapt_sigma", Json.Flt a.Agrid_core.Adapt.sigma) ])
 
 (* ---- responses ---- *)
 

@@ -23,6 +23,7 @@ type spec = {
   delta_t : int;
   horizon : int;
   mode : Slrh.mode;
+  adapt : Agrid_core.Adapt.spec option;
   events : Agrid_churn.Event.t list;
   deadline_ms : float option;
 }
@@ -37,6 +38,7 @@ let default scenario =
     delta_t = 10;
     horizon = 100;
     mode = `Incremental;
+    adapt = None;
     events = [];
     deadline_ms = None;
   }
@@ -127,6 +129,20 @@ let run ?(obs = Sink.noop) spec =
         obs;
         cancel = cancel_for ~t0 ~fired spec.deadline_ms;
       }
+    in
+    (* a fresh controller per job: Adapt.t is mutable run state. An
+       invalid spec raises Invalid_argument, caught below as [Errored]
+       (the codec validates up front, so that path means a caller built
+       the spec by hand). *)
+    let params =
+      match spec.adapt with
+      | None -> params
+      | Some aspec ->
+          {
+            params with
+            Slrh.adapt = Some (Agrid_core.Adapt.create aspec weights);
+            feas_mode = Agrid_core.Adapt.feas_mode aspec;
+          }
     in
     match spec.events with
     | [] ->

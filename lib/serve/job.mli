@@ -16,6 +16,9 @@ type spec = {
   delta_t : int;
   horizon : int;
   mode : Agrid_core.Slrh.mode;
+  adapt : Agrid_core.Adapt.spec option;
+      (** online dual ascent seeded from (alpha, beta), with the spec's
+          implied feasibility mode; [None] = constant weights *)
   events : Agrid_churn.Event.t list;  (** churn timeline; [] = static run *)
   deadline_ms : float option;
       (** wall-clock budget for the scheduler loop; enforced cooperatively

@@ -36,10 +36,11 @@ type result = {
   evaluations : int;
 }
 
-let clamp_simplex (a, b) =
-  let a = Float.max 0. (Float.min 1. a) in
-  let b = Float.max 0. (Float.min (1. -. a) b) in
-  (a, b)
+(* The projected-step primitives are shared with the in-run controller
+   (Agrid_core.Adapt): same simplex projection, same c/sqrt(round)
+   schedule — this outer loop is the offline, between-runs instance of
+   the same dual ascent. *)
+let clamp_simplex = Agrid_lagrange.Dual.clamp_simplex
 
 let tune ?(init = (0.3, 0.3)) ?(eta = 0.15) ?(iterations = 16) (runner : Weight_search.runner)
     workload =
@@ -50,7 +51,7 @@ let tune ?(init = (0.3, 0.3)) ?(eta = 0.15) ?(iterations = 16) (runner : Weight_
   let trace = ref [] in
   let a = ref (fst (clamp_simplex init)) and b = ref (snd (clamp_simplex init)) in
   for k = 0 to iterations - 1 do
-    let step_size = eta /. sqrt (float_of_int (k + 1)) in
+    let step_size = Agrid_lagrange.Dual.step_size ~c:eta ~round:(k + 1) in
     let r = runner (Objective.make_weights ~alpha:!a ~beta:!b) workload in
     trace :=
       {

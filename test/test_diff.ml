@@ -236,6 +236,74 @@ let test_ledger () =
       Alcotest.failf "%s: churn ledger JSONL diverges" (Test_props.describe sc)
   done
 
+(* Online dual ascent under both modes: weight updates mid-run must not
+   break rescan/incremental equality — pool membership and the cached
+   parent bounds never read the weights, and scoring re-reads them per
+   call, so identical commit sequences produce identical subgradients and
+   hence identical multiplier trajectories. A fresh controller per run:
+   [Adapt.t] is mutable state and must never be shared across modes. *)
+let adaptive_spec =
+  { Adapt.default_spec with Adapt.step_c = 1.5; prob = Some 0.9; sigma = 0.2 }
+
+let with_adapt (p : Slrh.params) =
+  {
+    p with
+    Slrh.adapt = Some (Adapt.create adaptive_spec p.Slrh.weights);
+    feas_mode = Adapt.feas_mode adaptive_spec;
+  }
+
+let run_adaptive_static ~mode ~ledger sc wl =
+  let sink = Sink.create ~stride:4 ~ledger () in
+  let p = with_adapt { (Test_props.params sc) with Slrh.mode; obs = sink } in
+  (Slrh.run p wl, sink)
+
+let test_adaptive_static () =
+  let updates = ref 0 in
+  for i = 0 to 39 do
+    let sc = Test_props.scenario i in
+    let wl = Test_props.workload sc in
+    let o1, s1 = run_adaptive_static ~mode:`Rescan ~ledger:false sc wl in
+    let o2, s2 = run_adaptive_static ~mode:`Incremental ~ledger:false sc wl in
+    let msg = Fmt.str "%s + dual ascent" (Test_props.describe sc) in
+    check_outcomes msg o1 o2;
+    check_sinks msg s1 s2;
+    updates := !updates + counter_of s2 "lagrange/updates"
+  done;
+  if !updates = 0 then
+    Alcotest.fail "no dual round ever ran across 40 adaptive scenarios"
+
+let test_adaptive_churn () =
+  for i = 0 to 19 do
+    let sc = Test_props.scenario i in
+    let wl = Test_props.workload sc in
+    let events = sample_events i wl in
+    let run mode =
+      let sink = Sink.create ~stride:4 ~ledger:false () in
+      let p = with_adapt { (Test_props.params sc) with Slrh.mode; obs = sink } in
+      (Dynamic.run_churn p wl events, sink)
+    in
+    let o1, s1 = run `Rescan in
+    let o2, s2 = run `Incremental in
+    let msg =
+      Fmt.str "%s + dual ascent + %d churn events" (Test_props.describe sc)
+        (List.length events)
+    in
+    check_engine msg o1 o2;
+    check_sinks msg s1 s2
+  done
+
+(* And the adaptive ledgers — the Multiplier entries serialise floats, so
+   byte equality of the JSONL pins the whole multiplier trajectory. *)
+let test_adaptive_ledger () =
+  for i = 0 to 9 do
+    let sc = Test_props.scenario (30 + i) in
+    let wl = Test_props.workload sc in
+    let _, s1 = run_adaptive_static ~mode:`Rescan ~ledger:true sc wl in
+    let _, s2 = run_adaptive_static ~mode:`Incremental ~ledger:true sc wl in
+    if ledger_jsonl s1 <> ledger_jsonl s2 then
+      Alcotest.failf "%s: adaptive ledger JSONL diverges" (Test_props.describe sc)
+  done
+
 (* Campaign sharding: aggregates and counter totals are shard-count
    invariant (1, 3 — uneven blocks — and 4 shards over 6 replicates). *)
 let counters_only sink =
@@ -265,6 +333,28 @@ let test_campaign_shards () =
         (counters_only s1) (counters_only sn))
     [ 3; 4 ]
 
+(* The adaptive campaign seeds a fresh dual-ascent controller per
+   replicate, so its aggregates must be just as shard-invariant. *)
+let test_campaign_shards_adaptive () =
+  let config = Agrid_exper.Config.smoke ~seed:99 () in
+  let run shards =
+    let sink = Sink.create ~stride:8 () in
+    let levels =
+      Agrid_exper.Campaign.run ~obs:sink ~adapt:adaptive_spec
+        ~intensities:[ 0.0; 2.0 ] ~replicates:4 ~shards ~seed:515 config
+    in
+    (levels, sink)
+  in
+  let l1, s1 = run 1 in
+  let l3, s3 = run 3 in
+  if l1 <> l3 then
+    Alcotest.fail "adaptive campaign levels diverge between 1 and 3 shards";
+  Alcotest.(check (list (pair string int)))
+    "adaptive campaign counters, 1 vs 3 shards" (counters_only s1)
+    (counters_only s3);
+  if counter_of s1 "lagrange/updates" = 0 then
+    Alcotest.fail "adaptive campaign never ran a dual round"
+
 let suites =
   [
     ( "diff",
@@ -277,7 +367,15 @@ let suites =
           `Slow test_battery_shock_mid_epoch;
         Alcotest.test_case "ledger JSONL identical in both modes (20 runs)"
           `Slow test_ledger;
+        Alcotest.test_case "rescan = incremental under dual ascent (40 static)"
+          `Slow test_adaptive_static;
+        Alcotest.test_case "rescan = incremental under dual ascent (20 churn)"
+          `Slow test_adaptive_churn;
+        Alcotest.test_case "adaptive ledger JSONL identical in both modes"
+          `Slow test_adaptive_ledger;
         Alcotest.test_case "campaign aggregates shard-count invariant" `Slow
           test_campaign_shards;
+        Alcotest.test_case "adaptive campaign shard-count invariant" `Slow
+          test_campaign_shards_adaptive;
       ] );
   ]
