@@ -590,6 +590,57 @@ let run_obs_profile config ~total_seconds =
   Agrid_fleet.Sim.shutdown b1;
   Agrid_obs.Sink.merge_into ~into:fleet_sink b0_sink;
   Agrid_obs.Sink.merge_into ~into:fleet_sink b1_sink;
+  (* Trace/window profile: a fixed event script through the trace
+     collector and the rolling-window aggregator, in its own gated
+     section. Event timestamps are wall-clock and stay out of the gate;
+     the counts (ring occupancy, drop accounting on a deliberately tiny
+     ring, exemplar retention, JSONL round-trip line count, window totals
+     at explicit ~now stamps) are exact. *)
+  let trace_sink = Agrid_obs.Sink.create ~stride:8 () in
+  let module Trace = Agrid_obs.Trace in
+  let script (tr : Trace.t) =
+    for j = 0 to 9 do
+      Trace.record tr ~job:j Trace.Enqueue;
+      Trace.record tr ~job:j (Trace.Dispatch { backend = "b0"; attempt = 1 });
+      if j mod 3 = 0 then
+        Trace.record tr ~job:j (Trace.Retry { attempt = 2; delay_s = 0.01 });
+      Trace.record tr ~job:j (Trace.Exec { queue_wait_s = 0.001 });
+      Trace.record tr ~job:j (Trace.Respond { outcome = "result" })
+    done
+  in
+  let tr = Trace.create ~nonce:7 ~capacity:64 ~exemplars:2 () in
+  script tr;
+  let tiny = Trace.create ~nonce:7 ~capacity:8 ~exemplars:2 () in
+  script tiny;
+  let roundtrip =
+    match Trace.parse_jsonl (Trace.jsonl_lines tr) with
+    | Ok lines -> List.length lines
+    | Error _ -> 0
+  in
+  Agrid_obs.Sink.add trace_sink "trace/events" (Trace.length tr);
+  Agrid_obs.Sink.add trace_sink "trace/pushed" (Trace.pushed tr);
+  Agrid_obs.Sink.add trace_sink "trace/tiny_dropped" (Trace.dropped tiny);
+  Agrid_obs.Sink.add trace_sink "trace/exemplars"
+    (List.length (Trace.exemplars tr));
+  Agrid_obs.Sink.add trace_sink "trace/roundtrip_lines" roundtrip;
+  let w = Agrid_obs.Window.create ~slots:4 ~slot_s:1. () in
+  let bounds = [| 0.01; 0.1; 1.0 |] in
+  for i = 0 to 7 do
+    let now = 0.5 +. float_of_int i in
+    Agrid_obs.Window.incr w ~now "completed";
+    Agrid_obs.Window.observe w ~now "latency_s" ~bounds
+      (0.05 *. float_of_int (1 + (i mod 3)))
+  done;
+  (* slots 4 x 1 s at now = 7.5: only the writes at 4.5..7.5 survive *)
+  Agrid_obs.Sink.add trace_sink "trace/window_total"
+    (Agrid_obs.Window.total w ~now:7.5 "completed");
+  Agrid_obs.Sink.add trace_sink "trace/window_count"
+    (Agrid_obs.Window.count w ~now:7.5 "latency_s");
+  Fmt.pr "trace: %d events (%d pushed), tiny ring dropped %d, %d exemplars, %d round-trip lines, window total %d@."
+    (Trace.length tr) (Trace.pushed tr) (Trace.dropped tiny)
+    (List.length (Trace.exemplars tr))
+    roundtrip
+    (Agrid_obs.Window.total w ~now:7.5 "completed");
   let oc = open_out "BENCH_obs.json" in
   output_string oc
     (Agrid_obs.Export.summary_json ~total_seconds
@@ -599,16 +650,18 @@ let run_obs_profile config ~total_seconds =
            ("lagrange", lagrange_sink);
            ("serve", serve_sink);
            ("fleet", fleet_sink);
+           ("trace", trace_sink);
          ]
        sink);
   close_out oc;
-  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics; lagrange section: %d metrics; serve section: %d metrics; fleet section: %d metrics)@."
+  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics; lagrange section: %d metrics; serve section: %d metrics; fleet section: %d metrics; trace section: %d metrics)@."
     (Agrid_obs.Sink.n_spans sink) (Agrid_obs.Sink.n_metrics sink)
     (Agrid_obs.Sink.n_spans campaign_sink)
     (Agrid_obs.Sink.n_metrics campaign_sink)
     (Agrid_obs.Sink.n_metrics lagrange_sink)
     (Agrid_obs.Sink.n_metrics serve_sink)
     (Agrid_obs.Sink.n_metrics fleet_sink)
+    (Agrid_obs.Sink.n_metrics trace_sink)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

@@ -5,6 +5,7 @@
      agrid dynamic   — machine loss mid-run with on-the-fly rescheduling
      agrid churn     — scripted churn traces / Monte Carlo survivability
      agrid serve     — queued scheduling-job daemon (agrid-job/1 over stdin or a socket)
+     agrid top       — live dashboard over a daemon's agrid-stats/1 endpoint
      agrid prof      — profile the SLRH hot paths (spans, metrics, snapshots)
      agrid tables    — regenerate paper Tables 1-4
      agrid figure2   — regenerate the paper's delta-T sweep
@@ -675,22 +676,34 @@ let churn_cmd =
 
 (* ---- prof ---- *)
 
-let span_table sink =
-  Agrid_report.Table.make ~title:"span timings (wall seconds)"
-    ~columns:[ "span"; "count"; "total"; "mean"; "p50"; "p95"; "max" ]
-    ~rows:
-      (List.map
-         (fun (s : Agrid_obs.Span.stats) ->
-           [
-             s.Agrid_obs.Span.name;
-             string_of_int s.Agrid_obs.Span.count;
-             Fmt.str "%.4f" s.Agrid_obs.Span.total_s;
-             Fmt.str "%.6f" s.Agrid_obs.Span.mean_s;
-             Fmt.str "%.6f" s.Agrid_obs.Span.p50_s;
-             Fmt.str "%.6f" s.Agrid_obs.Span.p95_s;
-             Fmt.str "%.6f" s.Agrid_obs.Span.max_s;
-           ])
-         (Agrid_obs.Sink.span_stats sink))
+(* [counts_only] drops every wall-clock column, leaving a deterministic
+   table — what the golden CLI snapshot pins. *)
+let span_table ?(counts_only = false) sink =
+  if counts_only then
+    Agrid_report.Table.make ~title:"span counts"
+      ~columns:[ "span"; "count" ]
+      ~rows:
+        (List.map
+           (fun (s : Agrid_obs.Span.stats) ->
+             [ s.Agrid_obs.Span.name; string_of_int s.Agrid_obs.Span.count ])
+           (Agrid_obs.Sink.span_stats sink))
+  else
+    Agrid_report.Table.make ~title:"span timings (wall seconds)"
+      ~columns:[ "span"; "count"; "total"; "mean"; "p50"; "p95"; "p99"; "max" ]
+      ~rows:
+        (List.map
+           (fun (s : Agrid_obs.Span.stats) ->
+             [
+               s.Agrid_obs.Span.name;
+               string_of_int s.Agrid_obs.Span.count;
+               Fmt.str "%.4f" s.Agrid_obs.Span.total_s;
+               Fmt.str "%.6f" s.Agrid_obs.Span.mean_s;
+               Fmt.str "%.6f" s.Agrid_obs.Span.p50_s;
+               Fmt.str "%.6f" s.Agrid_obs.Span.p95_s;
+               Fmt.str "%.6f" s.Agrid_obs.Span.p99_s;
+               Fmt.str "%.6f" s.Agrid_obs.Span.max_s;
+             ])
+           (Agrid_obs.Sink.span_stats sink))
 
 let metric_table sink =
   Agrid_report.Table.make ~title:"metrics"
@@ -712,7 +725,7 @@ let metric_table sink =
          (Agrid_obs.Sink.metrics sink))
 
 let prof_cmd =
-  let action seed scale case etc dag heuristic alpha beta delta_t horizon mode events stride out csv =
+  let action seed scale case etc dag heuristic alpha beta delta_t horizon mode events stride out csv counts_only =
     let variant =
       match heuristic with
       | `Slrh1 -> Slrh.V1
@@ -741,15 +754,23 @@ let prof_cmd =
     (match events with
     | None ->
         let o = Slrh.run params workload in
-        Fmt.pr "%s (%s): %a@."
-          (Slrh.variant_to_string variant)
-          (Slrh.mode_to_string mode) Slrh.pp_outcome o
+        if counts_only then
+          (* same outcome line minus the wall-clock field: deterministic,
+             golden-snapshot friendly *)
+          Fmt.pr "%s (%s): %a completed=%b clock=%d [%a]@."
+            (Slrh.variant_to_string variant)
+            (Slrh.mode_to_string mode) Schedule.pp o.Slrh.schedule
+            o.Slrh.completed o.Slrh.final_clock Slrh.pp_stats o.Slrh.stats
+        else
+          Fmt.pr "%s (%s): %a@."
+            (Slrh.variant_to_string variant)
+            (Slrh.mode_to_string mode) Slrh.pp_outcome o
     | Some trace ->
         let evs = Agrid_churn.Event.parse_trace trace in
         let o = Dynamic.run_churn params workload evs in
         Fmt.pr "trace: %s@." (Agrid_churn.Event.trace_to_string evs);
         Fmt.pr "%a@." Agrid_churn.Engine.pp_outcome o);
-    Fmt.pr "%a@.@." Agrid_report.Table.pp (span_table sink);
+    Fmt.pr "%a@.@." Agrid_report.Table.pp (span_table ~counts_only sink);
     Fmt.pr "%a@." Agrid_report.Table.pp (metric_table sink);
     Fmt.pr "snapshots: %d retained (%d dropped), stride %d@."
       (Agrid_obs.Sink.n_snapshots sink)
@@ -797,12 +818,19 @@ let prof_cmd =
       & info [ "csv" ] ~docv:"PREFIX"
           ~doc:"Write <PREFIX>_metrics.csv, <PREFIX>_spans.csv and <PREFIX>_snapshots.csv.")
   in
+  let counts_only_t =
+    Arg.(
+      value & flag
+      & info [ "counts-only" ]
+          ~doc:"Omit every wall-clock column (span timings, outcome wall seconds), leaving output that is a pure function of the arguments — what the golden CLI snapshots pin.")
+  in
   Cmd.v
     (Cmd.info "prof"
        ~doc:"Profile the SLRH hot paths: span timings, metrics and per-timestep snapshots (extension).")
     Term.(
       const action $ seed_t $ scale_t $ case_t $ etc_t $ dag_t $ heuristic_t $ alpha_t
-      $ beta_t $ delta_t_t $ horizon_t $ mode_t $ events_t $ stride_t $ out_t $ csv_t)
+      $ beta_t $ delta_t_t $ horizon_t $ mode_t $ events_t $ stride_t $ out_t $ csv_t
+      $ counts_only_t)
 
 (* ---- explain ---- *)
 
@@ -939,17 +967,235 @@ let trace_lint_cmd =
       const action
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace CSV file."))
 
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let trace_export_cmd =
+  let action path out =
+    match try Ok (read_lines path) with Sys_error msg -> Error msg with
+    | Error msg ->
+        Fmt.epr "agrid trace export: %s@." msg;
+        2
+    | Ok lines -> (
+        match Agrid_obs.Trace.parse_jsonl lines with
+        | Error msg ->
+            Fmt.epr "agrid trace export: %s: %s@." path msg;
+            2
+        | Ok parsed -> (
+            let doc = Agrid_obs.Trace.chrome_of_lines parsed in
+            match out with
+            | None ->
+                print_string doc;
+                print_newline ();
+                0
+            | Some target ->
+                write_or_die ~what:"Chrome trace JSON" (fun () ->
+                    let oc = open_out target in
+                    Fun.protect
+                      ~finally:(fun () -> close_out_noerr oc)
+                      (fun () ->
+                        output_string oc doc;
+                        output_char oc '\n'));
+                Fmt.pr "chrome trace -> %s@." target;
+                0))
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace JSON here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Convert an agrid-trace/1 JSONL file (from `agrid serve --trace` or `agrid router --trace`) to Chrome trace-event JSON, loadable in chrome://tracing or Perfetto: an instant event per ring event and a complete span per job, with slow-job exemplar timelines on their own track.")
+    Term.(
+      const action
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"FILE" ~doc:"agrid-trace/1 JSONL file.")
+      $ out_t)
+
 let trace_cmd =
   let default = Term.(ret (const (`Help (`Pager, Some "trace")))) in
   Cmd.group ~default
-    (Cmd.info "trace" ~doc:"Operate on exported SLRH decision traces.")
-    [ trace_lint_cmd ]
+    (Cmd.info "trace"
+       ~doc:"Operate on exported traces: SLRH decision-trace CSVs (lint) and agrid-trace/1 request timelines (export).")
+    [ trace_lint_cmd; trace_export_cmd ]
+
+(* ---- top ---- *)
+
+let top_cmd =
+  let module Codec = Agrid_serve.Codec in
+  let module Transport = Agrid_serve.Transport in
+  let stats_request = "{\"schema\":\"agrid-job/1\",\"kind\":\"stats\"}" in
+  let quantile_cell v =
+    if Float.is_nan v then "-" else Fmt.str "%.1fms" (v *. 1000.)
+  in
+  let render ppf (s : Codec.stats_snapshot) =
+    Fmt.pf ppf "agrid top — %s  up %.1fs  window %.0fs@." s.Codec.ss_role
+      s.Codec.ss_uptime_s s.Codec.ss_window_s;
+    Fmt.pf ppf "  queue %d  in-flight %d  %s %d  accepted %d  completed %d@."
+      s.Codec.ss_queue_depth s.Codec.ss_in_flight
+      (if s.Codec.ss_role = "router" then "backends" else "workers")
+      s.Codec.ss_workers s.Codec.ss_accepted s.Codec.ss_completed;
+    Fmt.pf ppf "  rolling: %.2f jobs/s  p50 %s  p95 %s  p99 %s@."
+      s.Codec.ss_rate (quantile_cell s.Codec.ss_p50_s)
+      (quantile_cell s.Codec.ss_p95_s)
+      (quantile_cell s.Codec.ss_p99_s);
+    Fmt.pf ppf "  trace ring: %d events (%d dropped), %d exemplars@."
+      s.Codec.ss_trace_events s.Codec.ss_trace_dropped s.Codec.ss_trace_exemplars;
+    if s.Codec.ss_backends <> [] then begin
+      Fmt.pf ppf "  backends:@.";
+      List.iter
+        (fun (name, health, inflight) ->
+          Fmt.pf ppf "    %-24s %-9s %d in flight@." name health inflight)
+        s.Codec.ss_backends
+    end
+  in
+  let action socket file interval once =
+    match (socket, file) with
+    | None, None ->
+        Fmt.epr "agrid top: need --socket PATH (poll a daemon) or --file FILE (render a saved snapshot)@.";
+        2
+    | _, Some path -> (
+        (* render one saved agrid-stats/1 line — the golden-snapshot path *)
+        match
+          try Ok (List.filter (fun l -> String.trim l <> "") (read_lines path))
+          with Sys_error msg -> Error msg
+        with
+        | Error msg ->
+            Fmt.epr "agrid top: %s@." msg;
+            2
+        | Ok [] ->
+            Fmt.epr "agrid top: %s: no snapshot line@." path;
+            2
+        | Ok (line :: _) -> (
+            match Codec.parse_stats line with
+            | Error msg ->
+                Fmt.epr "agrid top: %s: %s@." path msg;
+                2
+            | Ok s ->
+                render Fmt.stdout s;
+                0))
+    | Some path, None ->
+        if interval <= 0. then begin
+          Fmt.epr "agrid top: --interval must be positive@.";
+          2
+        end
+        else begin
+          let stop_requested = Atomic.make false in
+          let handler =
+            Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)
+          in
+          Sys.set_signal Sys.sigint handler;
+          Sys.set_signal Sys.sigterm handler;
+          let poll () =
+            match Transport.request ~path stats_request with
+            | Error msg -> Error msg
+            | Ok line -> Codec.parse_stats line
+          in
+          if once then begin
+            match poll () with
+            | Error msg ->
+                Fmt.epr "agrid top: %s@." msg;
+                2
+            | Ok s ->
+                render Fmt.stdout s;
+                0
+          end
+          else begin
+            let rec loop () =
+              if Atomic.get stop_requested then 0
+              else begin
+                (match poll () with
+                | Error msg -> Fmt.pr "agrid top: %s (retrying)@." msg
+                | Ok s ->
+                    (* clear the screen between refreshes, like top(1) *)
+                    print_string "\027[2J\027[H";
+                    render Fmt.stdout s);
+                Fmt.flush Fmt.stdout ();
+                (try Unix.sleepf interval with Unix.Unix_error _ -> ());
+                loop ()
+              end
+            in
+            loop ()
+          end
+        end
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of an `agrid serve` or `agrid router` daemon to poll.")
+  in
+  let file_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Render one saved agrid-stats/1 snapshot line instead of polling a socket.")
+  in
+  let interval_t =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh period when polling (default 2).")
+  in
+  let once_t =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Print a single snapshot and exit instead of refreshing.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live fleet introspection: poll a daemon's kind:\"stats\" endpoint and render a refreshing dashboard — rolling-window (not lifetime) completion rate and latency quantiles, queue depth, in-flight jobs, per-backend health and trace-ring occupancy.")
+    Term.(const action $ socket_t $ file_t $ interval_t $ once_t)
 
 (* ---- serve ---- *)
 
+(* Shared by serve/router: build an optional trace collector and dump its
+   agrid-trace/1 JSONL at exit (stderr summary keeps stdout protocol-clean). *)
+let tracer_for ~nonce trace_out =
+  Option.map (fun _ -> Agrid_obs.Trace.create ~nonce ()) trace_out
+
+let write_trace ~cmd trace_out tracer =
+  match (trace_out, tracer) with
+  | Some path, Some tr ->
+      write_or_die ~what:"trace JSONL" (fun () ->
+          Agrid_obs.Trace.write_jsonl path tr);
+      Fmt.epr "agrid %s: trace: %d events (%d dropped), %d exemplars -> %s@." cmd
+        (Agrid_obs.Trace.length tr) (Agrid_obs.Trace.dropped tr)
+        (List.length (Agrid_obs.Trace.exemplars tr))
+        path
+  | _ -> ()
+
+let trace_out_t ~daemon =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          (Fmt.str
+             "Enable per-request distributed tracing and write the event ring \
+              and slow-job exemplars as agrid-trace/1 JSONL to FILE at exit \
+              (convert with `agrid trace export`). %s"
+             daemon))
+
 let serve_cmd =
   let module Server = Agrid_serve.Server in
-  let action workers queue socket obs_file =
+  let action workers queue socket obs_file trace_out =
     if workers <= 0 then begin
       Fmt.epr "agrid serve: --workers must be positive@.";
       2
@@ -960,7 +1206,10 @@ let serve_cmd =
     end
     else begin
       let sink = sink_for obs_file in
-      let server = Server.create ~obs:sink ~workers ~queue_capacity:queue () in
+      let tracer = tracer_for ~nonce:0 trace_out in
+      let server =
+        Server.create ~obs:sink ?trace:tracer ~workers ~queue_capacity:queue ()
+      in
       Server.start server;
       (* A signal requests a hard stop: finish in-flight jobs, answer
          still-queued ones with "dropped" lines. EOF drains everything. *)
@@ -1023,6 +1272,7 @@ let serve_cmd =
       if dropped > 0 then
         Fmt.epr "agrid serve: dropped %d queued job(s) on shutdown@." dropped;
       write_obs obs_file sink;
+      write_trace ~cmd:"serve" trace_out tracer;
       0
     end
   in
@@ -1048,8 +1298,12 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the scenario service: a long-lived daemon reading one agrid-job/1 JSON request per line (from stdin or a Unix-domain socket) and streaming one JSON result line per job from a persistent worker pool. SIGINT/SIGTERM finishes in-flight jobs and reports dropped queue entries; EOF drains the whole queue. Pool telemetry (serve/* counters, queue depth, per-job latency) lands in --obs.")
-    Term.(const action $ workers_t $ queue_t $ socket_t $ obs_t)
+       ~doc:"Run the scenario service: a long-lived daemon reading one agrid-job/1 JSON request per line (from stdin or a Unix-domain socket) and streaming one JSON result line per job from a persistent worker pool. SIGINT/SIGTERM finishes in-flight jobs and reports dropped queue entries; EOF drains the whole queue. Pool telemetry (serve/* counters, queue depth, per-job latency) lands in --obs; kind:\"stats\" requests are answered with live agrid-stats/1 snapshots (see `agrid top`).")
+    Term.(
+      const action $ workers_t $ queue_t $ socket_t $ obs_t
+      $ trace_out_t
+          ~daemon:"Relayed jobs keep the router-stamped trace id, so backend \
+                   events correlate with the router's timeline.")
 
 (* ---- router ---- *)
 
@@ -1057,7 +1311,7 @@ let router_cmd =
   let module Router = Agrid_fleet.Router in
   let module Transport = Agrid_serve.Transport in
   let action backend_paths queue inflight retries backoff_ms probe_interval_ms
-      probe_timeout_ms seed socket obs_file =
+      probe_timeout_ms seed socket obs_file trace_out =
     let invalid msg =
       Fmt.epr "agrid router: %s@." msg;
       2
@@ -1100,8 +1354,9 @@ let router_cmd =
               fd);
         }
       in
+      let tracer = tracer_for ~nonce:seed trace_out in
       let router =
-        Router.create ~obs:sink config (List.map spec backend_paths)
+        Router.create ~obs:sink ?trace:tracer config (List.map spec backend_paths)
       in
       match Router.start router with
       | Error msg ->
@@ -1158,6 +1413,7 @@ let router_cmd =
             Fmt.epr "agrid router: dropped %d queued job(s) on shutdown@."
               dropped;
           write_obs obs_file sink;
+          write_trace ~cmd:"router" trace_out tracer;
           0
     end
   in
@@ -1222,7 +1478,10 @@ let router_cmd =
        ~doc:"Run the fault-tolerant fleet front end: accepts agrid-job/1 request lines (stdin or a Unix-domain socket) and load-balances them over health-checked `agrid serve` backends. Backend saturation is retried with jittered exponential backoff before a typed all_backends_saturated rejection; a dying backend's accepted-but-unwritten jobs fail over to its peers, and ambiguous in-flight jobs surface as typed maybe_executed lines — never re-run (at-most-once). Exactly one response line per request, with monotone ids. Fleet telemetry (fleet/* counters, probe RTT histograms) lands in --obs.")
     Term.(
       const action $ backends_t $ queue_t $ inflight_t $ retries_t $ backoff_t
-      $ probe_interval_t $ probe_timeout_t $ seed_t $ socket_t $ obs_t)
+      $ probe_interval_t $ probe_timeout_t $ seed_t $ socket_t $ obs_t
+      $ trace_out_t
+          ~daemon:"The derived trace id is stamped into every forwarded job \
+                   line; the --seed doubles as the trace-id nonce.")
 
 (* ---- dot ---- *)
 
@@ -1246,6 +1505,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; serve_cmd; router_cmd; prof_cmd; explain_cmd;
+          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; serve_cmd; router_cmd; top_cmd; prof_cmd; explain_cmd;
             ledger_diff_cmd; trace_cmd; tables_cmd; figure2_cmd; ub_cmd; calibrate_cmd;
             export_cmd; import_cmd; dot_cmd ]))

@@ -40,6 +40,8 @@
 
 module Sink = Agrid_obs.Sink
 module Json = Agrid_obs.Json
+module Window = Agrid_obs.Window
+module Trace = Agrid_obs.Trace
 module Chan = Agrid_par.Parallel.Chan
 module Codec = Agrid_serve.Codec
 module Job = Agrid_serve.Job
@@ -124,6 +126,8 @@ type backend = {
 type t = {
   cfg : config;
   obs : Sink.t;
+  trace : Trace.t option;  (* request tracing, opt-in like the sink ledger *)
+  window : Window.t;  (* rolling last-60s stats, guarded by [lock] *)
   backends : backend array;
   admission : entry Chan.t;
   table : (string, entry) Hashtbl.t;  (** token -> unresolved entry *)
@@ -144,6 +148,7 @@ type t = {
   mutable c_queue_full : int;
   mutable c_malformed : int;
   mutable c_health : int;
+  mutable c_stats : int;
   mutable c_retries : int;
   mutable c_failovers : int;
   mutable c_maybe_executed : int;
@@ -164,6 +169,12 @@ let latency_bounds = [| 0.001; 0.005; 0.02; 0.1; 0.5; 2.; 10. |]
 let probe_bounds = [| 0.0005; 0.002; 0.01; 0.05; 0.25; 1. |]
 let obs_incr t name = if Sink.enabled t.obs then Sink.incr t.obs name
 
+(* Record a trace event for an entry (caller holds t.lock). The router
+   derives the id from its own nonce — the same id it stamps into the
+   forwarded line, so backend events correlate without coordination. *)
+let trace_ev t (e : entry) kind =
+  match t.trace with None -> () | Some tr -> Trace.record tr ~job:e.e_id kind
+
 let validate cfg =
   let bad name = invalid_arg (Fmt.str "Router.create: %s must be positive" name) in
   if cfg.queue_capacity < 1 then bad "queue_capacity";
@@ -177,7 +188,7 @@ let validate cfg =
   if cfg.dead_after_timeouts < 1 then bad "dead_after_timeouts";
   if cfg.connect_backoff_s <= 0. then bad "connect_backoff_s"
 
-let create ?(obs = Sink.noop) cfg specs =
+let create ?(obs = Sink.noop) ?trace cfg specs =
   (* writes to dying backends must surface as EPIPE, not a fatal SIGPIPE *)
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
@@ -209,6 +220,8 @@ let create ?(obs = Sink.noop) cfg specs =
   {
     cfg;
     obs;
+    trace;
+    window = Window.create ();
     backends;
     admission = Chan.create ~capacity:cfg.queue_capacity;
     table = Hashtbl.create 64;
@@ -228,6 +241,7 @@ let create ?(obs = Sink.noop) cfg specs =
     c_queue_full = 0;
     c_malformed = 0;
     c_health = 0;
+    c_stats = 0;
     c_retries = 0;
     c_failovers = 0;
     c_maybe_executed = 0;
@@ -272,6 +286,7 @@ let unassign t e =
 let resolve_saturated t e =
   t.c_saturated <- t.c_saturated + 1;
   obs_incr t "fleet/saturated";
+  trace_ev t e (Trace.Respond { outcome = "all_backends_saturated" });
   resolve t e
     (Codec.rejected_line ~tag:e.e_tag ~id:e.e_id ~reason:`All_backends_saturated
        ~detail:
@@ -292,7 +307,8 @@ let consume_attempt t e =
     in
     t.retry_q <- (now () +. delay, e) :: t.retry_q;
     t.c_retries <- t.c_retries + 1;
-    obs_incr t "fleet/retries"
+    obs_incr t "fleet/retries";
+    trace_ev t e (Trace.Retry { attempt = e.e_attempts; delay_s = delay })
   end
 
 (* ---- dispatch (caller holds t.lock) ---- *)
@@ -312,7 +328,10 @@ let try_dispatch_locked t e =
                 e.e_state <- Assigned (i, conn.cn_epoch);
                 b.b_inflight <- b.b_inflight + 1;
                 b.b_dispatched <- b.b_dispatched + 1;
-                obs_incr t "fleet/dispatches"
+                obs_incr t "fleet/dispatches";
+                trace_ev t e
+                  (Trace.Dispatch
+                     { backend = b.b_name; attempt = e.e_attempts + 1 })
             | `Rejected _ -> consume_attempt t e)
         | None ->
             (* health said alive but the conn is gone: a death raced us *)
@@ -374,7 +393,8 @@ let on_conn_death t b ~epoch =
                       unassign t e;
                       t.retry_q <- (0., e) :: t.retry_q;
                       t.c_failovers <- t.c_failovers + 1;
-                      obs_incr t "fleet/failovers"
+                      obs_incr t "fleet/failovers";
+                      trace_ev t e (Trace.Failover { backend = b.b_name })
                     end)
               (Chan.close c.cn_outbox)
         | None -> ());
@@ -392,6 +412,8 @@ let on_conn_death t b ~epoch =
             unassign t e;
             t.c_maybe_executed <- t.c_maybe_executed + 1;
             obs_incr t "fleet/maybe_executed";
+            trace_ev t e (Trace.Death { backend = b.b_name });
+            trace_ev t e (Trace.Respond { outcome = "maybe_executed" });
             resolve t e
               (Codec.maybe_executed_line ~id:e.e_id ~tag:e.e_tag ~backend:b.b_name
                  ~detail:
@@ -440,7 +462,8 @@ let sender t b (conn : conn) () =
                       unassign t e;
                       t.retry_q <- (0., e) :: t.retry_q;
                       t.c_failovers <- t.c_failovers + 1;
-                      obs_incr t "fleet/failovers"
+                      obs_incr t "fleet/failovers";
+                      trace_ev t e (Trace.Failover { backend = b.b_name })
                     end);
               try Unix.shutdown conn.cn_fd Unix.SHUTDOWN_ALL
               with Unix.Unix_error _ -> ()
@@ -497,10 +520,14 @@ let handle_response t b (conn : conn) line =
                       unassign t e;
                       t.c_completed <- t.c_completed + 1;
                       obs_incr t "fleet/completed";
+                      let latency = now () -. e.e_submitted in
+                      Window.incr t.window ~now:(now ()) "completed";
+                      Window.observe t.window ~now:(now ()) "latency_s"
+                        ~bounds:latency_bounds latency;
                       if Sink.enabled t.obs then
                         Sink.observe t.obs "fleet/latency_s"
-                          ~bounds:latency_bounds
-                          (now () -. e.e_submitted);
+                          ~bounds:latency_bounds latency;
+                      trace_ev t e (Trace.Respond { outcome = "result" });
                       resolve t e
                         (Json.to_string
                            (Codec.with_identity ~id:e.e_id ~tag:e.e_tag
@@ -759,15 +786,72 @@ let submit t ~respond line =
               ~accepted:t.c_accepted ~completed:t.c_completed)
       in
       direct line'
+  | Ok Codec.Stats ->
+      let line' =
+        with_lock t.lock (fun () ->
+            t.c_stats <- t.c_stats + 1;
+            obs_incr t "fleet/stats";
+            let at = now () in
+            let q p =
+              match Window.merged_hist t.window ~now:at "latency_s" with
+              | None -> Float.nan
+              | Some h -> Agrid_obs.Hist.quantile h p
+            in
+            let trace_events, trace_dropped, trace_exemplars =
+              match t.trace with
+              | None -> (0, 0, 0)
+              | Some tr ->
+                  ( Trace.length tr,
+                    Trace.dropped tr,
+                    List.length (Trace.exemplars tr) )
+            in
+            let inflight =
+              Array.fold_left (fun acc b -> acc + b.b_inflight) 0 t.backends
+            in
+            Codec.stats_line
+              {
+                Codec.ss_role = "router";
+                ss_id = id;
+                ss_uptime_s = at -. t.started_at;
+                ss_queue_depth = Chan.length t.admission;
+                ss_in_flight = inflight;
+                ss_workers = Array.length t.backends;
+                ss_accepted = t.c_accepted;
+                ss_completed = t.c_completed;
+                ss_window_s = Window.window_s t.window;
+                ss_rate = Window.rate t.window ~now:at "completed";
+                ss_p50_s = q 0.5;
+                ss_p95_s = q 0.95;
+                ss_p99_s = q 0.99;
+                ss_backends =
+                  Array.to_list t.backends
+                  |> List.map (fun b ->
+                         ( b.b_name,
+                           Policy.health_to_string b.b_health,
+                           b.b_inflight ));
+                ss_trace_events = trace_events;
+                ss_trace_dropped = trace_dropped;
+                ss_trace_exemplars = trace_exemplars;
+              })
+      in
+      direct line'
   | Ok (Codec.Submit spec) -> (
       let token = "f" ^ string_of_int id in
+      (* stamp the derived trace id into the forwarded line so the backend
+         records under the same id; untraced routers forward lines
+         byte-identical to before *)
+      let fwd = { spec with Job.tag = Some token } in
+      let fwd =
+        match t.trace with
+        | None -> fwd
+        | Some tr -> { fwd with Job.trace_id = Some (Trace.id_for tr id) }
+      in
       let e =
         {
           e_id = id;
           e_tag = spec.Job.tag;
           e_token = token;
-          e_line =
-            Json.to_string (Codec.job_to_json { spec with Job.tag = Some token });
+          e_line = Json.to_string (Codec.job_to_json fwd);
           e_respond = respond;
           e_submitted = now ();
           e_state = Queued;
@@ -786,6 +870,7 @@ let submit t ~respond line =
             | `Accepted depth ->
                 t.c_accepted <- t.c_accepted + 1;
                 obs_incr t "fleet/accepted";
+                trace_ev t e Trace.Enqueue;
                 if Sink.enabled t.obs then
                   Sink.max_gauge t.obs "fleet/queue_depth" (float_of_int depth);
                 `Dispatched
@@ -865,6 +950,7 @@ let stop t =
             unassign t e;
             t.c_dropped <- t.c_dropped + 1;
             obs_incr t "fleet/dropped";
+            trace_ev t e (Trace.Respond { outcome = "dropped" });
             resolve t e (Codec.dropped_line ~id:e.e_id ~tag:e.e_tag)
           end
         in
@@ -896,6 +982,7 @@ type stats = {
   st_queue_full : int;
   st_malformed : int;
   st_health : int;
+  st_stats : int;
   st_retries : int;
   st_failovers : int;
   st_maybe_executed : int;
@@ -917,6 +1004,7 @@ let stats t =
         st_queue_full = t.c_queue_full;
         st_malformed = t.c_malformed;
         st_health = t.c_health;
+        st_stats = t.c_stats;
         st_retries = t.c_retries;
         st_failovers = t.c_failovers;
         st_maybe_executed = t.c_maybe_executed;
@@ -946,16 +1034,18 @@ let health_snapshot t =
 
 let queue_depth t = Chan.length t.admission
 let uptime_s t = now () -. t.started_at
+let trace t = t.trace
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "%d requests (%d accepted, %d completed, %d queue_full, %d malformed, %d \
-     health), %d retries, %d failovers, %d maybe_executed, %d saturated, %d \
-     dropped, %d probes (%d timeouts), %d protocol errors, %d respond errors"
+     health, %d stats), %d retries, %d failovers, %d maybe_executed, %d \
+     saturated, %d dropped, %d probes (%d timeouts), %d protocol errors, %d \
+     respond errors"
     s.st_requests s.st_accepted s.st_completed s.st_queue_full s.st_malformed
-    s.st_health s.st_retries s.st_failovers s.st_maybe_executed s.st_saturated
-    s.st_dropped s.st_probes s.st_probe_timeouts s.st_protocol_errors
-    s.st_respond_errors;
+    s.st_health s.st_stats s.st_retries s.st_failovers s.st_maybe_executed
+    s.st_saturated s.st_dropped s.st_probes s.st_probe_timeouts
+    s.st_protocol_errors s.st_respond_errors;
   List.iter
     (fun b ->
       Fmt.pf ppf "@.  %s: %s, %d dispatched, %d in flight, %d reconnects"

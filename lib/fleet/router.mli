@@ -33,7 +33,17 @@
     [fleet/latency_s] and per-backend probe-RTT histograms
     [fleet/probe_s/<name>]. Per-backend dispatch splits are
     timing-dependent, so they live only in {!stats}, never in the sink —
-    keeping the benched counter set placement-invariant. *)
+    keeping the benched counter set placement-invariant.
+
+    Introspection: a [kind:"stats"] request is answered by the router
+    itself with an [agrid-stats/1] snapshot ({!Codec.stats_line}) —
+    rolling-window completion rate and latency quantiles plus per-backend
+    health and in-flight counts. Request tracing is opt-in: pass
+    [?trace] to {!create} and every accepted job records its full
+    lifecycle as typed {!Agrid_obs.Trace} events (enqueue, dispatch,
+    retry, failover, backend death, respond); the derived trace id is
+    stamped into the forwarded line so a tracing backend records under
+    the same id. *)
 
 type config = {
   queue_capacity : int;  (** router admission queue bound *)
@@ -64,8 +74,12 @@ type backend_spec = {
 
 type t
 
-val create : ?obs:Agrid_obs.Sink.t -> config -> backend_spec list -> t
+val create :
+  ?obs:Agrid_obs.Sink.t -> ?trace:Agrid_obs.Trace.t -> config ->
+  backend_spec list -> t
 (** A router over the given backends, not yet connected (see {!start}).
+    [trace] (default: none — tracing off, zero cost) collects
+    per-request lifecycle events.
     @raise Invalid_argument on a nonpositive config field or an empty
     backend list. *)
 
@@ -113,6 +127,7 @@ type stats = {
   st_queue_full : int;  (** router-level admission rejections *)
   st_malformed : int;
   st_health : int;
+  st_stats : int;  (** [kind:"stats"] snapshot requests answered *)
   st_retries : int;  (** backoff retries scheduled *)
   st_failovers : int;  (** provably-unexecuted jobs re-queued off a dead backend *)
   st_maybe_executed : int;  (** ambiguous jobs reported, never re-run *)
@@ -133,4 +148,9 @@ val health_snapshot : t -> (string * string * int) list
 
 val queue_depth : t -> int
 val uptime_s : t -> float
+
+val trace : t -> Agrid_obs.Trace.t option
+(** The collector passed to {!create}, if any — the socket front end
+    dumps its JSONL at exit. *)
+
 val pp_stats : Format.formatter -> stats -> unit

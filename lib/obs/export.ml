@@ -30,6 +30,8 @@ let metric_line (name, m) =
           ("mean", Flt (Hist.mean h));
           ("p50", Flt (Hist.quantile h 0.5));
           ("p95", Flt (Hist.quantile h 0.95));
+          ("p99", Flt (Hist.quantile h 0.99));
+          ("max", Flt (Hist.max_value h));
           ("nan", Int (Hist.nan_count h));
           ("bounds", floats (Hist.bounds h));
           ("counts", ints (Hist.counts h));
@@ -43,6 +45,7 @@ let span_fields (s : Span.stats) =
     ("mean_s", Flt s.Span.mean_s);
     ("p50_s", Flt s.Span.p50_s);
     ("p95_s", Flt s.Span.p95_s);
+    ("p99_s", Flt s.Span.p99_s);
     ("min_s", Flt s.Span.min_s);
     ("max_s", Flt s.Span.max_s);
   ]
@@ -173,7 +176,7 @@ let metrics_csv_rows sink =
     (Sink.metrics sink)
 
 let spans_csv_header =
-  [ "name"; "count"; "total_s"; "mean_s"; "p50_s"; "p95_s"; "min_s"; "max_s" ]
+  [ "name"; "count"; "total_s"; "mean_s"; "p50_s"; "p95_s"; "p99_s"; "min_s"; "max_s" ]
 
 let spans_csv_rows sink =
   List.map
@@ -181,8 +184,8 @@ let spans_csv_rows sink =
       [
         s.Span.name; string_of_int s.Span.count; Fmt.str "%.9g" s.Span.total_s;
         Fmt.str "%.9g" s.Span.mean_s; Fmt.str "%.9g" s.Span.p50_s;
-        Fmt.str "%.9g" s.Span.p95_s; Fmt.str "%.9g" s.Span.min_s;
-        Fmt.str "%.9g" s.Span.max_s;
+        Fmt.str "%.9g" s.Span.p95_s; Fmt.str "%.9g" s.Span.p99_s;
+        Fmt.str "%.9g" s.Span.min_s; Fmt.str "%.9g" s.Span.max_s;
       ])
     (Sink.span_stats sink)
 

@@ -15,6 +15,7 @@ type t = {
   counts : int array;  (* length = Array.length bounds + 1; last = overflow *)
   mutable n : int;  (* non-NaN observations *)
   mutable sum : float;
+  mutable max_v : float;  (* largest non-NaN observation; -inf when empty *)
   mutable nan_count : int;
 }
 
@@ -27,7 +28,14 @@ let make ~bounds =
       if i > 0 && not (b > bounds.(i - 1)) then
         invalid_arg "Hist.make: bounds must be strictly increasing")
     bounds;
-  { bounds = Array.copy bounds; counts = Array.make (k + 1) 0; n = 0; sum = 0.; nan_count = 0 }
+  {
+    bounds = Array.copy bounds;
+    counts = Array.make (k + 1) 0;
+    n = 0;
+    sum = 0.;
+    max_v = Float.neg_infinity;
+    nan_count = 0;
+  }
 
 let linear_bounds ~lo ~hi ~n =
   if n <= 0 then invalid_arg "Hist.linear_bounds: n must be positive";
@@ -56,13 +64,15 @@ let observe t x =
     let b = bucket_of t x in
     t.counts.(b) <- t.counts.(b) + 1;
     t.n <- t.n + 1;
-    t.sum <- t.sum +. x
+    t.sum <- t.sum +. x;
+    if x > t.max_v then t.max_v <- x
   end
 
 let count t = t.n
 let nan_count t = t.nan_count
 let sum t = t.sum
 let mean t = if t.n = 0 then Float.nan else t.sum /. float_of_int t.n
+let max_value t = if t.n = 0 then Float.nan else t.max_v
 let bounds t = Array.copy t.bounds
 let counts t = Array.copy t.counts
 
@@ -82,7 +92,23 @@ let quantile t q =
     done;
     if !i >= k then t.bounds.(k - 1)
     else begin
-      let lo = if !i = 0 then Float.min 0. t.bounds.(0) else t.bounds.(!i - 1) in
+      (* The underflow bucket has no stored lower edge. Historically the
+         edge was [min 0 bounds.(0)], which collapses to a zero-width
+         bucket (lo = hi) whenever the first bound is negative; keep 0 as
+         the edge for positive first bounds (pinned by the bench baseline)
+         and synthesize one first-bucket-width below the bound
+         otherwise. *)
+      let lo =
+        if !i = 0 then
+          if t.bounds.(0) > 0. then 0.
+          else
+            let width =
+              if k > 1 then t.bounds.(1) -. t.bounds.(0)
+              else Float.max 1. (Float.abs t.bounds.(0))
+            in
+            t.bounds.(0) -. width
+        else t.bounds.(!i - 1)
+      in
       let hi = t.bounds.(!i) in
       let c = t.counts.(!i) in
       if c = 0 then hi
@@ -97,6 +123,7 @@ let merge_into ~into src =
   Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
   into.n <- into.n + src.n;
   into.sum <- into.sum +. src.sum;
+  if src.max_v > into.max_v then into.max_v <- src.max_v;
   into.nan_count <- into.nan_count + src.nan_count
 
 let copy t =
@@ -105,6 +132,7 @@ let copy t =
     counts = Array.copy t.counts;
     n = t.n;
     sum = t.sum;
+    max_v = t.max_v;
     nan_count = t.nan_count;
   }
 

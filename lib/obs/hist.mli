@@ -31,9 +31,15 @@ val sum : t -> float
 val mean : t -> float
 (** NaN when empty. *)
 
+val max_value : t -> float
+(** Largest (non-NaN) observation recorded. NaN when empty. *)
+
 val quantile : t -> float -> float
 (** Approximate quantile: linear interpolation inside the covering bucket;
-    clamped to the last bound for overflow observations. NaN when empty.
+    clamped to the last bound for overflow observations. The underflow
+    bucket interpolates from 0 when the first bound is positive (the
+    common duration/size case) and from one bucket-width below the first
+    bound otherwise. NaN when empty.
     @raise Invalid_argument when [q] is outside [0, 1]. *)
 
 val bounds : t -> float array

@@ -57,6 +57,7 @@ type stats = {
   mean_s : float;
   p50_s : float;
   p95_s : float;
+  p99_s : float;
   min_s : float;
   max_s : float;
 }
@@ -69,6 +70,7 @@ let stats_of name (a : agg) =
     mean_s = (if a.count = 0 then Float.nan else a.total_s /. float_of_int a.count);
     p50_s = Hist.quantile a.hist 0.5;
     p95_s = Hist.quantile a.hist 0.95;
+    p99_s = Hist.quantile a.hist 0.99;
     min_s = a.min_s;
     max_s = a.max_s;
   }

@@ -21,6 +21,7 @@ type stats = {
   mean_s : float;
   p50_s : float;  (** histogram estimate; see {!Hist.quantile} *)
   p95_s : float;
+  p99_s : float;
   min_s : float;
   max_s : float;
 }

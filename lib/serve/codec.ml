@@ -10,8 +10,9 @@ module Event = Agrid_churn.Event
 
 let schema = "agrid-job/1"
 let result_schema = "agrid-job-result/1"
+let stats_schema = "agrid-stats/1"
 
-type request = Submit of Job.spec | Health
+type request = Submit of Job.spec | Health | Stats
 
 let ( let* ) = Result.bind
 
@@ -70,6 +71,10 @@ let parse_job j =
     opt_field j "deadline_ms" (fun v -> Option.map Option.some (Json.to_float v))
       ~default:None
   in
+  let* trace_id =
+    opt_field j "trace" (fun v -> Option.map Option.some (Json.to_string_value v))
+      ~default:None
+  in
   let* scheduler = opt_field j "scheduler" Json.to_string_value ~default:"slrh" in
   let opt_float name =
     opt_field j name (fun v -> Option.map Option.some (Json.to_float v)) ~default:None
@@ -107,6 +112,7 @@ let parse_job j =
       (Submit
          {
            Job.tag;
+           trace_id;
            scenario;
            alpha;
            beta;
@@ -128,6 +134,7 @@ let parse_request line =
           match Json.get_string "kind" j with
           | Some "job" -> parse_job j
           | Some "health" -> Ok Health
+          | Some "stats" -> Ok Stats
           | Some other -> Error (Fmt.str "unknown kind %S" other)
           | None -> Error "missing \"kind\" field")
       | Some other -> Error (Fmt.str "unsupported schema %S (expected %S)" other schema)
@@ -154,7 +161,7 @@ let job_to_json (s : Job.spec) =
     (* the adapt knobs ride along only for adaptive jobs, keeping
        constant-weight job lines byte-identical to the historical wire
        format *)
-    match s.Job.adapt with
+    (match s.Job.adapt with
     | None -> []
     | Some a ->
         let opt name v =
@@ -168,6 +175,12 @@ let job_to_json (s : Job.spec) =
         @ opt "adapt_init_aet" a.Agrid_core.Adapt.init_aet
         @ opt "adapt_prob" a.Agrid_core.Adapt.prob
         @ [ ("adapt_sigma", Json.Flt a.Agrid_core.Adapt.sigma) ])
+    @
+    (* like the adapt knobs: the trace id appears only when a tracing
+       router stamped one, so untraced job lines stay byte-identical *)
+    match s.Job.trace_id with
+    | None -> []
+    | Some tid -> [ ("trace", Json.Str tid) ])
 
 (* ---- responses ---- *)
 
@@ -278,6 +291,159 @@ let fleet_health_line ~id ~uptime_s ~queue_depth ~backends ~accepted ~completed 
          ("accepted", Json.Int accepted);
          ("completed", Json.Int completed);
        ])
+
+(* ---- agrid-stats/1 live snapshots ---- *)
+
+type stats_snapshot = {
+  ss_role : string;  (* "serve" | "router" *)
+  ss_id : int;
+  ss_uptime_s : float;
+  ss_queue_depth : int;
+  ss_in_flight : int;
+  ss_workers : int;  (* serve: worker domains; router: backend count *)
+  ss_accepted : int;
+  ss_completed : int;
+  ss_window_s : float;
+  ss_rate : float;  (* completions per second over the window *)
+  ss_p50_s : float;  (* rolling latency quantiles; NaN = nothing observed *)
+  ss_p95_s : float;
+  ss_p99_s : float;
+  ss_backends : (string * string * int) list;  (* name, health, in_flight *)
+  ss_trace_events : int;  (* trace-ring occupancy; 0 when tracing is off *)
+  ss_trace_dropped : int;
+  ss_trace_exemplars : int;
+}
+
+let stats_line s =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str stats_schema);
+         ("type", Json.Str "stats");
+         ("role", Json.Str s.ss_role);
+         ("id", Json.Int s.ss_id);
+         ("uptime_s", Json.Flt s.ss_uptime_s);
+         ("queue_depth", Json.Int s.ss_queue_depth);
+         ("in_flight", Json.Int s.ss_in_flight);
+         ("workers", Json.Int s.ss_workers);
+         ("accepted", Json.Int s.ss_accepted);
+         ("completed", Json.Int s.ss_completed);
+         ("window_s", Json.Flt s.ss_window_s);
+         ("rate", Json.Flt s.ss_rate);
+         ("p50_s", Json.Flt s.ss_p50_s);
+         ("p95_s", Json.Flt s.ss_p95_s);
+         ("p99_s", Json.Flt s.ss_p99_s);
+         ( "backends",
+           Json.Arr
+             (List.map
+                (fun (name, health, in_flight) ->
+                  Json.Obj
+                    [
+                      ("name", Json.Str name);
+                      ("health", Json.Str health);
+                      ("in_flight", Json.Int in_flight);
+                    ])
+                s.ss_backends) );
+         ("trace_events", Json.Int s.ss_trace_events);
+         ("trace_dropped", Json.Int s.ss_trace_dropped);
+         ("trace_exemplars", Json.Int s.ss_trace_exemplars);
+       ])
+
+(* Total parser for stats lines — `agrid top` feeds it whatever the socket
+   answered, and the fuzz suite feeds it mutated garbage. Non-finite
+   quantiles travel as JSON null and come back as NaN. *)
+let parse_stats line =
+  match Json.parse line with
+  | exception Json.Parse_error msg -> Error (Fmt.str "not JSON: %s" msg)
+  | j -> (
+      match Json.get_string "schema" j with
+      | Some s when s = stats_schema ->
+          let int name =
+            match Json.get_int name j with
+            | Some i -> Ok i
+            | None -> Error (Fmt.str "stats line is missing the %S field" name)
+          in
+          (* NaN (serialized null) is a legal quantile, so absent and
+             mistyped both map through to_float's widening rules. *)
+          let flt name =
+            match Json.member name j with
+            | None -> Error (Fmt.str "stats line is missing the %S field" name)
+            | Some v -> (
+                match Json.to_float v with
+                | Some f -> Ok f
+                | None -> Error (Fmt.str "stats field %S is mistyped" name))
+          in
+          let* ss_role =
+            match Json.get_string "role" j with
+            | Some r -> Ok r
+            | None -> Error "stats line is missing the \"role\" field"
+          in
+          let* ss_id = int "id" in
+          let* ss_uptime_s = flt "uptime_s" in
+          let* ss_queue_depth = int "queue_depth" in
+          let* ss_in_flight = int "in_flight" in
+          let* ss_workers = int "workers" in
+          let* ss_accepted = int "accepted" in
+          let* ss_completed = int "completed" in
+          let* ss_window_s = flt "window_s" in
+          let* ss_rate = flt "rate" in
+          let* ss_p50_s = flt "p50_s" in
+          let* ss_p95_s = flt "p95_s" in
+          let* ss_p99_s = flt "p99_s" in
+          let* ss_backends =
+            match Json.member "backends" j with
+            | Some (Json.Arr bs) ->
+                List.fold_left
+                  (fun acc b ->
+                    let* acc = acc in
+                    let* name =
+                      match Json.get_string "name" b with
+                      | Some n -> Ok n
+                      | None -> Error "backend entry is missing the \"name\" field"
+                    in
+                    let* health =
+                      match Json.get_string "health" b with
+                      | Some h -> Ok h
+                      | None -> Error "backend entry is missing the \"health\" field"
+                    in
+                    let* in_flight =
+                      match Json.get_int "in_flight" b with
+                      | Some i -> Ok i
+                      | None ->
+                          Error "backend entry is missing the \"in_flight\" field"
+                    in
+                    Ok ((name, health, in_flight) :: acc))
+                  (Ok []) bs
+                |> Result.map List.rev
+            | Some _ -> Error "stats field \"backends\" is not an array"
+            | None -> Error "stats line is missing the \"backends\" field"
+          in
+          let* ss_trace_events = int "trace_events" in
+          let* ss_trace_dropped = int "trace_dropped" in
+          let* ss_trace_exemplars = int "trace_exemplars" in
+          Ok
+            {
+              ss_role;
+              ss_id;
+              ss_uptime_s;
+              ss_queue_depth;
+              ss_in_flight;
+              ss_workers;
+              ss_accepted;
+              ss_completed;
+              ss_window_s;
+              ss_rate;
+              ss_p50_s;
+              ss_p95_s;
+              ss_p99_s;
+              ss_backends;
+              ss_trace_events;
+              ss_trace_dropped;
+              ss_trace_exemplars;
+            }
+      | Some other ->
+          Error (Fmt.str "unsupported schema %S (expected %S)" other stats_schema)
+      | None -> Error (Fmt.str "missing \"schema\" field (expected %S)" stats_schema))
 
 (* ---- response parsing (the router's view of a backend's lines) ---- *)
 

@@ -8,6 +8,9 @@
       [horizon], [mode], [events] as an {!Agrid_churn.Event.parse_trace}
       string, [deadline_ms], [tag]) defaulting to the CLI's defaults.
     - [kind:"health"] — answered synchronously, never queued.
+    - [kind:"stats"] — answered synchronously with an [agrid-stats/1]
+      snapshot line (rolling-window rates/quantiles, queue and trace-ring
+      occupancy); what [agrid top] polls.
 
     {b Responses} carry [{"schema":"agrid-job-result/1","type":...,"id":N}]
     where [id] is the server's monotone request id (every request gets
@@ -27,7 +30,10 @@ val schema : string
 val result_schema : string
 (** ["agrid-job-result/1"] *)
 
-type request = Submit of Job.spec | Health
+val stats_schema : string
+(** ["agrid-stats/1"] *)
+
+type request = Submit of Job.spec | Health | Stats
 
 val parse_request : string -> (request, string) result
 (** Parse one request line. Never raises. *)
@@ -84,6 +90,37 @@ val fleet_health_line :
   string
 (** The router's answer to a health probe: per-backend
     [(name, health, in_flight)] triples instead of a worker count. *)
+
+(** {2 agrid-stats/1 live snapshots} — what a [kind:"stats"] request gets
+    back: rolling-window (not lifetime) rates and latency quantiles plus
+    queue/in-flight/trace-ring occupancy. *)
+
+type stats_snapshot = {
+  ss_role : string;  (** ["serve"] or ["router"] *)
+  ss_id : int;
+  ss_uptime_s : float;
+  ss_queue_depth : int;
+  ss_in_flight : int;
+  ss_workers : int;  (** serve: worker domains; router: backend count *)
+  ss_accepted : int;
+  ss_completed : int;
+  ss_window_s : float;  (** nominal rolling-window span, seconds *)
+  ss_rate : float;  (** completions per second over the window *)
+  ss_p50_s : float;  (** rolling latency quantiles; NaN = nothing observed *)
+  ss_p95_s : float;
+  ss_p99_s : float;
+  ss_backends : (string * string * int) list;
+      (** router only: [(name, health, in_flight)]; [[]] for serve *)
+  ss_trace_events : int;  (** trace-ring occupancy; 0 when tracing is off *)
+  ss_trace_dropped : int;
+  ss_trace_exemplars : int;
+}
+
+val stats_line : stats_snapshot -> string
+
+val parse_stats : string -> (stats_snapshot, string) result
+(** Total, like every parser here. Non-finite quantiles travel as JSON
+    [null] and come back as NaN. *)
 
 val reason_to_string :
   [ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] -> string

@@ -16,6 +16,7 @@ module Sink = Agrid_obs.Sink
 
 type spec = {
   tag : string option;
+  trace_id : string option;  (* correlation id stamped by a relaying router *)
   scenario : Serialize.scenario_ref;
   alpha : float;
   beta : float;
@@ -31,6 +32,7 @@ type spec = {
 let default scenario =
   {
     tag = None;
+    trace_id = None;
     scenario;
     alpha = 0.4;
     beta = 0.3;

@@ -9,6 +9,9 @@
 
 type spec = {
   tag : string option;  (** opaque client correlation token, echoed back *)
+  trace_id : string option;
+      (** distributed-tracing correlation id ({!Agrid_obs.Trace.id_of}),
+          stamped by a relaying router; [None] = untraced *)
   scenario : Agrid_workload.Serialize.scenario_ref;
   alpha : float;
   beta : float;

@@ -12,6 +12,8 @@
      reverse. *)
 
 module Sink = Agrid_obs.Sink
+module Window = Agrid_obs.Window
+module Trace = Agrid_obs.Trace
 module Chan = Agrid_par.Parallel.Chan
 
 type entry = {
@@ -26,6 +28,8 @@ type t = {
   workers : int;
   job_stride : int;
   obs : Sink.t;
+  trace : Trace.t option;  (* request tracing, opt-in like the ledger *)
+  window : Window.t;  (* rolling last-60s stats, guarded by [lock] *)
   chan : entry Chan.t;
   lock : Mutex.t;
   idle : Condition.t;
@@ -42,6 +46,7 @@ type t = {
   mutable draining : int;
   mutable dropped : int;
   mutable health : int;
+  mutable stats_reqs : int;
   mutable respond_errors : int;
   mutable controller : unit Domain.t option;
   mutable state : [ `Created | `Running | `Stopped ];
@@ -53,7 +58,8 @@ let with_lock m f =
 
 let latency_bounds = [| 0.001; 0.005; 0.02; 0.1; 0.5; 2.; 10. |]
 
-let create ?(obs = Sink.noop) ?(job_stride = 8) ?workers ?(queue_capacity = 64) () =
+let create ?(obs = Sink.noop) ?trace ?(job_stride = 8) ?workers
+    ?(queue_capacity = 64) () =
   let workers =
     match workers with Some w -> w | None -> Agrid_par.Parallel.default_domains ()
   in
@@ -63,6 +69,8 @@ let create ?(obs = Sink.noop) ?(job_stride = 8) ?workers ?(queue_capacity = 64) 
     workers;
     job_stride;
     obs;
+    trace;
+    window = Window.create ();
     chan = Chan.create ~capacity:queue_capacity;
     lock = Mutex.create ();
     idle = Condition.create ();
@@ -79,6 +87,7 @@ let create ?(obs = Sink.noop) ?(job_stride = 8) ?workers ?(queue_capacity = 64) 
     draining = 0;
     dropped = 0;
     health = 0;
+    stats_reqs = 0;
     respond_errors = 0;
     controller = None;
     state = `Created;
@@ -95,6 +104,14 @@ let send t respond line =
 
 let obs_incr t name = if Sink.enabled t.obs then Sink.incr t.obs name
 
+(* Record a trace event for an entry (caller holds t.lock). A relayed job
+   carries the router's trace id; locally submitted jobs derive their
+   own from the collector's nonce. *)
+let trace_ev t (e : entry) kind =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.record ?id:e.e_spec.Job.trace_id tr ~job:e.e_id kind
+
 (* callers hold t.lock *)
 let finish_one t =
   t.outstanding <- t.outstanding - 1;
@@ -104,6 +121,10 @@ let run_entry t e =
   let job_sink =
     if Sink.enabled t.obs then Sink.create ~stride:t.job_stride () else Sink.noop
   in
+  if t.trace <> None then
+    with_lock t.lock (fun () ->
+        trace_ev t e
+          (Trace.Exec { queue_wait_s = Unix.gettimeofday () -. e.e_submitted }));
   let res = Job.run ~obs:job_sink e.e_spec in
   let latency = Unix.gettimeofday () -. e.e_submitted in
   send t e.e_respond (Codec.result_line ~id:e.e_id ~tag:e.e_tag ~latency_s:latency res);
@@ -119,6 +140,10 @@ let run_entry t e =
             t.errored <- t.errored + 1;
             "serve/errored"
       in
+      let now = Unix.gettimeofday () in
+      Window.incr t.window ~now "completed";
+      Window.observe t.window ~now "latency_s" ~bounds:latency_bounds latency;
+      trace_ev t e (Trace.Respond { outcome = Job.status_to_string res.Job.status });
       if Sink.enabled t.obs then begin
         Sink.merge_into ~into:t.obs job_sink;
         Sink.incr t.obs status_counter;
@@ -155,6 +180,43 @@ let health_payload t ~id =
         ~queue_depth:(Chan.length t.chan) ~workers:t.workers ~accepted:t.accepted
         ~completed:t.completed)
 
+let stats_payload t ~id =
+  with_lock t.lock (fun () ->
+      t.stats_reqs <- t.stats_reqs + 1;
+      obs_incr t "serve/stats";
+      let now = Unix.gettimeofday () in
+      let q p =
+        match Window.merged_hist t.window ~now "latency_s" with
+        | None -> Float.nan
+        | Some h -> Agrid_obs.Hist.quantile h p
+      in
+      let trace_events, trace_dropped, trace_exemplars =
+        match t.trace with
+        | None -> (0, 0, 0)
+        | Some tr ->
+            (Trace.length tr, Trace.dropped tr, List.length (Trace.exemplars tr))
+      in
+      Codec.stats_line
+        {
+          Codec.ss_role = "serve";
+          ss_id = id;
+          ss_uptime_s = now -. t.started_at;
+          ss_queue_depth = Chan.length t.chan;
+          ss_in_flight = t.outstanding;
+          ss_workers = t.workers;
+          ss_accepted = t.accepted;
+          ss_completed = t.completed;
+          ss_window_s = Window.window_s t.window;
+          ss_rate = Window.rate t.window ~now "completed";
+          ss_p50_s = q 0.5;
+          ss_p95_s = q 0.95;
+          ss_p99_s = q 0.99;
+          ss_backends = [];
+          ss_trace_events = trace_events;
+          ss_trace_dropped = trace_dropped;
+          ss_trace_exemplars = trace_exemplars;
+        })
+
 let submit t ~respond line =
   let id =
     with_lock t.lock (fun () ->
@@ -169,6 +231,7 @@ let submit t ~respond line =
           obs_incr t "serve/malformed");
       send t respond (Codec.rejected_line ~id ~reason:`Malformed ~detail ())
   | Ok Codec.Health -> send t respond (health_payload t ~id)
+  | Ok Codec.Stats -> send t respond (stats_payload t ~id)
   | Ok (Codec.Submit spec) -> (
       let e =
         {
@@ -184,6 +247,7 @@ let submit t ~respond line =
           with_lock t.lock (fun () ->
               t.outstanding <- t.outstanding + 1;
               t.accepted <- t.accepted + 1;
+              trace_ev t e Trace.Enqueue;
               if Sink.enabled t.obs then begin
                 Sink.incr t.obs "serve/accepted";
                 Sink.max_gauge t.obs "serve/queue_depth" (float_of_int depth)
@@ -235,6 +299,7 @@ let stop t =
       with_lock t.lock (fun () ->
           t.dropped <- t.dropped + 1;
           obs_incr t "serve/dropped";
+          trace_ev t e (Trace.Respond { outcome = "dropped" });
           finish_one t);
       send t e.e_respond (Codec.dropped_line ~id:e.e_id ~tag:e.e_tag))
     abandoned;
@@ -253,6 +318,7 @@ type stats = {
   s_draining : int;
   s_dropped : int;
   s_health : int;
+  s_stats : int;
   s_respond_errors : int;
   s_queue_high_water : int;
 }
@@ -270,6 +336,7 @@ let stats t =
         s_draining = t.draining;
         s_dropped = t.dropped;
         s_health = t.health;
+        s_stats = t.stats_reqs;
         s_respond_errors = t.respond_errors;
         s_queue_high_water = Chan.high_water t.chan;
       })
@@ -277,12 +344,13 @@ let stats t =
 let queue_depth t = Chan.length t.chan
 let n_workers t = t.workers
 let uptime_s t = Unix.gettimeofday () -. t.started_at
+let trace t = t.trace
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "requests %d accepted %d completed %d (deadline_missed %d errored %d) \
      rejected (full %d malformed %d draining %d) dropped %d health %d \
-     respond_errors %d queue_high_water %d"
+     stats %d respond_errors %d queue_high_water %d"
     s.s_requests s.s_accepted s.s_completed s.s_deadline_missed s.s_errored
     s.s_queue_full s.s_malformed s.s_draining s.s_dropped s.s_health
-    s.s_respond_errors s.s_queue_high_water
+    s.s_stats s.s_respond_errors s.s_queue_high_water

@@ -14,15 +14,24 @@
     sink afterwards, alongside pool-level counters ([serve/accepted],
     [serve/completed], [serve/deadline_missed], [serve/errored],
     [serve/queue_full], [serve/malformed], [serve/dropped],
-    [serve/health]), the queue-depth high-water gauge
+    [serve/health], [serve/stats]), the queue-depth high-water gauge
     ([serve/queue_depth]) and a per-job latency histogram
     ([serve/latency_s]). With the default no-op sink all of it is
-    inert. *)
+    inert.
+
+    Introspection: a [kind:"stats"] request is answered synchronously
+    with an [agrid-stats/1] snapshot — rolling-window completion rate and
+    latency quantiles (an always-on {!Agrid_obs.Window}, ~60 s), queue
+    depth, in-flight count and trace-ring occupancy. Request tracing is
+    opt-in: pass [?trace] and every accepted job records typed
+    {!Agrid_obs.Trace} events (enqueue, exec with queue-wait, respond);
+    relayed jobs keep the router-stamped trace id from the wire. *)
 
 type t
 
 val create :
   ?obs:Agrid_obs.Sink.t ->
+  ?trace:Agrid_obs.Trace.t ->
   ?job_stride:int ->
   ?workers:int ->
   ?queue_capacity:int ->
@@ -30,10 +39,11 @@ val create :
   t
 (** A server with its queue, not yet running (see {!start}; {!drain}
     starts lazily, which tests use to exercise deterministic overflow).
-    [obs] is the pool sink (default: no-op — inert); [job_stride]
-    (default 8) is the snapshot stride of per-job sinks; [workers]
-    (default {!Agrid_par.Parallel.default_domains}) sizes the domain
-    pool; [queue_capacity] (default 64) bounds the queue.
+    [obs] is the pool sink (default: no-op — inert); [trace] (default:
+    none — tracing off, zero cost) collects per-request trace events;
+    [job_stride] (default 8) is the snapshot stride of per-job sinks;
+    [workers] (default {!Agrid_par.Parallel.default_domains}) sizes the
+    domain pool; [queue_capacity] (default 64) bounds the queue.
     @raise Invalid_argument when [workers], [queue_capacity] or
     [job_stride] is nonpositive. *)
 
@@ -74,6 +84,7 @@ type stats = {
   s_draining : int;
   s_dropped : int;
   s_health : int;
+  s_stats : int;  (** [kind:"stats"] snapshot requests answered *)
   s_respond_errors : int;
   s_queue_high_water : int;
 }
@@ -82,5 +93,9 @@ val stats : t -> stats
 val queue_depth : t -> int
 val n_workers : t -> int
 val uptime_s : t -> float
+
+val trace : t -> Agrid_obs.Trace.t option
+(** The collector passed to {!create}, if any — the socket front end
+    dumps its JSONL at exit. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -54,6 +54,39 @@ let pump ~stop ~on_line ic =
   in
   loop ()
 
+(* One-shot client: connect, send one request line, read one response
+   line. What `agrid top` does every poll tick — a fresh connection per
+   request keeps the daemon's one-connection-at-a-time accept loop free
+   between polls. *)
+let request ~path line =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | fd -> (
+      ignore_sigpipe ();
+      let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | exception Unix.Unix_error (err, _, _) ->
+          finally ();
+          Error (Fmt.str "cannot connect to %s: %s" path (Unix.error_message err))
+      | () -> (
+          let oc = Unix.out_channel_of_descr fd in
+          let ic = Unix.in_channel_of_descr fd in
+          match
+            output_string oc line;
+            output_char oc '\n';
+            flush oc;
+            input_line ic
+          with
+          | reply ->
+              finally ();
+              Ok reply
+          | exception End_of_file ->
+              finally ();
+              Error "connection closed before a response arrived"
+          | exception Sys_error msg ->
+              finally ();
+              Error msg))
+
 let accept_loop ?(obs = Sink.noop) ?(counter = "serve/conn_errors") ~stop ~handle t =
   let rec loop () =
     if not (stop ()) then

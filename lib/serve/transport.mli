@@ -29,6 +29,12 @@ val pump :
     (signal-interrupted or reset by the peer) or [stop ()] turns true
     (checked between lines). Never raises. *)
 
+val request : path:string -> string -> (string, string) result
+(** One-shot client: connect to the daemon at [path], write [line] (a
+    newline is appended) and read back exactly one response line — how
+    [agrid top] polls a [kind:"stats"] snapshot. Never raises; the
+    [Error] is a human-readable reason. *)
+
 val accept_loop :
   ?obs:Agrid_obs.Sink.t ->
   ?counter:string ->

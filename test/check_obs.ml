@@ -3,7 +3,11 @@
    dependency: every line is a JSON object carrying a "type" field, the
    first line is the meta record with the expected schema, and the file
    holds at least 3 span aggregates, 5 metrics and 1 snapshot (the
-   acceptance floor for an instrumented run). Exits nonzero with a
+   acceptance floor for an instrumented run). An optional second
+   argument names an agrid-trace/1 JSONL file (from --trace or the
+   fleet soak) validated in the same pass through the real codec:
+   every line must parse, the meta record must lead, and every event
+   timeline must be internally consistent. Exits nonzero with a
    diagnostic on any violation. *)
 
 let contains s sub =
@@ -13,14 +17,7 @@ let contains s sub =
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("check_obs: " ^ msg); exit 1) fmt
 
-let () =
-  let path =
-    match Sys.argv with
-    | [| _; p |] -> p
-    | _ ->
-        prerr_endline "usage: check_obs FILE.jsonl";
-        exit 2
-  in
+let read_lines path =
   let ic = try open_in path with Sys_error e -> fail "%s" e in
   let lines = ref [] in
   (try
@@ -28,7 +25,53 @@ let () =
        lines := input_line ic :: !lines
      done
    with End_of_file -> close_in ic);
-  let lines = List.rev (List.filter (fun l -> String.trim l <> "") !lines) in
+  List.rev (List.filter (fun l -> String.trim l <> "") !lines)
+
+(* agrid-trace/1 pass: the trace file goes through the real codec, so a
+   parse failure here is exactly the failure `agrid trace export` would
+   hit on the same artifact. *)
+let check_trace path =
+  let module Trace = Agrid_obs.Trace in
+  let lines = read_lines path in
+  if lines = [] then fail "%s is empty" path;
+  match Trace.parse_jsonl lines with
+  | Error e -> fail "%s: %s" path e
+  | Ok parsed ->
+      (match parsed with
+      | Trace.Meta _ :: _ -> ()
+      | _ -> fail "%s: first line is not the agrid-trace/1 meta record" path);
+      let n_events = ref 0 and n_exemplars = ref 0 in
+      List.iter
+        (function
+          | Trace.Meta _ -> ()
+          | Trace.Event e ->
+              incr n_events;
+              if String.length e.Trace.ev_trace <> 16 then
+                fail "%s: event for job %d has malformed trace id %S" path
+                  e.Trace.ev_job e.Trace.ev_trace
+          | Trace.Exemplar x ->
+              incr n_exemplars;
+              List.iter
+                (fun (e : Trace.event) ->
+                  if e.Trace.ev_trace <> x.Trace.x_trace then
+                    fail "%s: exemplar for job %d mixes trace ids" path
+                      x.Trace.x_job)
+                x.Trace.x_events)
+        parsed;
+      if !n_events = 0 then fail "%s: no trace events" path;
+      Printf.printf "check_obs: %s ok (%d lines, %d events, %d exemplars)\n"
+        path (List.length lines) !n_events !n_exemplars
+
+let () =
+  let path, trace_path =
+    match Sys.argv with
+    | [| _; p |] -> (p, None)
+    | [| _; p; t |] -> (p, Some t)
+    | _ ->
+        prerr_endline "usage: check_obs FILE.jsonl [TRACE.jsonl]";
+        exit 2
+  in
+  let lines = read_lines path in
   if lines = [] then fail "%s is empty" path;
   List.iteri
     (fun i l ->
@@ -54,4 +97,5 @@ let () =
   if metrics < 5 then fail "expected >= 5 metrics, found %d" metrics;
   if snapshots < 1 then fail "expected >= 1 snapshot, found %d" snapshots;
   Printf.printf "check_obs: %s ok (%d lines, %d spans, %d metrics, %d snapshots)\n"
-    path (List.length lines) spans metrics snapshots
+    path (List.length lines) spans metrics snapshots;
+  match trace_path with None -> () | Some t -> check_trace t

@@ -32,6 +32,7 @@ module Job = Agrid_serve.Job
 module Codec = Agrid_serve.Codec
 module Router = Agrid_fleet.Router
 module Sim = Agrid_fleet.Sim
+module Trace = Agrid_obs.Trace
 
 let jobs = ref 300
 let backends = ref 3
@@ -39,6 +40,8 @@ let kills = ref 2
 let workers = ref 2
 let seed = ref 42
 let out = ref ""
+let trace_out = ref ""
+let chrome_out = ref ""
 let timeout = ref 180.
 
 let specs_args =
@@ -49,6 +52,12 @@ let specs_args =
     ("--workers", Arg.Set_int workers, "N  worker domains per backend (default 2)");
     ("--seed", Arg.Set_int seed, "N  request-mix seed (default 42)");
     ("--out", Arg.Set_string out, "FILE  write responses + summary as JSONL");
+    ( "--trace-out",
+      Arg.Set_string trace_out,
+      "FILE  write the router's agrid-trace/1 JSONL" );
+    ( "--chrome-out",
+      Arg.Set_string chrome_out,
+      "FILE  write the Chrome trace-event JSON (the CI artifact)" );
     ("--timeout", Arg.Set_float timeout, "S  watchdog seconds (default 180)");
   ]
 
@@ -147,7 +156,14 @@ let () =
       seed = !seed;
     }
   in
-  let router = Router.create config (List.map Sim.spec sims) in
+  (* every event retained (assert dropped = 0 below): the per-job timeline
+     checks need complete histories, not a ring window *)
+  let tracer =
+    Trace.create ~nonce:!seed
+      ~capacity:(max 4096 (n * 64))
+      ~pending_cap:(max 1024 n) ~exemplars:4 ()
+  in
+  let router = Router.create ~trace:tracer config (List.map Sim.spec sims) in
   (match Router.start router with
   | Ok () -> ()
   | Error msg ->
@@ -348,6 +364,103 @@ let () =
        no maybe_executed"
       n_kills;
 
+  (* ---- per-job trace timelines: every accepted job has a complete
+     enqueue..respond history under its derived trace id, and ambiguous
+     jobs show the full dispatch -> death-detect -> resolve arc *)
+  if Trace.dropped tracer <> 0 then
+    fail "trace ring dropped %d events despite full-retention capacity"
+      (Trace.dropped tracer);
+  let timelines = Hashtbl.create n in
+  List.iter
+    (fun (e : Trace.event) ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt timelines e.Trace.ev_job) in
+      Hashtbl.replace timelines e.Trace.ev_job (e :: l))
+    (Trace.events tracer);
+  let ty_by_id = Hashtbl.create n in
+  List.iter
+    (fun j ->
+      match (Json.get_int "id" j, Json.get_string "type" j) with
+      | Some id, Some ty ->
+          Hashtbl.replace ty_by_id id (ty, Json.get_string "reason" j)
+      | _ -> ())
+    parsed;
+  let n_traced_maybe = ref 0 in
+  Hashtbl.iter
+    (fun id evs ->
+      let evs = List.rev evs in
+      let kinds = List.map (fun (e : Trace.event) -> e.Trace.ev_kind) evs in
+      let expected_tid = Trace.id_of ~nonce:!seed ~job:id in
+      List.iter
+        (fun (e : Trace.event) ->
+          if e.Trace.ev_trace <> expected_tid then
+            fail "job %d: trace id %S (expected %S)" id e.Trace.ev_trace
+              expected_tid)
+        evs;
+      (match kinds with
+      | Trace.Enqueue :: _ -> ()
+      | _ -> fail "job %d: timeline does not start with enqueue" id);
+      let outcome =
+        match List.rev kinds with
+        | Trace.Respond { outcome } :: _ -> Some outcome
+        | _ ->
+            fail "job %d: timeline does not end with respond" id;
+            None
+      in
+      let has p = List.exists p kinds in
+      let index_of p =
+        let rec go i = function
+          | [] -> None
+          | k :: tl -> if p k then Some i else go (i + 1) tl
+        in
+        go 0 kinds
+      in
+      match (Hashtbl.find_opt ty_by_id id, outcome) with
+      | None, _ -> fail "job %d: traced but never answered" id
+      | _, None -> ()
+      | Some ("result", _), Some outcome ->
+          if outcome <> "result" then
+            fail "job %d: answered result but trace closed with %S" id outcome;
+          if not (has (function Trace.Dispatch _ -> true | _ -> false)) then
+            fail "job %d: completed without a dispatch event" id
+      | Some ("maybe_executed", _), Some outcome ->
+          incr n_traced_maybe;
+          if outcome <> "maybe_executed" then
+            fail "job %d: answered maybe_executed but trace closed with %S" id
+              outcome;
+          (match
+             ( index_of (function Trace.Dispatch _ -> true | _ -> false),
+               index_of (function Trace.Death _ -> true | _ -> false) )
+           with
+          | Some di, Some de when di < de -> ()
+          | _ ->
+              fail
+                "job %d: maybe_executed timeline lacks the dispatch -> death \
+                 -> resolve arc"
+                id)
+      | Some ("rejected", Some "all_backends_saturated"), Some outcome ->
+          if outcome <> "all_backends_saturated" then
+            fail "job %d: answered saturated but trace closed with %S" id
+              outcome
+      | Some ("dropped", _), Some outcome ->
+          if outcome <> "dropped" then
+            fail "job %d: answered dropped but trace closed with %S" id outcome
+      | Some (ty, _), Some _ ->
+          fail "job %d: unexpectedly traced for a %S answer" id ty)
+    timelines;
+  Hashtbl.iter
+    (fun id (ty, reason) ->
+      let should_be_traced =
+        match (ty, reason) with
+        | ("result" | "maybe_executed"), _ -> true
+        | "rejected", Some "all_backends_saturated" -> true
+        | _ -> false
+      in
+      if should_be_traced && not (Hashtbl.mem timelines id) then
+        fail "job %d (%s): no trace timeline" id ty)
+    ty_by_id;
+  if n_kills > 0 && stats.Router.st_maybe_executed > 0 && !n_traced_maybe = 0
+  then fail "maybe_executed responses exist but none carried a trace timeline";
+
   let summary =
     Json.Obj
       [
@@ -375,6 +488,8 @@ let () =
                (fun b -> Json.Int b.Router.bs_reconnects)
                stats.Router.st_backends) );
         ("wall_s", Json.Flt wall);
+        ("trace_events", Json.Int (Trace.length tracer));
+        ("trace_dropped", Json.Int (Trace.dropped tracer));
         ("failures", Json.Int (List.length !failures));
         ("ok", Json.Bool (!failures = []));
       ]
@@ -387,6 +502,13 @@ let () =
         output_char oc '\n')
       responses;
     output_string oc (Json.to_string summary);
+    output_char oc '\n';
+    close_out oc
+  end;
+  if !trace_out <> "" then Trace.write_jsonl !trace_out tracer;
+  if !chrome_out <> "" then begin
+    let oc = open_out !chrome_out in
+    output_string oc (Trace.chrome_json tracer);
     output_char oc '\n';
     close_out oc
   end;

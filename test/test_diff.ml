@@ -13,6 +13,7 @@ open Agrid_core
 open Agrid_sched
 open Agrid_workload
 open Agrid_obs
+module Trace = Agrid_core.Trace  (* the decision trace, not Agrid_obs.Trace *)
 module Rng = Agrid_prng.Splitmix64
 
 (* The [`Incremental]-only counters: everything else must match. *)

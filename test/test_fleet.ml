@@ -86,8 +86,8 @@ let quick_config =
     seed = 42;
   }
 
-let start_router ?obs ?(config = quick_config) sims =
-  let r = Router.create ?obs config (List.map Sim.spec sims) in
+let start_router ?obs ?trace ?(config = quick_config) sims =
+  let r = Router.create ?obs ?trace config (List.map Sim.spec sims) in
   (match Router.start r with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "router failed to start: %s" msg);
@@ -411,6 +411,98 @@ let test_router_obs_counters () =
   | Some (Registry.Histogram _) -> ()
   | _ -> Alcotest.fail "fleet/probe_s/b0 histogram missing"
 
+(* ---- stats request: live snapshot with per-backend health ---- *)
+
+let test_router_stats_request () =
+  let tracer = Agrid_obs.Trace.create ~nonce:quick_config.Router.seed () in
+  let sims = [ Sim.create "b0"; Sim.create "b1" ] in
+  let r = start_router ~trace:tracer sims in
+  let c = collector () in
+  for i = 0 to 3 do
+    Router.submit r ~respond:(respond_to c) (job_line ~seed:(800 + i) ())
+  done;
+  Router.drain r;
+  let sc = collector () in
+  Router.submit r ~respond:(respond_to sc)
+    "{\"schema\":\"agrid-job/1\",\"kind\":\"stats\"}";
+  (* answered synchronously: no waiting on the dispatcher *)
+  (match collected sc with
+  | [ line ] -> (
+      match Codec.parse_stats line with
+      | Error msg -> Alcotest.failf "stats line rejected: %s on %S" msg line
+      | Ok s ->
+          Alcotest.(check string) "role" "router" s.Codec.ss_role;
+          Alcotest.(check int) "workers = backend count" 2 s.Codec.ss_workers;
+          Alcotest.(check int) "accepted" 4 s.Codec.ss_accepted;
+          Alcotest.(check int) "completed" 4 s.Codec.ss_completed;
+          Alcotest.(check bool) "window rate positive" true (s.Codec.ss_rate > 0.);
+          Alcotest.(check bool) "rolling p95 finite" true
+            (Float.is_finite s.Codec.ss_p95_s);
+          Alcotest.(check (list string)) "both backends listed" [ "b0"; "b1" ]
+            (List.sort compare
+               (List.map (fun (n, _, _) -> n) s.Codec.ss_backends));
+          List.iter
+            (fun (n, h, inflight) ->
+              (* the aggressive quick-config probe timeouts can flap a
+                 backend's health right after drain, so only pin the
+                 domain, not the value *)
+              Alcotest.(check bool) (n ^ " health is typed") true
+                (List.mem h [ "healthy"; "degraded"; "dead" ]);
+              Alcotest.(check int) (n ^ " idle") 0 inflight)
+            s.Codec.ss_backends;
+          Alcotest.(check bool) "trace ring populated" true
+            (s.Codec.ss_trace_events > 0))
+  | lines -> Alcotest.failf "expected one stats response, got %d" (List.length lines));
+  List.iter Sim.shutdown sims;
+  let stats = Router.stats r in
+  Alcotest.(check int) "stats requests counted" 1 stats.Router.st_stats
+
+(* ---- end-to-end trace timelines through the router ---- *)
+
+let test_router_trace_timelines () =
+  let module Trace = Agrid_obs.Trace in
+  let nonce = quick_config.Router.seed in
+  let tracer = Trace.create ~nonce () in
+  let sim = Sim.create "b0" in
+  let r = start_router ~trace:tracer [ sim ] in
+  let c = collector () in
+  Router.submit r ~respond:(respond_to c) (job_line ~seed:900 ());
+  eventually "result arrives" (fun () -> List.length (collected c) = 1);
+  (* now the ambiguous path: wedge the backend with a job in flight *)
+  Sim.wedge sim;
+  Router.submit r ~respond:(respond_to c) (job_line ~tag:(Some "ambiguous") ());
+  eventually "maybe_executed arrives" (fun () -> List.length (collected c) = 2);
+  Router.drain r;
+  Sim.unwedge sim;
+  Sim.shutdown sim;
+  let timeline job =
+    List.filter (fun (e : Trace.event) -> e.Trace.ev_job = job)
+      (Trace.events tracer)
+  in
+  (* job 0 completed normally: enqueue -> dispatch -> respond(result),
+     all under the id derived from (router seed, job id) *)
+  let t0 = timeline 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check string) "derived trace id"
+        (Trace.id_of ~nonce ~job:0) e.Trace.ev_trace)
+    t0;
+  (match List.map (fun (e : Trace.event) -> e.Trace.ev_kind) t0 with
+  | [ Trace.Enqueue; Trace.Dispatch { backend = "b0"; attempt = 1 };
+      Trace.Respond { outcome = "result" } ] -> ()
+  | kinds ->
+      Alcotest.failf "unexpected result timeline: %s"
+        (String.concat " -> " (List.map Trace.kind_to_string kinds)));
+  (* job 1 was ambiguous: the timeline must show the full
+     dispatch -> death-detect -> resolve arc *)
+  (match List.map (fun (e : Trace.event) -> e.Trace.ev_kind) (timeline 1) with
+  | [ Trace.Enqueue; Trace.Dispatch { backend = "b0"; _ }; Trace.Death { backend = "b0" };
+      Trace.Respond { outcome = "maybe_executed" } ] -> ()
+  | kinds ->
+      Alcotest.failf "unexpected ambiguous timeline: %s"
+        (String.concat " -> " (List.map Trace.kind_to_string kinds)));
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped tracer)
+
 let suites =
   [
     ( "fleet",
@@ -441,5 +533,9 @@ let suites =
         Alcotest.test_case "router: admission backpressure and stop" `Quick
           test_router_admission_backpressure_and_drop;
         Alcotest.test_case "router: fleet telemetry" `Quick test_router_obs_counters;
+        Alcotest.test_case "router: stats request snapshot" `Quick
+          test_router_stats_request;
+        Alcotest.test_case "router: trace timelines" `Quick
+          test_router_trace_timelines;
       ] );
   ]

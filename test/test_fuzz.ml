@@ -199,6 +199,10 @@ let random_job_spec rng =
   {
     (Job.default (random_scenario_ref rng)) with
     Job.tag = (if Rng.next_int rng 2 = 0 then None else Some (Fmt.str "t%d" (Rng.next_int rng 99)));
+    trace_id =
+      (if Rng.next_int rng 3 = 0 then
+         Some (Agrid_obs.Trace.id_of ~nonce:(Rng.next_int rng 1000) ~job:(Rng.next_int rng 1000))
+       else None);
     alpha = float_of_int (Rng.next_int rng 500) /. 1000.;
     beta = float_of_int (Rng.next_int rng 400) /. 1000.;
     variant = pick rng [| Agrid_core.Slrh.V1; Agrid_core.Slrh.V2; Agrid_core.Slrh.V3 |];
@@ -229,7 +233,8 @@ let test_job_envelope_roundtrip () =
     | Ok (Codec.Submit spec') when spec' = spec -> ()
     | Ok (Codec.Submit _) ->
         Alcotest.failf "job envelope round trip diverges (case %d): %s" i line
-    | Ok Codec.Health -> Alcotest.failf "job envelope parsed as health (case %d)" i
+    | Ok (Codec.Health | Codec.Stats) ->
+        Alcotest.failf "job envelope parsed as a control request (case %d)" i
     | Error msg -> Alcotest.failf "job envelope rejected (case %d): %s" i msg
   done
 
@@ -355,6 +360,100 @@ let test_response_fuzz () =
         Alcotest.failf "parse_response raised %s on %S" (Printexc.to_string e) s
   done
 
+(* agrid-stats/1: snapshots answered to `agrid top` — the parser must be
+   total under mutation, and print/parse must reach a fixed point
+   (including NaN quantiles travelling as JSON null) *)
+let test_stats_fuzz () =
+  let snap ~role ~backends ~quantile =
+    {
+      Codec.ss_role = role;
+      ss_id = 17;
+      ss_uptime_s = 12.5;
+      ss_queue_depth = 3;
+      ss_in_flight = 2;
+      ss_workers = 4;
+      ss_accepted = 99;
+      ss_completed = 95;
+      ss_window_s = 60.;
+      ss_rate = 1.583;
+      ss_p50_s = quantile;
+      ss_p95_s = quantile *. 2.;
+      ss_p99_s = quantile *. 3.;
+      ss_backends = backends;
+      ss_trace_events = 123;
+      ss_trace_dropped = 0;
+      ss_trace_exemplars = 4;
+    }
+  in
+  let corpus =
+    Array.of_list
+      [
+        Codec.stats_line (snap ~role:"serve" ~backends:[] ~quantile:0.0025);
+        Codec.stats_line
+          (snap ~role:"router"
+             ~backends:[ ("b0", "healthy", 2); ("b1", "dead", 0) ]
+             ~quantile:0.1);
+        Codec.stats_line (snap ~role:"serve" ~backends:[] ~quantile:Float.nan);
+      ]
+  in
+  (* print . parse is a fixed point on every unmutated line *)
+  Array.iter
+    (fun line ->
+      match Codec.parse_stats line with
+      | Error msg -> Alcotest.failf "own stats line rejected: %s on %S" msg line
+      | Ok s -> Alcotest.(check string) "stats fixed point" line (Codec.stats_line s))
+    corpus;
+  let rng = Rng.of_int 0xF00A in
+  for _ = 1 to 1200 do
+    let base = corpus.(Rng.next_int rng (Array.length corpus)) in
+    let s = mutate_n rng (1 + Rng.next_int rng 4) base in
+    match Codec.parse_stats s with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "parse_stats raised %s on %S" (Printexc.to_string e) s
+  done
+
+(* agrid-trace/1: every line shape the exporter can emit goes through the
+   mutation grinder; parse_line must be total and print/parse a fixed
+   point so `agrid trace export` and check_obs can trust the artifact *)
+let test_trace_fuzz () =
+  let module Trace = Agrid_obs.Trace in
+  let t = Trace.create ~nonce:0xBEEF ~exemplars:2 () in
+  List.iteri
+    (fun j kinds ->
+      List.iter (fun k -> Trace.record t ~job:j k) kinds)
+    [
+      [
+        Trace.Enqueue;
+        Trace.Dispatch { backend = "b0"; attempt = 1 };
+        Trace.Retry { attempt = 1; delay_s = 0.25 };
+        Trace.Failover { backend = "b0" };
+        Trace.Death { backend = "b0" };
+        Trace.Respond { outcome = "maybe_executed" };
+      ];
+      [
+        Trace.Enqueue;
+        Trace.Exec { queue_wait_s = 0.001 };
+        Trace.Respond { outcome = "result" };
+      ];
+    ];
+  let corpus = Array.of_list (Trace.jsonl_lines t) in
+  Array.iter
+    (fun line ->
+      match Trace.parse_line line with
+      | Error msg -> Alcotest.failf "own trace line rejected: %s on %S" msg line
+      | Ok l -> Alcotest.(check string) "trace fixed point" line (Trace.line_to_string l))
+    corpus;
+  let rng = Rng.of_int 0xF00B in
+  for _ = 1 to 1500 do
+    let base = corpus.(Rng.next_int rng (Array.length corpus)) in
+    let s = mutate_n rng (1 + Rng.next_int rng 4) base in
+    match Trace.parse_line s with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "Trace.parse_line raised %s on %S" (Printexc.to_string e) s
+  done
+
 let suites =
   [
     ( "fuzz",
@@ -373,5 +472,9 @@ let suites =
           test_request_fuzz;
         Alcotest.test_case "response parser: mutation corpus" `Quick
           test_response_fuzz;
+        Alcotest.test_case "agrid-stats/1: mutation corpus" `Quick
+          test_stats_fuzz;
+        Alcotest.test_case "agrid-trace/1: mutation corpus" `Quick
+          test_trace_fuzz;
       ] );
   ]

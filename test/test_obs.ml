@@ -44,6 +44,59 @@ let test_hist_quantile_empty_and_order () =
   Alcotest.(check bool) "quantiles ordered" true (p10 <= p50 && p50 <= p95);
   Alcotest.(check bool) "p95 within range" true (p95 <= 8.)
 
+let test_hist_negative_bound_quantile () =
+  (* all mass in the underflow bucket of a negative-bound histogram: the
+     quantile must interpolate inside a synthesized bucket below the
+     first bound, not collapse onto the old zero-width [min 0 b0] edge *)
+  let h = Hist.make ~bounds:[| -2.; -1.; 1. |] in
+  List.iter (Hist.observe h) [ -5.; -4.; -3. ];
+  let p25 = Hist.quantile h 0.25 and p75 = Hist.quantile h 0.75 in
+  Alcotest.(check bool) "p25 finite" true (Float.is_finite p25);
+  Alcotest.(check bool) "p75 at most the first bound" true (p75 <= -2.);
+  Alcotest.(check bool) "p25 above the synthesized edge" true (p25 >= -3.);
+  Alcotest.(check bool) "interpolation is not degenerate" true (p25 < p75)
+
+let test_hist_quantile_negative_bounds_property () =
+  (* random bounds (often spanning zero) and observations: quantiles are
+     never NaN on a populated histogram and are monotone in q *)
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 2 5) (float_range (-100.) 100.))
+        (list_size (int_range 1 60) (float_range (-200.) 200.)))
+  in
+  let prop (raw_bounds, obs) =
+    match Array.of_list (List.sort_uniq compare raw_bounds) with
+    | bounds when Array.length bounds >= 2 ->
+        let h = Hist.make ~bounds in
+        List.iter (Hist.observe h) obs;
+        let vs = List.map (Hist.quantile h) [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ] in
+        List.iter
+          (fun v -> if Float.is_nan v then failwith "NaN quantile on populated hist")
+          vs;
+        let rec mono = function
+          | a :: b :: tl -> a <= b && mono (b :: tl)
+          | _ -> true
+        in
+        mono vs
+    | _ -> true
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:300 ~name:"quantile total and monotone over signed bounds"
+       gen prop)
+
+let test_hist_max_value () =
+  let h = Hist.make ~bounds:[| 1.; 2. |] in
+  Alcotest.(check bool) "empty max is nan" true (Float.is_nan (Hist.max_value h));
+  List.iter (Hist.observe h) [ 0.5; 7.5; 3.0 ];
+  Testlib.close "max tracked" 7.5 (Hist.max_value h);
+  Hist.observe h Float.nan;
+  Testlib.close "nan does not disturb max" 7.5 (Hist.max_value h);
+  let other = Hist.make ~bounds:[| 1.; 2. |] in
+  Hist.observe other 9.25;
+  Hist.merge_into ~into:h other;
+  Testlib.close "merge takes the larger max" 9.25 (Hist.max_value h)
+
 let test_hist_invalid_bounds () =
   Alcotest.check_raises "non-increasing"
     (Invalid_argument "Hist.make: bounds must be strictly increasing")
@@ -379,6 +432,156 @@ let test_json_nan_inf_round_trip () =
          | Some (Json.Obj _) -> ()
          | Some _ | None -> Alcotest.failf "export line is not a JSON object: %s" l)
 
+(* ---- rolling windows ---- *)
+
+let test_window_rolling () =
+  let w = Window.create ~slots:4 ~slot_s:1. () in
+  for i = 0 to 7 do
+    Window.incr w ~now:(0.5 +. float_of_int i) "completed"
+  done;
+  (* 8 increments, but only the last 4 slots are live at now = 7.5 *)
+  Alcotest.(check int) "total is rolling, not lifetime" 4
+    (Window.total w ~now:7.5 "completed");
+  Alcotest.(check int) "fully aged out" 0 (Window.total w ~now:50. "completed")
+
+let test_window_quantile_ages_out () =
+  let w = Window.create ~slots:3 ~slot_s:2. () in
+  let bounds = [| 0.1; 1.0; 10.0 |] in
+  List.iter
+    (fun v -> Window.observe w ~now:1.0 "latency_s" ~bounds v)
+    [ 0.5; 0.5; 0.5; 5.0 ];
+  let p50 = Window.quantile w ~now:1.5 "latency_s" 0.5 in
+  Alcotest.(check bool) "live p50 in covering bucket" true (p50 > 0.1 && p50 <= 1.0);
+  Alcotest.(check int) "live count" 4 (Window.count w ~now:1.5 "latency_s");
+  Alcotest.(check bool) "aged-out quantile is NaN" true
+    (Float.is_nan (Window.quantile w ~now:100. "latency_s" 0.5));
+  Alcotest.(check int) "aged-out count" 0 (Window.count w ~now:100. "latency_s")
+
+let test_window_rate_early_life () =
+  let w = Window.create ~slots:12 ~slot_s:5. () in
+  Window.add w ~now:0.2 "jobs" 3;
+  (* only one 5 s slot is live: the divisor is the covered 5 s, not the
+     nominal 60 s window *)
+  Testlib.close "early rate uses covered time" (3. /. 5.) (Window.rate w ~now:0.2 "jobs");
+  Alcotest.(check bool) "covered below nominal" true
+    (Window.covered_s w ~now:0.2 < Window.window_s w)
+
+let test_window_merge () =
+  let a = Window.create ~slots:4 ~slot_s:1. () in
+  let b = Window.create ~slots:4 ~slot_s:1. () in
+  Window.incr a ~now:1.5 "c";
+  Window.incr b ~now:1.5 "c";
+  Window.incr b ~now:2.5 "c";
+  Window.merge_into ~into:a b;
+  Alcotest.(check int) "slot-aligned merge" 3 (Window.total a ~now:2.9 "c");
+  let bad = Window.create ~slots:5 ~slot_s:1. () in
+  Alcotest.(check bool) "geometry mismatch raises" true
+    (try
+       Window.merge_into ~into:a bad;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- trace collector ---- *)
+
+(* [open Agrid_core] above pulls in the scheduler's decision tracer,
+   also called Trace; rebind the request tracer explicitly. *)
+module Trace = Agrid_obs.Trace
+
+let test_trace_ids () =
+  Alcotest.(check string) "id is a pure function"
+    (Trace.id_of ~nonce:42 ~job:7)
+    (Trace.id_of ~nonce:42 ~job:7);
+  Alcotest.(check bool) "nonce separates runs" true
+    (Trace.id_of ~nonce:1 ~job:7 <> Trace.id_of ~nonce:2 ~job:7);
+  Alcotest.(check bool) "zero nonce, zero job is not all-zeros" true
+    (Trace.id_of ~nonce:0 ~job:0 <> "0000000000000000");
+  let t = Trace.create ~nonce:42 () in
+  Alcotest.(check string) "id_for matches id_of" (Trace.id_of ~nonce:42 ~job:7)
+    (Trace.id_for t 7);
+  (* a backend adopts the id stamped by its router *)
+  Trace.record ~id:"deadbeefdeadbeef" t ~job:7 Trace.Enqueue;
+  (match Trace.events t with
+  | [ e ] -> Alcotest.(check string) "stamped id wins" "deadbeefdeadbeef" e.Trace.ev_trace
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs))
+
+let test_trace_ring_bounded () =
+  let t = Trace.create ~nonce:1 ~capacity:8 () in
+  for j = 0 to 19 do
+    Trace.record t ~job:j Trace.Enqueue
+  done;
+  Alcotest.(check int) "ring holds capacity" 8 (Trace.length t);
+  Alcotest.(check int) "pushed counts all" 20 (Trace.pushed t);
+  Alcotest.(check int) "dropped = pushed - kept" 12 (Trace.dropped t);
+  (match Trace.events t with
+  | { Trace.ev_job; _ } :: _ -> Alcotest.(check int) "oldest survivor" 12 ev_job
+  | [] -> Alcotest.fail "ring empty")
+
+let test_trace_exemplars_and_pending () =
+  let t = Trace.create ~nonce:3 ~exemplars:2 ~pending_cap:2 () in
+  for j = 0 to 4 do
+    Trace.record t ~job:j Trace.Enqueue;
+    Trace.record t ~job:j (Trace.Dispatch { backend = "b"; attempt = 1 });
+    Trace.record t ~job:j (Trace.Respond { outcome = "result" })
+  done;
+  let xs = Trace.exemplars t in
+  Alcotest.(check int) "exemplar buffer bounded" 2 (List.length xs);
+  List.iter
+    (fun (x : Trace.exemplar) ->
+      Alcotest.(check bool) "duration nonnegative" true (x.Trace.x_duration_s >= 0.);
+      (match x.Trace.x_events with
+      | { Trace.ev_kind = Trace.Enqueue; _ } :: _ -> ()
+      | _ -> Alcotest.fail "exemplar does not start with enqueue");
+      match List.rev x.Trace.x_events with
+      | { Trace.ev_kind = Trace.Respond _; _ } :: _ -> ()
+      | _ -> Alcotest.fail "exemplar does not end with respond")
+    xs;
+  (* open timelines are bounded too: 5 enqueues, cap 2 *)
+  let u = Trace.create ~nonce:3 ~pending_cap:2 () in
+  for j = 0 to 4 do
+    Trace.record u ~job:j Trace.Enqueue
+  done;
+  Alcotest.(check bool) "pending table bounded" true (Trace.n_pending u <= 2)
+
+let test_trace_jsonl_round_trip () =
+  let t = Trace.create ~nonce:9 () in
+  Trace.record t ~job:0 Trace.Enqueue;
+  Trace.record t ~job:0 (Trace.Dispatch { backend = "b0"; attempt = 1 });
+  Trace.record t ~job:0 (Trace.Retry { attempt = 1; delay_s = 0.25 });
+  Trace.record t ~job:0 (Trace.Failover { backend = "b0" });
+  Trace.record t ~job:0 (Trace.Death { backend = "b0" });
+  Trace.record t ~job:0 (Trace.Exec { queue_wait_s = 0.125 });
+  Trace.record t ~job:0 (Trace.Respond { outcome = "maybe_executed" });
+  let lines = Trace.jsonl_lines t in
+  (match Trace.parse_jsonl lines with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok parsed ->
+      Alcotest.(check int) "line count preserved" (List.length lines)
+        (List.length parsed);
+      (* print . parse is a fixed point on every line *)
+      List.iter2
+        (fun raw p -> Alcotest.(check string) "fixed point" raw (Trace.line_to_string p))
+        lines parsed);
+  (* totality on hostile bytes *)
+  List.iter
+    (fun junk ->
+      match Trace.parse_line junk with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "junk parsed: %s" junk)
+    [ "not json"; "{}"; "{\"type\":\"event\"}"; "{\"type\":\"nope\"}"; "[1,2]" ]
+
+let test_trace_chrome_export () =
+  let t = Trace.create ~nonce:5 () in
+  Trace.record t ~job:1 Trace.Enqueue;
+  Trace.record t ~job:1 (Trace.Dispatch { backend = "b0"; attempt = 1 });
+  Trace.record t ~job:1 (Trace.Respond { outcome = "result" });
+  match Json.parse_opt (Trace.chrome_json t) with
+  | Some (Json.Obj fields) -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Json.Arr evs) ->
+          Alcotest.(check bool) "has trace events" true (List.length evs > 0)
+      | _ -> Alcotest.fail "traceEvents missing or not an array")
+  | _ -> Alcotest.fail "chrome export is not a JSON object"
+
 let suites =
   [
     ( "obs",
@@ -387,6 +590,11 @@ let suites =
         Alcotest.test_case "hist under/overflow" `Quick test_hist_underflow_overflow;
         Alcotest.test_case "hist nan quarantined" `Quick test_hist_nan_quarantined;
         Alcotest.test_case "hist quantiles" `Quick test_hist_quantile_empty_and_order;
+        Alcotest.test_case "hist negative-bound quantile" `Quick
+          test_hist_negative_bound_quantile;
+        Alcotest.test_case "hist quantile property (signed bounds)" `Quick
+          test_hist_quantile_negative_bounds_property;
+        Alcotest.test_case "hist max value" `Quick test_hist_max_value;
         Alcotest.test_case "hist invalid bounds" `Quick test_hist_invalid_bounds;
         Alcotest.test_case "hist merge mismatch" `Quick test_hist_merge_bounds_mismatch;
         Alcotest.test_case "registry merge commutative" `Quick test_registry_merge_commutative;
@@ -407,5 +615,15 @@ let suites =
         Alcotest.test_case "summary json" `Quick test_summary_json_counters;
         Alcotest.test_case "non-finite floats null" `Quick test_nonfinite_floats_export_null;
         Alcotest.test_case "json nan/inf round trip" `Quick test_json_nan_inf_round_trip;
+        Alcotest.test_case "window rolling totals" `Quick test_window_rolling;
+        Alcotest.test_case "window quantile ages out" `Quick test_window_quantile_ages_out;
+        Alcotest.test_case "window early-life rate" `Quick test_window_rate_early_life;
+        Alcotest.test_case "window merge" `Quick test_window_merge;
+        Alcotest.test_case "trace ids" `Quick test_trace_ids;
+        Alcotest.test_case "trace ring bounded" `Quick test_trace_ring_bounded;
+        Alcotest.test_case "trace exemplars and pending caps" `Quick
+          test_trace_exemplars_and_pending;
+        Alcotest.test_case "trace jsonl round trip" `Quick test_trace_jsonl_round_trip;
+        Alcotest.test_case "trace chrome export" `Quick test_trace_chrome_export;
       ] );
   ]

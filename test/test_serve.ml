@@ -194,6 +194,62 @@ let test_health () =
   | lines -> Alcotest.failf "expected one response, got %d" (List.length lines));
   Server.drain server
 
+(* ---- stats request: rolling snapshot, answered synchronously ---- *)
+
+let test_stats_request () =
+  let c = collector () in
+  let tracer = Agrid_obs.Trace.create ~nonce:0 () in
+  let server = Server.create ~trace:tracer ~workers:2 ~queue_capacity:8 () in
+  for i = 0 to 2 do
+    Server.submit server ~respond:(respond_to c) (job_line ~seed:(400 + i) ())
+  done;
+  Server.drain server;
+  let sc = collector () in
+  Server.submit server ~respond:(respond_to sc)
+    "{\"schema\":\"agrid-job/1\",\"kind\":\"stats\"}";
+  (match collected sc with
+  | [ line ] -> (
+      match Codec.parse_stats line with
+      | Error msg -> Alcotest.failf "stats line rejected: %s on %S" msg line
+      | Ok s ->
+          Alcotest.(check string) "role" "serve" s.Codec.ss_role;
+          Alcotest.(check int) "workers" 2 s.Codec.ss_workers;
+          Alcotest.(check int) "accepted" 3 s.Codec.ss_accepted;
+          Alcotest.(check int) "completed" 3 s.Codec.ss_completed;
+          Alcotest.(check int) "drained: nothing queued" 0 s.Codec.ss_queue_depth;
+          Alcotest.(check (list (triple string string int))) "no backends on serve"
+            [] s.Codec.ss_backends;
+          (* jobs just completed, so the rolling window is live *)
+          Alcotest.(check bool) "window rate positive" true (s.Codec.ss_rate > 0.);
+          Alcotest.(check bool) "rolling p95 is finite" true
+            (Float.is_finite s.Codec.ss_p95_s);
+          Alcotest.(check bool) "quantiles ordered" true
+            (s.Codec.ss_p50_s <= s.Codec.ss_p95_s
+            && s.Codec.ss_p95_s <= s.Codec.ss_p99_s);
+          Alcotest.(check bool) "trace ring populated" true
+            (s.Codec.ss_trace_events > 0);
+          Alcotest.(check int) "nothing dropped" 0 s.Codec.ss_trace_dropped)
+  | lines -> Alcotest.failf "expected one stats response, got %d" (List.length lines));
+  let stats = Server.stats server in
+  Alcotest.(check int) "stats requests counted" 1 stats.Server.s_stats;
+  Server.drain server;
+  (* without a tracer the snapshot still answers, with zero occupancy —
+     and synchronously even when the worker pool never started *)
+  let bare = Server.create ~workers:2 ~queue_capacity:8 () in
+  let bc = collector () in
+  Server.submit bare ~respond:(respond_to bc)
+    "{\"schema\":\"agrid-job/1\",\"kind\":\"stats\"}";
+  (match collected bc with
+  | [ line ] -> (
+      match Codec.parse_stats line with
+      | Ok s ->
+          Alcotest.(check int) "no tracer: zero events" 0 s.Codec.ss_trace_events;
+          Alcotest.(check bool) "idle window: NaN p50" true
+            (Float.is_nan s.Codec.ss_p50_s)
+      | Error msg -> Alcotest.failf "bare stats rejected: %s" msg)
+  | lines -> Alcotest.failf "expected one response, got %d" (List.length lines));
+  ignore (Server.stop bare)
+
 (* ---- hard shutdown answers queued jobs as dropped ---- *)
 
 let test_stop_drops_queued () =
@@ -369,6 +425,8 @@ let suites =
           test_job_deadline_direct;
         Alcotest.test_case "bad scenario -> errored result" `Quick test_job_errored;
         Alcotest.test_case "health request" `Quick test_health;
+        Alcotest.test_case "stats request: rolling snapshot" `Quick
+          test_stats_request;
         Alcotest.test_case "hard stop answers queued jobs as dropped" `Quick
           test_stop_drops_queued;
         Alcotest.test_case "served results bit-identical to one-shot" `Quick
