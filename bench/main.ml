@@ -464,6 +464,57 @@ let run_obs_profile config ~total_seconds =
   if reused + rebuilt > 0 then
     Fmt.pr "pool reuse: %d of %d builds (%.1f%%)@." reused (reused + rebuilt)
       (100. *. float_of_int reused /. float_of_int (reused + rebuilt));
+  (* Steady-state allocation budget of the SoA arena (the default mode
+     above): two fresh runs of a commit-free scenario (batteries scaled
+     to ~nothing, so every pool filters empty and the clock spins to tau)
+     that differ only in timestep count. Per-run constants — arena
+     construction, the schedule, the loop closures — cancel in the
+     difference, leaving bytes per steady-state timestep. Committed as
+     the "slrh/minor_alloc_bytes" gauge, which check_regression treats
+     as an upper-bound budget: the committed value is 0, so any new
+     per-timestep allocation fails the gate. *)
+  let steady_workload =
+    Workload.build
+      {
+        config.Config.spec with
+        Spec.battery_scale = 1e-9 *. config.Config.spec.Spec.battery_scale;
+      }
+      ~etc_index:0 ~dag_index:0 ~case:Agrid_platform.Grid.A
+  in
+  let steady_run ~delta_t =
+    let p = { params with Agrid_core.Slrh.delta_t; obs = Agrid_obs.Sink.noop } in
+    let before = Gc.allocated_bytes () in
+    let o = Agrid_core.Slrh.run p steady_workload in
+    let after = Gc.allocated_bytes () in
+    (o.Agrid_core.Slrh.stats.Agrid_core.Slrh.clock_steps, after -. before)
+  in
+  ignore (steady_run ~delta_t:config.Config.delta_t) (* warm-up *);
+  let steps_a, bytes_a = steady_run ~delta_t:config.Config.delta_t in
+  let steps_b, bytes_b = steady_run ~delta_t:(max 1 (config.Config.delta_t / 2)) in
+  let per_step = (bytes_b -. bytes_a) /. float_of_int (max 1 (steps_b - steps_a)) in
+  Agrid_obs.Sink.set_gauge sink "slrh/minor_alloc_bytes" per_step;
+  Fmt.pr "steady-state allocation: %g bytes/timestep (%d vs %d steps)@." per_step
+    steps_a steps_b;
+  (* SoA vs boxed scoring latency, for the record: the regression gate
+     pins the SoA p50 through the committed baseline plus the tightened
+     "slrh/score" tolerance, so scoring cannot silently fall back to
+     boxed-path speed. *)
+  let score_p50 mode =
+    let s = Agrid_obs.Sink.create ~stride:8 () in
+    ignore
+      (Agrid_core.Slrh.run { params with Agrid_core.Slrh.mode; obs = s } workload);
+    match
+      List.find_opt
+        (fun (st : Agrid_obs.Span.stats) -> st.Agrid_obs.Span.name = "slrh/score")
+        (Agrid_obs.Sink.span_stats s)
+    with
+    | Some st -> st.Agrid_obs.Span.p50_s
+    | None -> Float.nan
+  in
+  let soa_p50 = score_p50 `Soa and boxed_p50 = score_p50 `Incremental in
+  Fmt.pr "slrh/score p50: soa %.3gus, boxed %.3gus (%.1fx)@." (1e6 *. soa_p50)
+    (1e6 *. boxed_p50)
+    (boxed_p50 /. soa_p50);
   (* Sharded Monte Carlo campaign profile: a separate sink so the
      campaign's counters land in their own gated section. Counter totals
      are shard-count-invariant (pinned by the differential suite), so the

@@ -87,14 +87,15 @@ let mode_t =
   let parse s =
     match Slrh.mode_of_string s with
     | Some m -> Ok m
-    | None -> Error (`Msg (Fmt.str "unknown mode %S (expected rescan or incremental)" s))
+    | None ->
+        Error (`Msg (Fmt.str "unknown mode %S (expected rescan, incremental or soa)" s))
   in
   let print ppf m = Fmt.string ppf (Slrh.mode_to_string m) in
   Arg.(
     value
-    & opt (conv (parse, print)) `Incremental
+    & opt (conv (parse, print)) `Soa
     & info [ "mode" ] ~docv:"MODE"
-        ~doc:"SLRH pool maintenance: 'incremental' (default: reuse pools and cached score inputs whose inputs did not change; output bit-identical) or 'rescan' (rebuild every pool every timestep — the differential oracle).")
+        ~doc:"SLRH pool maintenance: 'soa' (default: flat preallocated arena with batch admission and scoring; zero steady-state allocation), 'incremental' (boxed pools with cached score inputs) or 'rescan' (rebuild every pool every timestep — the differential oracle). All modes are output bit-identical.")
 
 let spec_of ~seed ~scale =
   if scale >= 1. then Spec.paper_scale ~seed () else Spec.scaled ~seed ~factor:scale ()

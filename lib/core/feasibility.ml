@@ -214,6 +214,46 @@ let candidate_pool_memo ?(obs = Agrid_obs.Sink.noop) memo sched ~machine =
       end;
       (pool, List.length ready))
 
+(* Batch admission for the flat (SoA) pool path: filter the ready set
+   for [machine] straight into a caller-owned buffer. [ensure] is called
+   exactly once, before any write, with an upper bound on the pool size
+   (the ready-set length), so the caller can regrow its arena row while
+   its contents are still dead. Returns
+   (pool size, admitted count, checked count), where [admitted] counts
+   energy-admissible tasks BEFORE the [eligible] filter — the same
+   values [candidate_pool_memo] reports and the pool-reuse path replays.
+   Span and counter telemetry shape is identical to [candidate_pool].
+
+   The admission test compares the same memoised float against the same
+   remaining-energy read the boxed path compares (hoisting the read is
+   sound: scoring never mutates the schedule, so every per-task read
+   returns the identical float), keeping decisions bit-identical. *)
+let filter_into ?(obs = Agrid_obs.Sink.noop) memo sched ~machine ~eligible ~ensure =
+  if not (Schedule.workload sched == memo.Memo.workload) then
+    invalid_arg "Feasibility.filter_into: memo priced for another workload";
+  Agrid_obs.Sink.span obs "feasibility/filter" (fun () ->
+      let ready = Schedule.ready_unmapped sched in
+      let n_ready = List.length ready in
+      let dst = ensure n_ready in
+      let available = Schedule.energy_remaining sched machine in
+      let n = ref 0 in
+      let admitted = ref 0 in
+      List.iter
+        (fun task ->
+          if available >= Memo.required_secondary memo ~task ~machine then begin
+            incr admitted;
+            if eligible task then begin
+              dst.(!n) <- task;
+              incr n
+            end
+          end)
+        ready;
+      if Agrid_obs.Sink.enabled obs then begin
+        Agrid_obs.Sink.add obs "feasibility/checked" n_ready;
+        Agrid_obs.Sink.add obs "feasibility/admitted" !admitted
+      end;
+      (!n, !admitted, n_ready))
+
 (* Every unmapped task the pool turned away for [machine], with its
    verdict — the decision ledger's per-candidate rejection record. This
    walks the whole task set and re-prices energies, so callers only run it

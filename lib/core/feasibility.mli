@@ -100,6 +100,24 @@ val candidate_pool_memo :
     and counters as {!candidate_pool}.
     @raise Invalid_argument if the memo was priced for another workload. *)
 
+val filter_into :
+  ?obs:Agrid_obs.Sink.t ->
+  Memo.t ->
+  Schedule.t ->
+  machine:int ->
+  eligible:(int -> bool) ->
+  ensure:(int -> int array) ->
+  int * int * int
+(** Batch admission for the flat (SoA) pool path: filter the ready,
+    unmapped, energy-admissible, eligible tasks for [machine] into the
+    buffer returned by [ensure] (called once, before any write, with the
+    ready-set length as an upper bound on the pool size). Returns
+    [(pool, admitted, checked)] where [admitted] counts energy-admitted
+    tasks before the eligibility filter and [checked] the ready set —
+    the counter values {!candidate_pool_memo} reports. Same telemetry
+    shape, same memoised comparison, bit-identical decisions.
+    @raise Invalid_argument if the memo was priced for another workload. *)
+
 val explain_rejections :
   ?mode:mode -> Schedule.t -> machine:int -> (int * infeasibility) list
 (** Every unmapped task the pool turned away for [machine], with its

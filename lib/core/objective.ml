@@ -177,6 +177,117 @@ let best_version ?(obs = Agrid_obs.Sink.noop) w sched ~task ~machine ~now =
     ~bound:(parent_bound sched ~task ~machine)
     ~task ~machine ~now
 
+(* ---- flat (SoA) batch scoring ----
+
+   The arena path of the scheduler stores parent bounds in two flat
+   arrays (int ready floors, float comm energies) instead of the boxed
+   option-array of records the incremental cache uses, and scores a
+   whole pool in one pass with every schedule-wide input hoisted out of
+   the loop. Bit-identity with the boxed path rests on two facts:
+
+   - hoisting is sound because scoring never mutates the schedule, so
+     every per-candidate read ([Timeline.horizon], [Schedule.tec], ...)
+     returns the identical value the boxed path reads;
+   - every float expression below is the same operation sequence
+     [parent_bound] / [estimate_parts_with] / [value_parts] evaluate, in
+     the same order — pinned by the QCheck batch-equals-fold property
+     and the SoA differential pairs. *)
+
+(* [parent_bound], accumulated directly into the destination slots: the
+   same parent-edge iteration order, the same [max] folds from the same
+   identities ([min_int] / [0.]), the same float additions — so the
+   stored pair is bit-identical to the record the boxed cache stores. *)
+let parent_bound_into sched ~task ~machine ~slot bound_ready bound_comm =
+  let wl = Schedule.workload sched in
+  let grid = Workload.grid wl in
+  let dag = Workload.dag wl in
+  let edges = Agrid_dag.Dag.parent_edges dag task in
+  bound_ready.(slot) <- min_int;
+  bound_comm.(slot) <- 0.;
+  for i = 0 to Array.length edges - 1 do
+    let p, edge = edges.(i) in
+    match Schedule.placement sched p with
+    | None -> invalid_arg "Objective.estimate: unmapped parent"
+    | Some pp ->
+        if pp.Schedule.machine = machine then begin
+          if pp.Schedule.stop > bound_ready.(slot) then
+            bound_ready.(slot) <- pp.Schedule.stop
+        end
+        else begin
+          let bits = Workload.edge_bits wl ~edge ~parent_version:pp.Schedule.version in
+          let cycles =
+            Agrid_platform.Comm.transfer_cycles grid ~src:pp.Schedule.machine
+              ~dst:machine ~bits
+          in
+          bound_comm.(slot) <-
+            bound_comm.(slot)
+            +. Agrid_platform.Comm.transfer_energy grid ~src:pp.Schedule.machine
+                 ~dst:machine ~bits;
+          let r = pp.Schedule.stop + cycles in
+          if r > bound_ready.(slot) then bound_ready.(slot) <- r
+        end
+  done
+
+(* Score the pool [tasks.(0 .. n-1)] for [machine] in one pass, writing
+   the best version and score per slot into [versions] / [scores].
+   Parent bounds are priced lazily into the flat store (valid for the
+   whole run, exactly like the incremental cache's). Equals
+   [best_version_with w sched ~bound ~task ~machine ~now] per candidate,
+   bit for bit. On the steady-state path (noop sink, warm bounds) the
+   loop performs no heap allocation: all hoisted floats live in unboxed
+   locals, and the per-version evaluation is a local function whose
+   results flow straight into float-array writes. *)
+let score_into w sched ~machine ~now ~n ~tasks ~bound_ready ~bound_comm
+    ~bound_known ~versions ~scores =
+  if n > 0 then begin
+    let wl = Schedule.workload sched in
+    let stride = Workload.n_machines wl in
+    let horizon = Timeline.horizon (Schedule.exec_timeline sched machine) in
+    let n_primary = Schedule.n_primary sched in
+    let tec0 = Schedule.tec sched in
+    let aet0 = Schedule.aet sched in
+    let tse = Workload.total_system_energy wl in
+    let n_tasks_f = float_of_int (Workload.n_tasks wl) in
+    let tau_f = float_of_int (Workload.tau wl) in
+    (* [estimate_parts_with]'s total for one version, every schedule-wide
+       load hoisted; [start] and [comm] are version-independent. *)
+    let est task start comm version =
+      let finish = start + Workload.exec_cycles wl ~task ~machine ~version in
+      let t100 = n_primary + if Version.is_primary version then 1 else 0 in
+      let tec = tec0 +. Workload.exec_energy wl ~task ~machine ~version +. comm in
+      let aet = if aet0 >= finish then aet0 else finish in
+      let aet_raw = w.gamma *. (float_of_int aet /. tau_f) in
+      let aet_term =
+        match w.aet_sign with Reward -> aet_raw | Penalise -> -.aet_raw
+      in
+      let t100_term = w.alpha *. (float_of_int t100 /. n_tasks_f) in
+      let energy_term = w.beta *. (tec /. tse) in
+      t100_term -. energy_term +. aet_term
+    in
+    for k = 0 to n - 1 do
+      let task = tasks.(k) in
+      let slot = (task * stride) + machine in
+      if Bytes.get bound_known slot = '\000' then begin
+        parent_bound_into sched ~task ~machine ~slot bound_ready bound_comm;
+        Bytes.set bound_known slot '\001'
+      end;
+      let rf = bound_ready.(slot) in
+      let comm = bound_comm.(slot) in
+      let ready = if now >= rf then now else rf in
+      let start = if ready >= horizon then ready else horizon in
+      let ep = est task start comm Version.Primary in
+      let es = est task start comm Version.Secondary in
+      if ep >= es then begin
+        versions.(k) <- Version.Primary;
+        scores.(k) <- ep
+      end
+      else begin
+        versions.(k) <- Version.Secondary;
+        scores.(k) <- es
+      end
+    done
+  end
+
 (* Histogram bucket bounds covering the objective's analytic range [-1, 1]
    (the weights are nonnegative and sum to 1, and every term is
    normalised), for score-distribution telemetry. *)

@@ -133,6 +133,43 @@ val best_version_with :
     incremental scheduler accounts version evals itself, exactly as the
     plain path does. *)
 
+val parent_bound_into :
+  Schedule.t ->
+  task:int ->
+  machine:int ->
+  slot:int ->
+  int array ->
+  float array ->
+  unit
+(** {!parent_bound}, accumulated directly into flat per-(task, machine)
+    stores at index [slot] — the SoA arena's unboxed replacement for the
+    incremental mode's option-array of records. Same fold order, same
+    float additions, bit-identical values.
+    @raise Invalid_argument on unmapped parents. *)
+
+val score_into :
+  weights ->
+  Schedule.t ->
+  machine:int ->
+  now:int ->
+  n:int ->
+  tasks:int array ->
+  bound_ready:int array ->
+  bound_comm:float array ->
+  bound_known:Bytes.t ->
+  versions:Version.t array ->
+  scores:float array ->
+  unit
+(** Batch-score the pool [tasks.(0 .. n-1)] for [machine] in one pass,
+    writing the best version and score per slot into [versions] /
+    [scores]. Parent bounds are priced lazily into the flat store
+    (stride [n_machines], index [task * n_machines + machine]; a slot is
+    trusted once its [bound_known] byte is set — valid for the whole run
+    because placements are immutable within one). Per candidate this
+    equals {!best_version_with} bit for bit (pinned by the QCheck
+    batch-equals-fold property); schedule-wide inputs are hoisted out of
+    the loop, and with warm bounds the pass performs no heap allocation. *)
+
 val score_bounds : float array
 (** Histogram bucket bounds spanning the objective's analytic range
     [[-1, 1]], for score-distribution telemetry

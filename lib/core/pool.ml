@@ -1,0 +1,175 @@
+(* Flat structure-of-arrays candidate-pool arena for the SoA scheduler
+   mode ([Slrh.params.mode = `Soa]).
+
+   The boxed pool paths materialise one heap structure per free machine
+   per timestep: an int list for the pool, a (task, version, score)
+   tuple per candidate, a sorted copy of that list, and a closure or two
+   around every span. The arena replaces all of it with preallocated
+   parallel arrays owned by the run:
+
+   - per machine, a [row] of task ids, best versions and scores, filled
+     in ready-list order (the exact order the boxed path scores in, so
+     histogram observation sequences match bit for bit);
+   - one flat parent-bound store per (task, machine) — the ready floor
+     and incoming communication energy of {!Objective.parent_bound},
+     unpacked into an int array and a float array so neither lookups nor
+     writes allocate (the option-array cache of the incremental mode
+     boxes both the option and the record);
+   - one shared [order] permutation used to sort each pool by
+     (score desc, task asc) without moving the rows — the rows keep
+     their fill order, which is what pool reuse re-scores next timestep.
+
+   Epoch discipline is the incremental mode's: a row stamped with the
+   commit epoch ([Schedule.n_mapped]) at build time is reused while the
+   epoch is unchanged, because commits are the only intra-run mutation
+   of the ready set, the mapped set and the batteries. Reuse is disabled
+   while a decision ledger is attached, for the same reason it is in
+   incremental mode: each rebuild emits rejection entries that reuse
+   cannot replay.
+
+   Rows start small and regrow geometrically, and regrowth allocates
+   FRESH arrays — never [Array.blit] — because it only ever happens at
+   the top of a rebuild, which overwrites every slot it uses. Capacity,
+   high-water occupancy and the regrowth count are exposed so the bench
+   gauges ("slrh/pool_capacity", "slrh/pool_hwm", "slrh/pool_regrown")
+   surface arena sizing instead of capping it silently. *)
+
+open Agrid_workload
+
+module Flat = struct
+  type row = {
+    mutable tasks : int array;  (* pool task ids, ready-list order *)
+    mutable versions : Version.t array;  (* best version per slot *)
+    mutable scores : float array;  (* best score per slot *)
+    mutable count : int;  (* live slots *)
+    mutable admitted : int;  (* |raw pool| — "feasibility/admitted" replay *)
+    mutable checked : int;  (* |ready set| — "feasibility/checked" replay *)
+    mutable epoch : int;  (* Schedule.n_mapped at build; -1 = never built *)
+  }
+
+  type t = {
+    memo : Feasibility.Memo.t;
+    n_machines : int;
+    n_tasks : int;
+    rows : row array;  (* one per machine *)
+    bound_ready : int array;  (* task * n_machines + machine -> ready floor *)
+    bound_comm : float array;  (* task * n_machines + machine -> comm energy *)
+    bound_known : Bytes.t;  (* '\001' once the slot above is priced *)
+    order : int array;  (* shared sort permutation, length n_tasks *)
+    reuse_pools : bool;  (* false while a decision ledger is attached *)
+    mutable capacity : int;  (* largest row capacity *)
+    mutable hwm : int;  (* largest pool ever held *)
+    mutable regrown : int;  (* row regrowth events (fresh arrays, no copy) *)
+  }
+
+  let default_capacity = 16
+
+  let create ?(initial_capacity = default_capacity) ~feas_mode ~reuse_pools
+      workload =
+    if initial_capacity <= 0 then
+      invalid_arg "Pool.Flat.create: initial capacity must be positive";
+    let n_tasks = Workload.n_tasks workload in
+    let n_machines = Workload.n_machines workload in
+    let cap = min initial_capacity (max 1 n_tasks) in
+    {
+      memo = Feasibility.Memo.create ~mode:feas_mode workload;
+      n_machines;
+      n_tasks;
+      rows =
+        Array.init n_machines (fun _ ->
+            {
+              tasks = Array.make cap 0;
+              versions = Array.make cap Version.Primary;
+              scores = Array.make cap 0.;
+              count = 0;
+              admitted = 0;
+              checked = 0;
+              epoch = -1;
+            });
+      bound_ready = Array.make (n_tasks * n_machines) min_int;
+      bound_comm = Array.make (n_tasks * n_machines) 0.;
+      bound_known = Bytes.make (n_tasks * n_machines) '\000';
+      order = Array.init (max 1 n_tasks) (fun i -> i);
+      reuse_pools;
+      capacity = cap;
+      hwm = 0;
+      regrown = 0;
+    }
+
+  let capacity t = t.capacity
+  let hwm t = t.hwm
+  let regrown t = t.regrown
+
+  (* Make [row] able to hold [n] candidates and return its task buffer.
+     Only called at the top of a rebuild, before any slot is written, so
+     stale contents are dead and the regrowth allocates fresh arrays
+     without copying — pinned by the regrowth unit test. The discarded
+     row is garbage for the GC, but regrowth happens O(log max-pool)
+     times per run, never on the steady-state path. *)
+  let ensure t row n =
+    let cap = Array.length row.tasks in
+    if n > cap then begin
+      let cap' = ref cap in
+      while !cap' < n do
+        cap' := !cap' * 2
+      done;
+      row.tasks <- Array.make !cap' 0;
+      row.versions <- Array.make !cap' Version.Primary;
+      row.scores <- Array.make !cap' 0.;
+      row.count <- 0;
+      t.regrown <- t.regrown + 1;
+      if !cap' > t.capacity then t.capacity <- !cap'
+    end;
+    row.tasks
+
+  (* Record a freshly built pool's occupancy (for the high-water gauge). *)
+  let note_occupancy t n = if n > t.hwm then t.hwm <- n
+
+  (* Copy a boxed pool (the ledger-attached rebuild path) into the row. *)
+  let fill_from_list t row pool =
+    let n = List.length pool in
+    ignore (ensure t row n);
+    let i = ref 0 in
+    List.iter
+      (fun task ->
+        row.tasks.(!i) <- task;
+        incr i)
+      pool;
+    row.count <- n;
+    note_occupancy t n
+
+  (* Order the first [n] pool slots by decreasing score, ties broken on
+     ascending task id — the boxed [List.sort] comparator. Task ids in a
+     pool are distinct, so the comparator is a total order and any
+     correct sort yields the one sequence [List.sort] yields; insertion
+     sort keeps it allocation-free (pools stay well under a hundred).
+     Writes the permutation into the shared [order] scratch; the rows
+     themselves keep their fill order for reuse-path re-scoring. *)
+  let sort t row n =
+    let order = t.order in
+    let scores = row.scores in
+    let tasks = row.tasks in
+    for i = 0 to n - 1 do
+      order.(i) <- i
+    done;
+    for i = 1 to n - 1 do
+      let k = order.(i) in
+      let sk = scores.(k) in
+      let tk = tasks.(k) in
+      let j = ref (i - 1) in
+      let moving = ref true in
+      while !moving do
+        if !j < 0 then moving := false
+        else begin
+          let kj = order.(!j) in
+          let c = Float.compare scores.(kj) sk in
+          if c < 0 || (c = 0 && tasks.(kj) > tk) then begin
+            order.(!j + 1) <- kj;
+            j := !j - 1
+          end
+          else moving := false
+        end
+      done;
+      order.(!j + 1) <- k
+    done
+end

@@ -45,16 +45,25 @@ let machine_order_to_string = function
    pool from scratch for every free machine on every timestep.
    [`Incremental] reuses work whose inputs provably did not change —
    memoised energy bounds, cached parent-derived score inputs, and whole
-   pools when no commit happened since they were built — and is pinned
-   bit-identical to [`Rescan] by the differential test suite, which keeps
-   the rescan path alive as the oracle. *)
-type mode = [ `Rescan | `Incremental ]
+   pools when no commit happened since they were built.
+   [`Soa] (the default) keeps the incremental mode's reuse rules but
+   moves the pools themselves onto the preallocated flat arrays of
+   {!Pool.Flat}, batch-filtering and batch-scoring each pool in single
+   passes so a steady-state timestep allocates nothing at all.
+   Both alternative modes are pinned bit-identical to [`Rescan] by the
+   differential test suite, which keeps the rescan path alive as the
+   oracle. *)
+type mode = [ `Rescan | `Incremental | `Soa ]
 
-let mode_to_string = function `Rescan -> "rescan" | `Incremental -> "incremental"
+let mode_to_string = function
+  | `Rescan -> "rescan"
+  | `Incremental -> "incremental"
+  | `Soa -> "soa"
 
 let mode_of_string = function
   | "rescan" -> Some `Rescan
   | "incremental" -> Some `Incremental
+  | "soa" -> Some `Soa
   | _ -> None
 
 type params = {
@@ -64,9 +73,10 @@ type params = {
   weights : Objective.weights;
   feas_mode : Feasibility.mode;
   mode : mode;
-      (** [`Incremental] (the default) caches pool state whose inputs did
-          not change; [`Rescan] is the naive rebuild kept as the
-          differential oracle. Output is bit-identical either way. *)
+      (** [`Soa] (the default) runs pools on the flat preallocated arena;
+          [`Incremental] caches boxed pool state whose inputs did not
+          change; [`Rescan] is the naive rebuild kept as the differential
+          oracle. Output is bit-identical in all three. *)
   machine_order : machine_order;
   parallel_scoring : int option;
       (** score pool candidates on this many domains — the paper notes the
@@ -101,7 +111,7 @@ let default_params ?(variant = V1) weights =
     horizon = 100;
     weights;
     feas_mode = Feasibility.Conservative;
-    mode = `Incremental;
+    mode = `Soa;
     machine_order = Numerical;
     parallel_scoring = None;
     tracer = None;
@@ -363,7 +373,8 @@ let scored_pool params ~cache ~eligible sched ~machine ~now stats_candidates =
     List.iter
       (fun (_, _, s) ->
         Agrid_obs.Sink.observe obs "slrh/score_value" ~bounds:Objective.score_bounds s)
-      scored
+      scored;
+    Agrid_obs.Sink.max_gauge obs "slrh/pool_hwm" (float_of_int n)
   end;
   List.sort
     (fun (ta, _, a) (tb, _, b) ->
@@ -502,6 +513,213 @@ let try_assign params sched ~machine ~now ~scored plans_attempted =
   in
   walk 0 scored
 
+(* ---- the flat (SoA) pool path ----
+
+   Same decisions, no boxes: pools live in the {!Pool.Flat} arena, are
+   rebuilt with {!Feasibility.filter_into} and re-scored with
+   {!Objective.score_into} in single passes, and are walked through the
+   shared sort permutation. Reuse is epoch-keyed exactly like the
+   incremental cache's. Telemetry, when the sink is enabled, replays the
+   boxed path's span/counter/histogram sequence verbatim (fill order IS
+   the boxed pool order, and observation loops run before sorting), so
+   the differential suite compares sinks across modes directly.
+
+   Closure discipline: every function below that runs on the
+   steady-state path is a top-level function, every telemetry closure is
+   built only under [Sink.enabled], and the walk recursions carry their
+   state in arguments — so a timestep whose pools are reused and empty
+   performs zero heap allocation (pinned by test_alloc). *)
+
+(* Rebuild machine's pool into its arena row at [epoch]. With a ledger
+   attached, the boxed build runs instead (its raw pool feeds the
+   rejection entries, which must stay byte-identical to the oracle's)
+   and the result is copied into the row; reuse is off in that case, so
+   the copy happens every rebuild and allocation is already conceded. *)
+let soa_rebuild params (arena : Pool.Flat.t) ~eligible sched ~machine ~now ~epoch =
+  let obs = params.obs in
+  let row = arena.Pool.Flat.rows.(machine) in
+  (match Agrid_obs.Sink.ledger obs with
+  | None ->
+      let n, admitted, checked =
+        Feasibility.filter_into ~obs arena.Pool.Flat.memo sched ~machine ~eligible
+          ~ensure:(fun cap -> Pool.Flat.ensure arena row cap)
+      in
+      row.Pool.Flat.count <- n;
+      row.Pool.Flat.admitted <- admitted;
+      row.Pool.Flat.checked <- checked;
+      Pool.Flat.note_occupancy arena n
+  | Some led ->
+      let raw, n_checked =
+        Feasibility.candidate_pool_memo ~obs arena.Pool.Flat.memo sched ~machine
+      in
+      List.iter
+        (fun (task, why) ->
+          Agrid_obs.Ledger.record led
+            (Agrid_obs.Ledger.Candidate
+               {
+                 clock = now;
+                 machine;
+                 task;
+                 fate = Agrid_obs.Ledger.Rejected (reject_of_infeasibility why);
+               }))
+        (Feasibility.explain_rejections ~mode:params.feas_mode sched ~machine);
+      List.iter
+        (fun task ->
+          if not (eligible task) then
+            Agrid_obs.Ledger.record led
+              (Agrid_obs.Ledger.Candidate
+                 {
+                   clock = now;
+                   machine;
+                   task;
+                   fate = Agrid_obs.Ledger.Rejected Agrid_obs.Ledger.Ineligible;
+                 }))
+        raw;
+      Pool.Flat.fill_from_list arena row (List.filter eligible raw);
+      row.Pool.Flat.admitted <- List.length raw;
+      row.Pool.Flat.checked <- n_checked);
+  row.Pool.Flat.epoch <- epoch;
+  Agrid_obs.Sink.incr obs "slrh/pool_rebuilt"
+
+(* [scored_pool] on the arena: obtain (reuse or rebuild), re-score, sort.
+   Returns the pool size; the sorted walk order is in [arena.order].
+   Re-scoring happens every timestep even on reuse — scores depend on
+   [now] and the timelines — exactly as the boxed reuse path re-scores
+   its cached list. *)
+let soa_scored_pool params (arena : Pool.Flat.t) ~eligible sched ~machine ~now
+    stats_candidates =
+  let obs = params.obs in
+  let enabled = Agrid_obs.Sink.enabled obs in
+  let epoch = Schedule.n_mapped sched in
+  let row = arena.Pool.Flat.rows.(machine) in
+  if arena.Pool.Flat.reuse_pools && row.Pool.Flat.epoch = epoch then begin
+    (* unchanged inputs: replay the build's telemetry, keep the row *)
+    if enabled then
+      Agrid_obs.Sink.span obs "slrh/pool_build" (fun () ->
+          Agrid_obs.Sink.span obs "feasibility/filter" (fun () ->
+              Agrid_obs.Sink.add obs "feasibility/checked" row.Pool.Flat.checked;
+              Agrid_obs.Sink.add obs "feasibility/admitted" row.Pool.Flat.admitted);
+          Agrid_obs.Sink.incr obs "slrh/pool_reused")
+  end
+  else if enabled then
+    Agrid_obs.Sink.span obs "slrh/pool_build" (fun () ->
+        soa_rebuild params arena ~eligible sched ~machine ~now ~epoch)
+  else soa_rebuild params arena ~eligible sched ~machine ~now ~epoch;
+  let n = row.Pool.Flat.count in
+  stats_candidates := !stats_candidates + n;
+  let w = live_weights params in
+  if enabled then begin
+    (* timed directly rather than through [Sink.span]: the batch pass is
+       short enough that the span wrapper's closures would dominate the
+       measurement *)
+    let t0 = Agrid_obs.Clock.monotonic_ns () in
+    Objective.score_into w sched ~machine ~now ~n ~tasks:row.Pool.Flat.tasks
+      ~bound_ready:arena.Pool.Flat.bound_ready
+      ~bound_comm:arena.Pool.Flat.bound_comm
+      ~bound_known:arena.Pool.Flat.bound_known ~versions:row.Pool.Flat.versions
+      ~scores:row.Pool.Flat.scores;
+    Agrid_obs.Sink.record_span obs "slrh/score"
+      (Agrid_obs.Clock.elapsed_seconds ~since:t0);
+    Agrid_obs.Sink.observe obs "slrh/pool_size" ~bounds:pool_size_bounds
+      (float_of_int n);
+    Agrid_obs.Sink.add obs "objective/version_evals" (2 * n);
+    let scores = row.Pool.Flat.scores in
+    for k = 0 to n - 1 do
+      Agrid_obs.Sink.observe obs "slrh/score_value" ~bounds:Objective.score_bounds
+        scores.(k)
+    done;
+    Agrid_obs.Sink.max_gauge obs "slrh/pool_hwm" (float_of_int n)
+  end
+  else if n > 0 then
+    Objective.score_into w sched ~machine ~now ~n ~tasks:row.Pool.Flat.tasks
+      ~bound_ready:arena.Pool.Flat.bound_ready
+      ~bound_comm:arena.Pool.Flat.bound_comm
+      ~bound_known:arena.Pool.Flat.bound_known ~versions:row.Pool.Flat.versions
+      ~scores:row.Pool.Flat.scores;
+  if n > 1 then Pool.Flat.sort arena row n
+  else if n = 1 then arena.Pool.Flat.order.(0) <- 0;
+  n
+
+(* The arena pool as the boxed walk's sorted list — the SoA path when a
+   ledger or tracer is attached, so every fate/event flows through the
+   one [try_assign] whose bytes the oracle pins. Built back-to-front to
+   keep construction order deterministic. *)
+let soa_scored_list params arena ~eligible sched ~machine ~now stats_candidates =
+  let n = soa_scored_pool params arena ~eligible sched ~machine ~now stats_candidates in
+  let row = arena.Pool.Flat.rows.(machine) in
+  let order = arena.Pool.Flat.order in
+  let rec build i acc =
+    if i < 0 then acc
+    else
+      let k = order.(i) in
+      build (i - 1)
+        ((row.Pool.Flat.tasks.(k), row.Pool.Flat.versions.(k), row.Pool.Flat.scores.(k))
+        :: acc)
+  in
+  build (n - 1) []
+
+(* [try_assign] for the flat fast path (no ledger, no tracer): walk the
+   sort order, plan each unmapped candidate, commit the first whose start
+   fits the horizon; returns the committed task id or -1. [seen_mapped]
+   counts already-mapped stragglers (SLRH-2's drained commits), so the
+   final empty-vs-miss counter decision sees the same pool size the
+   boxed walk sees — its list excludes exactly those. Top-level
+   recursion, state in arguments: an exhausting walk over an empty
+   reused pool allocates nothing. *)
+let rec flat_walk params (arena : Pool.Flat.t) sched ~machine ~now n i seen_mapped
+    plans_attempted =
+  let obs = params.obs in
+  if i >= n then begin
+    if n - seen_mapped = 0 then Agrid_obs.Sink.incr obs "slrh/pool_empty"
+    else Agrid_obs.Sink.incr obs "slrh/horizon_miss";
+    -1
+  end
+  else begin
+    let row = arena.Pool.Flat.rows.(machine) in
+    let k = arena.Pool.Flat.order.(i) in
+    let task = row.Pool.Flat.tasks.(k) in
+    if Schedule.is_mapped sched task then
+      flat_walk params arena sched ~machine ~now n (i + 1) (seen_mapped + 1)
+        plans_attempted
+    else begin
+      incr plans_attempted;
+      let version = row.Pool.Flat.versions.(k) in
+      let plan =
+        if Agrid_obs.Sink.enabled obs then
+          Agrid_obs.Sink.span obs "slrh/plan" (fun () ->
+              Schedule.plan sched ~task ~version ~machine ~not_before:now)
+        else Schedule.plan sched ~task ~version ~machine ~not_before:now
+      in
+      if plan.Schedule.pl_start <= now + params.horizon then begin
+        Schedule.commit sched plan;
+        task
+      end
+      else
+        flat_walk params arena sched ~machine ~now n (i + 1) seen_mapped
+          plans_attempted
+    end
+  end
+
+(* SLRH-2's drain on the flat path: keep walking the SAME stale pool
+   (no re-score, no re-sort) until a walk commits nothing. *)
+let rec flat_drain params arena sched ~machine ~now n plans_attempted assignments =
+  if flat_walk params arena sched ~machine ~now n 0 0 plans_attempted >= 0 then begin
+    incr assignments;
+    flat_drain params arena sched ~machine ~now n plans_attempted assignments
+  end
+
+(* SLRH-3 on the flat path: rebuild (epoch moved) and re-score after
+   every commit. *)
+let rec flat_v3 params arena ~eligible sched ~machine ~now pools_built
+    stats_candidates plans_attempted assignments =
+  incr pools_built;
+  let n = soa_scored_pool params arena ~eligible sched ~machine ~now stats_candidates in
+  if flat_walk params arena sched ~machine ~now n 0 0 plans_attempted >= 0 then begin
+    incr assignments;
+    flat_v3 params arena ~eligible sched ~machine ~now pools_built stats_candidates
+      plans_attempted assignments
+  end
+
 let validate_params params =
   if params.delta_t <= 0 then invalid_arg "Slrh: delta_t must be positive";
   if params.horizon < 0 then invalid_arg "Slrh: horizon must be nonnegative"
@@ -530,8 +748,28 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
   let tau = match until with Some u -> u | None -> Workload.tau workload in
   let cache =
     match params.mode with
-    | `Rescan -> None
+    | `Rescan | `Soa -> None
     | `Incremental -> Some (make_cache params sched ~n_machines)
+  in
+  let arena =
+    match params.mode with
+    | `Rescan | `Incremental -> None
+    | `Soa ->
+        Some
+          (Pool.Flat.create ~feas_mode:params.feas_mode
+             ~reuse_pools:(Option.is_none (Agrid_obs.Sink.ledger params.obs))
+             workload)
+  in
+  (* The zero-allocation walk applies only while no decision recorder is
+     attached; a ledger or tracer routes the arena's pools through the
+     boxed [try_assign], whose record bytes the oracle pins. *)
+  let flat =
+    match arena with
+    | Some a
+      when Option.is_none (Agrid_obs.Sink.ledger params.obs)
+           && Option.is_none params.tracer ->
+        Some a
+    | Some _ | None -> None
   in
   let clock_steps = ref 0 in
   let pools_built = ref 0 in
@@ -569,6 +807,29 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
     if (not !cancelled) && params.cancel () then cancelled := true;
     not !cancelled
   in
+  (* The boxed walks' pool source: the arena (materialised through the
+     sort order) when SoA mode runs with a ledger or tracer attached,
+     the list paths otherwise. *)
+  let get_scored ~machine =
+    match arena with
+    | Some a -> soa_scored_list params a ~eligible sched ~machine ~now:!now candidates_scored
+    | None -> scored_pool params ~cache ~eligible sched ~machine ~now:!now candidates_scored
+  in
+  (* Numerical and fast-first visit orders read nothing that changes
+     within a run, so their masked sequence is hoisted out of the clock
+     loop (bit-identical for every mode; the flat path additionally
+     needs it to keep steady-state timesteps allocation-free).
+     Most-energy-first re-sorts by live battery each step, as before. *)
+  let static_sequence =
+    match params.machine_order with
+    | Numerical | Fast_first ->
+        Some
+          (Array.of_list
+             (List.filter up
+                (Array.to_list (machine_sequence params sched ~n_machines))))
+    | Most_energy_first -> None
+  in
+  let machine = ref 0 in
   while keep_going () && (not (Schedule.all_mapped sched)) && !now <= tau do
     incr clock_steps;
     (match ledger with
@@ -578,59 +839,87 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
           if not (up j) then record_idle ~machine:j ~cause:Agrid_obs.Ledger.Down
         done);
     let sequence =
-      Array.of_list
-        (List.filter up (Array.to_list (machine_sequence params sched ~n_machines)))
+      match static_sequence with
+      | Some s -> s
+      | None ->
+          Array.of_list
+            (List.filter up
+               (Array.to_list (machine_sequence params sched ~n_machines)))
     in
     let n_swept = Array.length sequence in
-    let machine = ref 0 in
+    machine := 0;
     while (not (Schedule.all_mapped sched)) && !machine < n_swept do
       let j = sequence.(!machine) in
       if Schedule.machine_free_at sched ~machine:j ~time:!now then begin
-        match params.variant with
-        | V1 ->
-            incr pools_built;
-            let scored = scored_pool params ~cache ~eligible sched ~machine:j ~now:!now candidates_scored in
-            (match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
-            | Some _ -> incr assignments
-            | None -> record_idle ~machine:j ~cause:(idle_cause_of_pool scored))
-        | V2 ->
-            (* one stale pool, drained as far as the horizon allows *)
-            incr pools_built;
-            let scored =
-              ref (scored_pool params ~cache ~eligible sched ~machine:j ~now:!now candidates_scored)
-            in
-            let committed = ref 0 in
-            let continue_ = ref true in
-            while !continue_ do
-              match try_assign params sched ~machine:j ~now:!now ~scored:!scored plans_attempted with
-              | Some task ->
-                  incr assignments;
-                  incr committed;
-                  scored := List.filter (fun (i, _, _) -> i <> task) !scored
-              | None -> continue_ := false
-            done;
-            if !committed = 0 then
-              record_idle ~machine:j ~cause:(idle_cause_of_pool !scored)
-        | V3 ->
-            (* rebuild and re-score the pool after every assignment *)
-            let committed = ref 0 in
-            let last_pool_empty = ref true in
-            let continue_ = ref true in
-            while !continue_ do
-              incr pools_built;
-              let scored = scored_pool params ~cache ~eligible sched ~machine:j ~now:!now candidates_scored in
-              (last_pool_empty := match scored with [] -> true | _ :: _ -> false);
-              match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
-              | Some _ ->
-                  incr assignments;
-                  incr committed
-              | None -> continue_ := false
-            done;
-            if !committed = 0 then
-              record_idle ~machine:j
-                ~cause:
-                  (if !last_pool_empty then Agrid_obs.Ledger.Pool_empty
-                   else Agrid_obs.Ledger.Horizon_miss)
+        match flat with
+        | Some a -> (
+            (* flat fast path: no ledger, no tracer — idle recording and
+               decision tracing are no-ops, so only counters and commits
+               must match the boxed walks (and they do, bit for bit) *)
+            match params.variant with
+            | V1 ->
+                incr pools_built;
+                let n =
+                  soa_scored_pool params a ~eligible sched ~machine:j ~now:!now
+                    candidates_scored
+                in
+                if flat_walk params a sched ~machine:j ~now:!now n 0 0 plans_attempted >= 0
+                then incr assignments
+            | V2 ->
+                incr pools_built;
+                let n =
+                  soa_scored_pool params a ~eligible sched ~machine:j ~now:!now
+                    candidates_scored
+                in
+                flat_drain params a sched ~machine:j ~now:!now n plans_attempted
+                  assignments
+            | V3 ->
+                flat_v3 params a ~eligible sched ~machine:j ~now:!now pools_built
+                  candidates_scored plans_attempted assignments)
+        | None -> (
+            match params.variant with
+            | V1 ->
+                incr pools_built;
+                let scored = get_scored ~machine:j in
+                (match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
+                | Some _ -> incr assignments
+                | None -> record_idle ~machine:j ~cause:(idle_cause_of_pool scored))
+            | V2 ->
+                (* one stale pool, drained as far as the horizon allows *)
+                incr pools_built;
+                let scored = ref (get_scored ~machine:j) in
+                let committed = ref 0 in
+                let continue_ = ref true in
+                while !continue_ do
+                  match try_assign params sched ~machine:j ~now:!now ~scored:!scored plans_attempted with
+                  | Some task ->
+                      incr assignments;
+                      incr committed;
+                      scored := List.filter (fun (i, _, _) -> i <> task) !scored
+                  | None -> continue_ := false
+                done;
+                if !committed = 0 then
+                  record_idle ~machine:j ~cause:(idle_cause_of_pool !scored)
+            | V3 ->
+                (* rebuild and re-score the pool after every assignment *)
+                let committed = ref 0 in
+                let last_pool_empty = ref true in
+                let continue_ = ref true in
+                while !continue_ do
+                  incr pools_built;
+                  let scored = get_scored ~machine:j in
+                  (last_pool_empty := match scored with [] -> true | _ :: _ -> false);
+                  match try_assign params sched ~machine:j ~now:!now ~scored plans_attempted with
+                  | Some _ ->
+                      incr assignments;
+                      incr committed
+                  | None -> continue_ := false
+                done;
+                if !committed = 0 then
+                  record_idle ~machine:j
+                    ~cause:
+                      (if !last_pool_empty then Agrid_obs.Ledger.Pool_empty
+                       else Agrid_obs.Ledger.Horizon_miss))
       end
       else record_idle ~machine:j ~cause:Agrid_obs.Ledger.Busy;
       incr machine
@@ -640,16 +929,20 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
     (match params.adapt with
     | None -> ()
     | Some a -> Adapt.on_timestep a ~obs ~clock:!now sched);
+    (* guarded on [enabled]: the [~make] closure captures eight locals, so
+       merely constructing it would allocate every timestep on the noop
+       sink — the flat path's zero-allocation budget forbids that *)
     let sampled =
-      Agrid_obs.Sink.tick_snapshot obs ~make:(fun () ->
-          {
-            Agrid_obs.Snapshot.clock = !now;
-            mapped = Schedule.n_mapped sched;
-            t100 = Schedule.n_primary sched;
-            pools_built = !pools_built - !snap_pools;
-            pool_candidates = !candidates_scored - !snap_cands;
-            energy = Array.init n_machines (Schedule.energy_remaining sched);
-          })
+      Agrid_obs.Sink.enabled obs
+      && Agrid_obs.Sink.tick_snapshot obs ~make:(fun () ->
+             {
+               Agrid_obs.Snapshot.clock = !now;
+               mapped = Schedule.n_mapped sched;
+               t100 = Schedule.n_primary sched;
+               pools_built = !pools_built - !snap_pools;
+               pool_candidates = !candidates_scored - !snap_cands;
+               energy = Array.init n_machines (Schedule.energy_remaining sched);
+             })
     in
     if sampled then begin
       snap_pools := !pools_built;
@@ -665,7 +958,15 @@ let continue_run ?until ?(start_clock = 0) ?mask ?(eligible = fun _ -> true) par
     Agrid_obs.Sink.add obs "slrh/candidates_scored" !candidates_scored;
     Agrid_obs.Sink.add obs "slrh/plans_attempted" !plans_attempted;
     Agrid_obs.Sink.add obs "slrh/assignments" !assignments;
-    Agrid_obs.Sink.max_gauge obs "slrh/final_clock" (float_of_int !now)
+    Agrid_obs.Sink.max_gauge obs "slrh/final_clock" (float_of_int !now);
+    (match arena with
+    | None -> ()
+    | Some a ->
+        (* arena sizing telemetry: capacity/regrowth are whole-run facts,
+           emitted once here rather than inside the sweep *)
+        Agrid_obs.Sink.max_gauge obs "slrh/pool_capacity"
+          (float_of_int (Pool.Flat.capacity a));
+        Agrid_obs.Sink.add obs "slrh/pool_regrown" (Pool.Flat.regrown a))
   end;
   {
     schedule = sched;

@@ -22,31 +22,43 @@ type machine_order =
 
 val machine_order_to_string : machine_order -> string
 
-type mode = [ `Rescan | `Incremental ]
+type mode = [ `Rescan | `Incremental | `Soa ]
 (** How each timestep obtains its candidate pools.
 
     [`Rescan] rebuilds and re-prices every free machine's pool from
     scratch — the paper-literal loop, kept as the differential oracle.
 
-    [`Incremental] (the default) reuses work whose inputs provably did
-    not change: energy admission bounds are priced once per
-    (task, machine) ({!Feasibility.Memo}), parent-derived score inputs
-    are cached once a task is poolable ({!Objective.parent_bound}), and a
-    machine's whole pool is reused while no commit has intervened since
-    it was built (commits are the only intra-run mutation of the ready
-    set, the mapped set and the batteries). Schedules, traces, ledger
-    records and obs counters are bit-identical to [`Rescan] — pinned by
-    the differential suite — except for the [`Incremental]-only counters
-    ["slrh/pool_reused"] / ["slrh/pool_rebuilt"] and span durations.
-    Whole-pool reuse is disabled while a decision ledger is attached
-    (each rebuild emits rejection entries reuse cannot replay) and
-    assumes [eligible] is stable for the duration of the run, as both the
-    plain loop and the churn engine guarantee. *)
+    [`Incremental] reuses work whose inputs provably did not change:
+    energy admission bounds are priced once per (task, machine)
+    ({!Feasibility.Memo}), parent-derived score inputs are cached once a
+    task is poolable ({!Objective.parent_bound}), and a machine's whole
+    pool is reused while no commit has intervened since it was built
+    (commits are the only intra-run mutation of the ready set, the
+    mapped set and the batteries).
+
+    [`Soa] (the default) keeps the incremental mode's memoisation and
+    epoch-keyed whole-pool reuse but runs them on a flat preallocated
+    structure-of-arrays arena ({!Pool.Flat}): batch admission
+    ({!Feasibility.filter_into}) and batch scoring
+    ({!Objective.score_into}) write into caller-owned buffers, and when
+    neither a ledger nor a tracer is attached the walk commits straight
+    off the arena, so steady-state timesteps perform zero heap
+    allocation (pinned by the allocation-budget suite).
+
+    All modes produce bit-identical schedules, traces, ledger records
+    and obs counters — pinned by the differential suite — except for the
+    maintenance-only counters ["slrh/pool_reused"] / ["slrh/pool_rebuilt"]
+    and the [`Soa]-only arena gauges ["slrh/pool_capacity"] /
+    ["slrh/pool_regrown"], plus span durations. Whole-pool reuse is
+    disabled while a decision ledger is attached (each rebuild emits
+    rejection entries reuse cannot replay) and assumes [eligible] is
+    stable for the duration of the run, as both the plain loop and the
+    churn engine guarantee. *)
 
 val mode_to_string : mode -> string
 
 val mode_of_string : string -> mode option
-(** ["rescan"] / ["incremental"]; [None] otherwise. *)
+(** ["rescan"] / ["incremental"] / ["soa"]; [None] otherwise. *)
 
 type params = {
   variant : variant;

@@ -1,0 +1,11 @@
+(** Monotonic nanosecond clock for span timing. *)
+
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "agrid_clock_monotonic_ns_bytecode" "agrid_clock_monotonic_ns_native"
+[@@noalloc]
+(** CLOCK_MONOTONIC in nanoseconds: ~tens-of-ns resolution, immune to
+    wall-clock adjustments, no OCaml heap allocation on the native
+    path. *)
+
+val elapsed_seconds : since:int64 -> float
+(** Seconds elapsed since a [monotonic_ns] reading. *)

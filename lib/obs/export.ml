@@ -124,6 +124,27 @@ let add_counters b ~indent sink =
   Buffer.add_string b indent;
   Buffer.add_char b '}'
 
+let add_gauges b ~indent sink =
+  Buffer.add_string b "\"gauges\": {";
+  let first = ref true in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Registry.Gauge g ->
+          if not !first then Buffer.add_char b ',';
+          first := false;
+          Buffer.add_char b '\n';
+          Buffer.add_string b indent;
+          Buffer.add_string b "  ";
+          Buffer.add_string b (Json.to_string (Str name));
+          Buffer.add_string b ": ";
+          Buffer.add_string b (Json.float_repr g)
+      | Registry.Counter _ | Registry.Histogram _ -> ())
+    (Sink.metrics sink);
+  Buffer.add_char b '\n';
+  Buffer.add_string b indent;
+  Buffer.add_char b '}'
+
 let summary_json ?total_seconds ?(sections = []) sink =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": ";
@@ -137,9 +158,11 @@ let summary_json ?total_seconds ?(sections = []) sink =
   add_spans b ~indent:"  " sink;
   Buffer.add_string b ",\n  ";
   add_counters b ~indent:"  " sink;
+  Buffer.add_string b ",\n  ";
+  add_gauges b ~indent:"  " sink;
   (* Named sub-profiles (e.g. the bench campaign section): same
-     spans/counters shape one level down, so the regression gate walks
-     them with the same comparators. *)
+     spans/counters/gauges shape one level down, so the regression gate
+     walks them with the same comparators. *)
   if sections <> [] then begin
     Buffer.add_string b ",\n  \"sections\": {";
     List.iteri
@@ -151,6 +174,8 @@ let summary_json ?total_seconds ?(sections = []) sink =
         add_spans b ~indent:"      " s;
         Buffer.add_string b ",\n      ";
         add_counters b ~indent:"      " s;
+        Buffer.add_string b ",\n      ";
+        add_gauges b ~indent:"      " s;
         Buffer.add_string b "\n    }")
       sections;
     Buffer.add_string b "\n  }"

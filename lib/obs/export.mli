@@ -19,11 +19,11 @@ val write_jsonl : string -> Sink.t -> unit
 val summary_json :
   ?total_seconds:float -> ?sections:(string * Sink.t) list -> Sink.t -> string
 (** One pretty-printed JSON document (schema ["agrid-bench-obs/1"]):
-    per-span mean/p50/p95/p99/max/total wall times plus every counter — the
-    payload of [BENCH_obs.json]. [?sections] adds named sub-profiles
-    (e.g. the bench campaign sink) under a ["sections"] object, each with
-    the same spans/counters shape, so the CI regression gate compares
-    them with the same rules. *)
+    per-span mean/p50/p95/p99/max/total wall times plus every counter and
+    gauge — the payload of [BENCH_obs.json]. [?sections] adds named
+    sub-profiles (e.g. the bench campaign sink) under a ["sections"]
+    object, each with the same spans/counters/gauges shape, so the CI
+    regression gate compares them with the same rules. *)
 
 val metrics_csv_header : string list
 val metrics_csv_rows : Sink.t -> string list list

@@ -14,9 +14,14 @@ type agg = {
 
 type t = (string, agg) Hashtbl.t
 
-(* 1 us .. ~2.3 min in 27 doubling buckets: spans here range from a single
-   feasibility filter (~us) to a full campaign level (~minutes). *)
-let duration_bounds = Hist.exponential_bounds ~lo:1e-6 ~factor:2.0 ~n:27
+(* 10 ns .. ~2.8 min in 34 doubling buckets: spans here range from a
+   single batch-scoring pass over a small pool (~100 ns on the SoA
+   arena) to a full campaign level (~minutes). The sub-microsecond
+   buckets matter: the scoring hot path dropped below 1 us, and a
+   histogram whose first bucket ends at 1 us would flatten any further
+   change into interpolation noise — the perf gate could neither see the
+   speedup nor catch a 2x regression inside the bucket. *)
+let duration_bounds = Hist.exponential_bounds ~lo:1e-8 ~factor:2.0 ~n:34
 
 let create () : t = Hashtbl.create 16
 
@@ -45,10 +50,12 @@ let record t name seconds =
   Hist.observe a.hist seconds
 
 (* The duration is recorded even when [f] raises: a span that dies half-way
-   through still spent the time. *)
+   through still spent the time. Timed with the monotonic ns clock:
+   gettimeofday's microsecond resolution records sub-microsecond spans
+   (one SoA scoring pass) as exact zeros. *)
 let time t name f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> record t name (Unix.gettimeofday () -. t0)) f
+  let t0 = Clock.monotonic_ns () in
+  Fun.protect ~finally:(fun () -> record t name (Clock.elapsed_seconds ~since:t0)) f
 
 type stats = {
   name : string;

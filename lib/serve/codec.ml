@@ -53,11 +53,12 @@ let parse_job j =
   let* variant = variant_of_string variant_name in
   let* delta_t = opt_field j "delta_t" Json.to_int ~default:10 in
   let* horizon = opt_field j "horizon" Json.to_int ~default:100 in
-  let* mode_name = opt_field j "mode" Json.to_string_value ~default:"incremental" in
+  let* mode_name = opt_field j "mode" Json.to_string_value ~default:"soa" in
   let* mode =
     match Slrh.mode_of_string mode_name with
     | Some m -> Ok m
-    | None -> Error (Fmt.str "unknown mode %S (expected rescan|incremental)" mode_name)
+    | None ->
+        Error (Fmt.str "unknown mode %S (expected rescan|incremental|soa)" mode_name)
   in
   let* trace = opt_field j "events" Json.to_string_value ~default:"" in
   let* events =

@@ -39,7 +39,7 @@ let default scenario =
     variant = Slrh.V1;
     delta_t = 10;
     horizon = 100;
-    mode = `Incremental;
+    mode = `Soa;
     adapt = None;
     events = [];
     deadline_ms = None;

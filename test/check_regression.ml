@@ -9,7 +9,18 @@
    - span p50/p95 timings vary with hardware, so the fresh run may be up
      to --span-tolerance times the baseline (default 10x — loose enough
      for CI runner jitter, tight enough to catch an accidental
-     quadratic-blowup or a hot loop losing its no-op guard).
+     quadratic-blowup or a hot loop losing its no-op guard). Spans named
+     in [tight_spans] get a tighter multiplier: "slrh/score" runs on the
+     preallocated SoA arena, whose batch pass is a multiple faster than
+     the boxed scorer, so a 3x budget fails CI if scoring ever falls
+     back to boxed-path speed;
+   - gauges under the "slrh/" prefix are seed-deterministic facts about
+     the run (final clock, arena capacity and high-water mark), compared
+     exactly — EXCEPT allocation gauges (name containing "alloc_bytes"),
+     which are budgets: the fresh value may not EXCEED the baseline
+     (the committed budget is 0 bytes/timestep for the SoA steady state,
+     so any new per-timestep allocation fails the gate). Gauges outside
+     "slrh/" (serve/fleet timing gauges) are not gated.
 
    Exit 0: no regression. Exit 1: regression, one line per finding.
    Exit 2: missing/malformed input. A deliberate behaviour change is
@@ -102,6 +113,32 @@ let counters_of doc =
         fields
   | _ -> []
 
+let gauges_of doc =
+  match Agrid_obs.Json.member "gauges" doc with
+  | Some (Agrid_obs.Json.Obj fields) ->
+      List.filter_map
+        (fun (name, v) ->
+          match Agrid_obs.Json.to_float v with Some g -> Some (name, g) | None -> None)
+        fields
+  | _ -> []
+
+(* Tighter span budgets than the CLI default, for spans whose baseline
+   already reflects a structural speedup we refuse to lose. *)
+let tight_spans = [ ("slrh/score", 3.) ]
+
+(* Only "slrh/"-prefixed gauges are gated: they are seed-deterministic
+   facts about the scheduler run. Serve/fleet gauges are wall-clock
+   measurements and would flap on CI runners. *)
+let gauge_gated name = String.length name >= 5 && String.sub name 0 5 = "slrh/"
+
+(* Allocation gauges are upper-bound budgets, not exact values: a fresh
+   run allocating LESS than the committed budget is an improvement. *)
+let gauge_is_budget name =
+  let n = String.length name and sub = "alloc_bytes" in
+  let k = String.length sub in
+  let rec at i = i + k <= n && (String.sub name i k = sub || at (i + 1)) in
+  at 0
+
 (* Named sub-profiles (the bench "campaign" section): same spans/counters
    shape one level down, gated with the same rules. *)
 let sections_of doc =
@@ -138,18 +175,53 @@ let () =
         match List.assoc_opt name fresh_spans with
         | None -> fail "span %s%s missing from %s" label name opts.fresh
         | Some (f50, f95) ->
-            (* floor the budget: sub-microsecond baselines are all jitter *)
-            let budget b = opts.span_tolerance *. Float.max b 1e-6 in
+            let tight = List.assoc_opt name tight_spans in
+            let tolerance =
+              match tight with
+              | Some t -> Float.min t opts.span_tolerance
+              | None -> opts.span_tolerance
+            in
+            (* Floor the budget: with the 10x default, sub-microsecond
+               baselines are all jitter. Tight spans are timed with the
+               ns clock precisely so sub-microsecond regressions are
+               visible — a 1e-6 floor would hide the SoA scorer
+               regressing back to boxed speed — so their floor only
+               guards the clock's own granularity. *)
+            let floor = if Option.is_some tight then 1e-7 else 1e-6 in
+            let budget b = tolerance *. Float.max b floor in
             if f50 > budget b50 then
               fail "span %s%s p50 %.3gs exceeds %.1fx baseline %.3gs" label name f50
-                opts.span_tolerance b50;
+                tolerance b50;
             if f95 > budget b95 then
               fail "span %s%s p95 %.3gs exceeds %.1fx baseline %.3gs" label name f95
-                opts.span_tolerance b95)
+                tolerance b95)
       (spans_of baseline);
-    (List.length fresh_spans, List.length fresh_counters)
+    (* gauges: exact for seed-deterministic facts, upper-bound for
+       allocation budgets, ungated outside "slrh/" *)
+    let fresh_gauges = gauges_of fresh in
+    List.iter
+      (fun (name, expected) ->
+        if gauge_gated name then
+          match List.assoc_opt name fresh_gauges with
+          | None ->
+              fail "gauge %s%s missing from %s (baseline: %g)" label name opts.fresh
+                expected
+          | Some got when gauge_is_budget name ->
+              if got > expected then
+                fail "gauge %s%s: %g exceeds committed budget %g" label name got
+                  expected
+          | Some got when got <> expected ->
+              fail
+                "gauge %s%s: baseline %g, fresh %g (seed-deterministic — behaviour \
+                 changed)"
+                label name expected got
+          | Some _ -> ())
+      (gauges_of baseline);
+    ( List.length fresh_spans,
+      List.length fresh_counters,
+      List.length (List.filter (fun (n, _) -> gauge_gated n) fresh_gauges) )
   in
-  let n_spans, n_counters = compare_docs ~label:"" baseline fresh in
+  let n_spans, n_counters, n_gauges = compare_docs ~label:"" baseline fresh in
   let fresh_sections = sections_of fresh in
   List.iter
     (fun (name, bsec) ->
@@ -159,8 +231,9 @@ let () =
     (sections_of baseline);
   if !failures = 0 then begin
     Fmt.pr
-      "check_regression: %s within tolerance of %s (%d spans, %d counters, %d sections)@."
-      opts.fresh opts.baseline n_spans n_counters
+      "check_regression: %s within tolerance of %s (%d spans, %d counters, %d \
+       gated gauges, %d sections)@."
+      opts.fresh opts.baseline n_spans n_counters n_gauges
       (List.length fresh_sections);
     exit 0
   end

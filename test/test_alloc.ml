@@ -1,0 +1,143 @@
+(* Allocation-budget suite for the scheduler's pool-maintenance modes.
+
+   Measures heap allocation per steady-state timestep with an A/B
+   differential: two fresh, identical runs of a commit-free scenario
+   (batteries scaled to ~nothing, so every candidate is energy-infeasible
+   and the clock spins to tau without ever committing) that differ only
+   in delta_t, hence only in timestep count. Per-run constants — the
+   schedule, the arena, the memo, closures built before the loop — cancel
+   in the difference, leaving exactly bytes-per-extra-timestep.
+   Gc.allocated_bytes is an exact allocation count (not a heap size), so
+   the measurement is deterministic and the SoA budget can be asserted as
+   EXACTLY zero: one stray closure, boxed float or tuple on the
+   steady-state path shows up as a hard failure here, not as GC noise in
+   a benchmark.
+
+   Budgets per mode:
+   - `Soa      : 0 bytes/timestep, all three variants. The flat arena is
+                 the whole point — reused pools re-score into
+                 preallocated rows and the walk commits off the arena.
+   - `Incremental / `Rescan : nonzero (span thunks, pool lists, scored
+                 tuples). Asserted positive — if the boxed paths ever
+                 measure 0 the harness itself has gone blind — and under
+                 a generous ceiling so a quadratic blowup still fails.
+
+   An active-scenario check rides along: over a full run that actually
+   commits (normal batteries), SoA must allocate strictly less in total
+   than either boxed mode. *)
+
+open Agrid_workload
+module Slrh = Agrid_core.Slrh
+module Grid = Agrid_platform.Grid
+
+let failures = ref 0
+
+let check msg ok =
+  if not ok then begin
+    incr failures;
+    Fmt.epr "test_alloc: FAIL %s@." msg
+  end
+
+let weights = Agrid_core.Objective.make_weights ~alpha:0.4 ~beta:0.3
+
+(* The generated mid-size scenario the integration suites use. *)
+let spec = Spec.scaled ~seed:11 ~factor:(48. /. 1024.) ()
+
+let active_workload = Workload.build spec ~etc_index:0 ~dag_index:0 ~case:Grid.A
+
+(* Commit-free variant: same shape, batteries ~zero. Spec validation
+   requires a positive scale, so scale rather than zero out. *)
+let steady_workload =
+  Workload.build
+    { spec with Spec.battery_scale = 1e-9 *. spec.Spec.battery_scale }
+    ~etc_index:0 ~dag_index:0 ~case:Grid.A
+
+let run_measured ~mode ~variant ~delta_t wl =
+  let p =
+    { (Slrh.default_params ~variant weights) with Slrh.mode; delta_t }
+  in
+  let before = Gc.allocated_bytes () in
+  let o = Slrh.run p wl in
+  let after = Gc.allocated_bytes () in
+  (o.Slrh.stats.Slrh.clock_steps, after -. before)
+
+(* Bytes per steady-state timestep: run the commit-free scenario at
+   delta_t 10 and 5 (double the steps), divide the allocation difference
+   by the step difference. A warm-up run per (mode, variant) keeps
+   one-time pricing out of run A. *)
+let steady_bytes_per_step ~mode ~variant =
+  ignore (run_measured ~mode ~variant ~delta_t:10 steady_workload);
+  let steps_a, bytes_a = run_measured ~mode ~variant ~delta_t:10 steady_workload in
+  let steps_b, bytes_b = run_measured ~mode ~variant ~delta_t:5 steady_workload in
+  check
+    (Fmt.str "steady scenario commits nothing (%s)" (Slrh.mode_to_string mode))
+    (steps_b > steps_a);
+  (bytes_b -. bytes_a) /. float_of_int (max 1 (steps_b - steps_a))
+
+let active_total_bytes ~mode ~variant =
+  ignore (run_measured ~mode ~variant ~delta_t:10 active_workload);
+  snd (run_measured ~mode ~variant ~delta_t:10 active_workload)
+
+let variants = [ (Slrh.V1, "V1"); (Slrh.V2, "V2"); (Slrh.V3, "V3") ]
+let modes = [ (`Rescan, "rescan"); (`Incremental, "incremental"); (`Soa, "soa") ]
+
+let () =
+  Fmt.pr "steady-state bytes/timestep (commit-free scenario, %d tasks):@."
+    (Workload.n_tasks steady_workload);
+  Fmt.pr "  %-12s %10s %10s %10s@." "mode" "V1" "V2" "V3";
+  let steady =
+    List.map
+      (fun (mode, mode_name) ->
+        let per_variant =
+          List.map
+            (fun (variant, _) -> steady_bytes_per_step ~mode ~variant)
+            variants
+        in
+        Fmt.pr "  %-12s %10.1f %10.1f %10.1f@." mode_name (List.nth per_variant 0)
+          (List.nth per_variant 1) (List.nth per_variant 2);
+        (mode, mode_name, per_variant))
+      modes
+  in
+  List.iter
+    (fun (mode, mode_name, per_variant) ->
+      List.iteri
+        (fun i bytes ->
+          let _, vname = List.nth variants i in
+          match mode with
+          | `Soa ->
+              (* the tentpole budget: EXACTLY zero, not "small" *)
+              check
+                (Fmt.str "soa %s steady state = 0 bytes/timestep (got %g)" vname
+                   bytes)
+                (bytes = 0.)
+          | `Rescan | `Incremental ->
+              (* boxed paths allocate; a zero here means the harness is
+                 measuring nothing *)
+              check
+                (Fmt.str "%s %s steady state allocates (harness sanity)"
+                   mode_name vname)
+                (bytes > 0.);
+              check
+                (Fmt.str "%s %s steady state under ceiling (got %g)" mode_name
+                   vname bytes)
+                (bytes <= 65536.))
+        per_variant)
+    steady;
+  (* Active scenario: total allocation over a committing run. *)
+  Fmt.pr "whole-run bytes (active scenario, %d tasks):@."
+    (Workload.n_tasks active_workload);
+  List.iter
+    (fun (variant, vname) ->
+      let soa = active_total_bytes ~mode:`Soa ~variant in
+      let incr = active_total_bytes ~mode:`Incremental ~variant in
+      let rescan = active_total_bytes ~mode:`Rescan ~variant in
+      Fmt.pr "  %s: soa %.0f, incremental %.0f, rescan %.0f@." vname soa incr
+        rescan;
+      check (Fmt.str "active %s: soa < incremental" vname) (soa < incr);
+      check (Fmt.str "active %s: soa < rescan" vname) (soa < rescan))
+    variants;
+  if !failures = 0 then Fmt.pr "test_alloc: OK@."
+  else begin
+    Fmt.epr "test_alloc: %d failure(s)@." !failures;
+    exit 1
+  end

@@ -1,10 +1,21 @@
 (* Differential oracle suite: [`Rescan] (the naive rebuild-everything
-   loop, kept as the reference semantics) versus [`Incremental] (the
-   memoized/pool-reusing hot path that is now the default) must be
-   bit-identical — schedules, traces, decision-ledger JSONL, telemetry
-   counters, histograms and snapshots. The only permitted divergence is
-   the [`Incremental]-only counter family ["slrh/pool_reused"] /
-   ["slrh/pool_rebuilt"] (and span durations, which are wall time).
+   loop, kept as the reference semantics) versus each optimised mode —
+   [`Incremental] (memoized boxed pools) and [`Soa] (the flat
+   preallocated arena that is now the default) — must be bit-identical:
+   schedules, traces, decision-ledger JSONL, telemetry counters,
+   histograms and snapshots. The only permitted divergence is the
+   maintenance-only metric family ["slrh/pool_reused"] /
+   ["slrh/pool_rebuilt"] / ["slrh/pool_capacity"] / ["slrh/pool_regrown"]
+   (and span durations, which are wall time).
+
+   [`Soa] runs here through both of its execution shapes: the static
+   pairs attach a tracer, which forces the arena to materialise sorted
+   candidate lists for the boxed walk; the churn pairs and the dedicated
+   fast-path pairs attach neither tracer nor ledger, so the
+   zero-allocation walk that commits straight off the arena is what gets
+   compared. A QCheck property additionally pins the batch scorer
+   against the per-candidate fold, bit for bit, on partially built
+   schedules.
 
    The same discipline pins campaign sharding: the level aggregates and
    counter totals of [Campaign.run] must not depend on [~shards]. *)
@@ -16,8 +27,17 @@ open Agrid_obs
 module Trace = Agrid_core.Trace  (* the decision trace, not Agrid_obs.Trace *)
 module Rng = Agrid_prng.Splitmix64
 
-(* The [`Incremental]-only counters: everything else must match. *)
-let excluded_counters = [ "slrh/pool_reused"; "slrh/pool_rebuilt" ]
+(* Pool-maintenance metrics: everything else must match. The first two
+   are counters shared by the optimised modes; the last two are
+   [`Soa]-only arena-sizing metrics. *)
+let excluded_counters =
+  [
+    "slrh/pool_reused"; "slrh/pool_rebuilt"; "slrh/pool_capacity";
+    "slrh/pool_regrown";
+  ]
+
+let mode_name mode = Slrh.mode_to_string mode
+let fast_modes = [ `Incremental; `Soa ]
 
 let bits = Int64.bits_of_float
 
@@ -53,13 +73,13 @@ let check_sinks msg rescan incr =
     (msg ^ ": span counts") (span_counts rescan) (span_counts incr);
   if Sink.snapshots rescan <> Sink.snapshots incr then
     Alcotest.failf "%s: snapshot streams diverge" msg;
-  (* the incremental sink may only add the reuse family, nothing else *)
+  (* the optimised mode's sink may only add the pool-maintenance family *)
   let names s = List.map fst (Sink.metrics s) in
   let base = names rescan in
   List.iter
     (fun n ->
       if (not (List.mem n base)) && not (List.mem n excluded_counters) then
-        Alcotest.failf "%s: unexpected incremental-only metric %s" msg n)
+        Alcotest.failf "%s: unexpected mode-only metric %s" msg n)
     (names incr)
 
 (* Scheduler-outcome equality, field by field (wall_seconds excluded:
@@ -92,14 +112,14 @@ let run_static ~mode ~ledger sc wl =
   (o, sink, tracer)
 
 (* 150 static scenarios: full outcome + trace + telemetry equality. *)
-let test_static () =
+let test_static mode () =
   let reused = ref 0 in
   for i = 0 to 149 do
     let sc = Test_props.scenario i in
     let wl = Test_props.workload sc in
     let o1, s1, t1 = run_static ~mode:`Rescan ~ledger:false sc wl in
-    let o2, s2, t2 = run_static ~mode:`Incremental ~ledger:false sc wl in
-    let msg = Test_props.describe sc in
+    let o2, s2, t2 = run_static ~mode ~ledger:false sc wl in
+    let msg = Fmt.str "%s vs %s" (Test_props.describe sc) (mode_name mode) in
     check_outcomes msg o1 o2;
     if Trace.csv_rows t1 <> Trace.csv_rows t2 then
       Alcotest.failf "%s: trace rows diverge" msg;
@@ -110,7 +130,38 @@ let test_static () =
   done;
   (* the oracle must exercise the fast path, not vacuously pass *)
   if !reused = 0 then
-    Alcotest.fail "incremental mode never reused a pool across 150 scenarios"
+    Alcotest.failf "%s mode never reused a pool across 150 scenarios"
+      (mode_name mode)
+
+(* The [`Soa] fast path proper: no tracer and no ledger attached, so the
+   walk plans and commits straight off the arena (the shape whose
+   steady-state allocation test_alloc pins at zero) instead of
+   materialising sorted lists for the boxed walk. Outcome and telemetry
+   must still match rescan exactly — including the score-value histogram,
+   whose float accumulation order is fill order, so this also pins that
+   the arena scores in ready-list order. *)
+let test_static_fast_path () =
+  let reused = ref 0 and regrown = ref 0 in
+  for i = 0 to 59 do
+    let sc = Test_props.scenario i in
+    let wl = Test_props.workload sc in
+    let run mode =
+      let sink = Sink.create ~stride:4 ~ledger:false () in
+      let o = Slrh.run { (Test_props.params sc) with Slrh.mode; obs = sink } wl in
+      (o, sink)
+    in
+    let o1, s1 = run `Rescan in
+    let o2, s2 = run `Soa in
+    let msg = Fmt.str "%s, no recorders" (Test_props.describe sc) in
+    check_outcomes msg o1 o2;
+    check_sinks msg s1 s2;
+    reused := !reused + counter_of s2 "slrh/pool_reused";
+    regrown := !regrown + counter_of s2 "slrh/pool_regrown"
+  done;
+  if !reused = 0 then
+    Alcotest.fail "soa fast path never reused a pool across 60 scenarios";
+  if !regrown = 0 then
+    Alcotest.fail "soa fast path never regrew a row across 60 scenarios"
 
 (* Churn timelines: the same scripted leave/rejoin trace through the
    engine in both modes. Pool reuse spans engine phases only through the
@@ -159,15 +210,16 @@ let check_engine msg (a : _ Agrid_churn.Engine.outcome)
       then Alcotest.failf "%s: per-phase scheduler stats diverge" msg)
     a.phases b.phases
 
-let test_churn () =
+let test_churn mode () =
   for i = 0 to 59 do
     let sc = Test_props.scenario i in
     let wl = Test_props.workload sc in
     let events = sample_events i wl in
     let o1, s1 = run_churn ~mode:`Rescan ~ledger:false sc wl events in
-    let o2, s2 = run_churn ~mode:`Incremental ~ledger:false sc wl events in
-    let msg = Fmt.str "%s + %d churn events" (Test_props.describe sc)
-        (List.length events)
+    let o2, s2 = run_churn ~mode ~ledger:false sc wl events in
+    let msg =
+      Fmt.str "%s + %d churn events vs %s" (Test_props.describe sc)
+        (List.length events) (mode_name mode)
     in
     check_engine msg o1 o2;
     check_sinks msg s1 s2
@@ -182,7 +234,7 @@ let test_churn () =
    actually charge energy, and the incremental runs must actually reuse
    pools (so the fast path, not a degenerate always-rebuild, is what gets
    compared). *)
-let test_battery_shock_mid_epoch () =
+let test_battery_shock_mid_epoch mode () =
   let reused = ref 0 and shocked = ref 0. in
   for i = 0 to 19 do
     let sc = Test_props.scenario i in
@@ -193,8 +245,11 @@ let test_battery_shock_mid_epoch () =
       [ { Agrid_churn.Event.at; kind = Agrid_churn.Event.Battery_shock (machine, 0.5) } ]
     in
     let o1, s1 = run_churn ~mode:`Rescan ~ledger:false sc wl events in
-    let o2, s2 = run_churn ~mode:`Incremental ~ledger:false sc wl events in
-    let msg = Fmt.str "%s + shock@%d:%d" (Test_props.describe sc) at machine in
+    let o2, s2 = run_churn ~mode ~ledger:false sc wl events in
+    let msg =
+      Fmt.str "%s + shock@%d:%d vs %s" (Test_props.describe sc) at machine
+        (mode_name mode)
+    in
     check_engine msg o1 o2;
     check_sinks msg s1 s2;
     (match o2.Agrid_churn.Engine.applied with
@@ -208,7 +263,8 @@ let test_battery_shock_mid_epoch () =
   done;
   if !shocked <= 0. then Alcotest.fail "no shock ever charged energy";
   if !reused = 0 then
-    Alcotest.fail "incremental mode never reused a pool around the shock"
+    Alcotest.failf "%s mode never reused a pool around the shock"
+      (mode_name mode)
 
 (* Decision ledgers: the full JSONL artefact must match byte for byte
    (incremental mode turns whole-pool reuse off while a ledger is
@@ -218,23 +274,25 @@ let ledger_jsonl sink =
   | Some l -> Ledger.to_jsonl l
   | None -> Alcotest.fail "sink created with ~ledger:true has no ledger"
 
-let test_ledger () =
+let test_ledger mode () =
   for i = 0 to 9 do
     let sc = Test_props.scenario i in
     let wl = Test_props.workload sc in
     let _, s1, _ = run_static ~mode:`Rescan ~ledger:true sc wl in
-    let _, s2, _ = run_static ~mode:`Incremental ~ledger:true sc wl in
+    let _, s2, _ = run_static ~mode ~ledger:true sc wl in
     if ledger_jsonl s1 <> ledger_jsonl s2 then
-      Alcotest.failf "%s: static ledger JSONL diverges" (Test_props.describe sc)
+      Alcotest.failf "%s: static ledger JSONL diverges vs %s"
+        (Test_props.describe sc) (mode_name mode)
   done;
   for i = 0 to 9 do
     let sc = Test_props.scenario (60 + i) in
     let wl = Test_props.workload sc in
     let events = sample_events (60 + i) wl in
     let _, s1 = run_churn ~mode:`Rescan ~ledger:true sc wl events in
-    let _, s2 = run_churn ~mode:`Incremental ~ledger:true sc wl events in
+    let _, s2 = run_churn ~mode ~ledger:true sc wl events in
     if ledger_jsonl s1 <> ledger_jsonl s2 then
-      Alcotest.failf "%s: churn ledger JSONL diverges" (Test_props.describe sc)
+      Alcotest.failf "%s: churn ledger JSONL diverges vs %s"
+        (Test_props.describe sc) (mode_name mode)
   done
 
 (* Online dual ascent under both modes: weight updates mid-run must not
@@ -258,14 +316,16 @@ let run_adaptive_static ~mode ~ledger sc wl =
   let p = with_adapt { (Test_props.params sc) with Slrh.mode; obs = sink } in
   (Slrh.run p wl, sink)
 
-let test_adaptive_static () =
+let test_adaptive_static mode () =
   let updates = ref 0 in
   for i = 0 to 39 do
     let sc = Test_props.scenario i in
     let wl = Test_props.workload sc in
     let o1, s1 = run_adaptive_static ~mode:`Rescan ~ledger:false sc wl in
-    let o2, s2 = run_adaptive_static ~mode:`Incremental ~ledger:false sc wl in
-    let msg = Fmt.str "%s + dual ascent" (Test_props.describe sc) in
+    let o2, s2 = run_adaptive_static ~mode ~ledger:false sc wl in
+    let msg =
+      Fmt.str "%s + dual ascent vs %s" (Test_props.describe sc) (mode_name mode)
+    in
     check_outcomes msg o1 o2;
     check_sinks msg s1 s2;
     updates := !updates + counter_of s2 "lagrange/updates"
@@ -273,7 +333,7 @@ let test_adaptive_static () =
   if !updates = 0 then
     Alcotest.fail "no dual round ever ran across 40 adaptive scenarios"
 
-let test_adaptive_churn () =
+let test_adaptive_churn mode () =
   for i = 0 to 19 do
     let sc = Test_props.scenario i in
     let wl = Test_props.workload sc in
@@ -284,10 +344,10 @@ let test_adaptive_churn () =
       (Dynamic.run_churn p wl events, sink)
     in
     let o1, s1 = run `Rescan in
-    let o2, s2 = run `Incremental in
+    let o2, s2 = run mode in
     let msg =
-      Fmt.str "%s + dual ascent + %d churn events" (Test_props.describe sc)
-        (List.length events)
+      Fmt.str "%s + dual ascent + %d churn events vs %s" (Test_props.describe sc)
+        (List.length events) (mode_name mode)
     in
     check_engine msg o1 o2;
     check_sinks msg s1 s2
@@ -295,14 +355,15 @@ let test_adaptive_churn () =
 
 (* And the adaptive ledgers — the Multiplier entries serialise floats, so
    byte equality of the JSONL pins the whole multiplier trajectory. *)
-let test_adaptive_ledger () =
+let test_adaptive_ledger mode () =
   for i = 0 to 9 do
     let sc = Test_props.scenario (30 + i) in
     let wl = Test_props.workload sc in
     let _, s1 = run_adaptive_static ~mode:`Rescan ~ledger:true sc wl in
-    let _, s2 = run_adaptive_static ~mode:`Incremental ~ledger:true sc wl in
+    let _, s2 = run_adaptive_static ~mode ~ledger:true sc wl in
     if ledger_jsonl s1 <> ledger_jsonl s2 then
-      Alcotest.failf "%s: adaptive ledger JSONL diverges" (Test_props.describe sc)
+      Alcotest.failf "%s: adaptive ledger JSONL diverges vs %s"
+        (Test_props.describe sc) (mode_name mode)
   done
 
 (* Campaign sharding: aggregates and counter totals are shard-count
@@ -356,27 +417,122 @@ let test_campaign_shards_adaptive () =
   if counter_of s1 "lagrange/updates" = 0 then
     Alcotest.fail "adaptive campaign never ran a dual round"
 
+(* Partially built schedules for the property below: run the real
+   scheduler with a cancel hook that trips after [steps] timestep polls,
+   yielding a prefix of a genuine SLRH trajectory — mid-run mapped/ready
+   frontiers, not synthetic ones. *)
+let partial_schedule sc wl steps =
+  let polls = ref 0 in
+  let p =
+    {
+      (Test_props.params sc) with
+      Slrh.cancel =
+        (fun () ->
+          incr polls;
+          !polls > steps);
+    }
+  in
+  (Slrh.run p wl).Slrh.schedule
+
+(* The SoA core's unit-level contract, as a property: one
+   [Objective.score_into] batch pass over a freshly filtered pool equals
+   the per-candidate [parent_bound] + [best_version_with] fold bit for
+   bit — every slot, every machine, on arbitrary run prefixes and
+   arbitrary [now]. [initial_capacity:2] forces the arena through
+   several regrowths mid-fill, so the fresh-arrays-no-copy regrowth is
+   exercised under scoring, not just in the unit tests. *)
+let qcheck_batch_equals_fold =
+  Testlib.qcheck_case ~count:60
+    "score_into batch = best_version_with fold (bitwise)"
+    QCheck2.Gen.(triple (int_bound 29) (int_bound 40) (int_bound 199))
+    (fun (i, steps, now) ->
+      let sc = Test_props.scenario i in
+      let wl = Test_props.workload sc in
+      let sched = partial_schedule sc wl steps in
+      let w = (Test_props.params sc).Slrh.weights in
+      let a =
+        Pool.Flat.create ~initial_capacity:2
+          ~feas_mode:Feasibility.Conservative ~reuse_pools:true wl
+      in
+      for machine = 0 to Workload.n_machines wl - 1 do
+        let row = a.Pool.Flat.rows.(machine) in
+        let n, _admitted, _checked =
+          Feasibility.filter_into a.Pool.Flat.memo sched ~machine
+            ~eligible:(fun _ -> true)
+            ~ensure:(Pool.Flat.ensure a row)
+        in
+        Objective.score_into w sched ~machine ~now ~n
+          ~tasks:row.Pool.Flat.tasks ~bound_ready:a.Pool.Flat.bound_ready
+          ~bound_comm:a.Pool.Flat.bound_comm ~bound_known:a.Pool.Flat.bound_known
+          ~versions:row.Pool.Flat.versions ~scores:row.Pool.Flat.scores;
+        for slot = 0 to n - 1 do
+          let task = row.Pool.Flat.tasks.(slot) in
+          let bound = Objective.parent_bound sched ~task ~machine in
+          let v, s =
+            Objective.best_version_with w sched ~bound ~task ~machine ~now
+          in
+          if row.Pool.Flat.versions.(slot) <> v then
+            QCheck2.Test.fail_reportf
+              "%s, %d steps, now=%d: machine %d task %d: batch picked %s, fold %s"
+              (Test_props.describe sc) steps now machine task
+              (Version.to_string row.Pool.Flat.versions.(slot))
+              (Version.to_string v);
+          if
+            Int64.bits_of_float row.Pool.Flat.scores.(slot)
+            <> Int64.bits_of_float s
+          then
+            QCheck2.Test.fail_reportf
+              "%s, %d steps, now=%d: machine %d task %d: batch score %h, fold %h"
+              (Test_props.describe sc) steps now machine task
+              row.Pool.Flat.scores.(slot) s
+        done
+      done;
+      true)
+
 let suites =
+  let per_mode =
+    List.concat_map
+      (fun mode ->
+        let m = mode_name mode in
+        [
+          Alcotest.test_case
+            (Fmt.str "rescan = %s on 150 static scenarios" m)
+            `Slow (test_static mode);
+          Alcotest.test_case
+            (Fmt.str "rescan = %s on 60 churn timelines" m)
+            `Slow (test_churn mode);
+          Alcotest.test_case
+            (Fmt.str "battery shock mid-pool-epoch invalidates reuse (%s)" m)
+            `Slow
+            (test_battery_shock_mid_epoch mode);
+          Alcotest.test_case
+            (Fmt.str "ledger JSONL identical, rescan vs %s (20 runs)" m)
+            `Slow (test_ledger mode);
+          Alcotest.test_case
+            (Fmt.str "rescan = %s under dual ascent (40 static)" m)
+            `Slow
+            (test_adaptive_static mode);
+          Alcotest.test_case
+            (Fmt.str "rescan = %s under dual ascent (20 churn)" m)
+            `Slow
+            (test_adaptive_churn mode);
+          Alcotest.test_case
+            (Fmt.str "adaptive ledger JSONL identical, rescan vs %s" m)
+            `Slow
+            (test_adaptive_ledger mode);
+        ])
+      fast_modes
+  in
   [
     ( "diff",
-      [
-        Alcotest.test_case "rescan = incremental on 150 static scenarios"
-          `Slow test_static;
-        Alcotest.test_case "rescan = incremental on 60 churn timelines" `Slow
-          test_churn;
-        Alcotest.test_case "battery shock mid-pool-epoch invalidates reuse"
-          `Slow test_battery_shock_mid_epoch;
-        Alcotest.test_case "ledger JSONL identical in both modes (20 runs)"
-          `Slow test_ledger;
-        Alcotest.test_case "rescan = incremental under dual ascent (40 static)"
-          `Slow test_adaptive_static;
-        Alcotest.test_case "rescan = incremental under dual ascent (20 churn)"
-          `Slow test_adaptive_churn;
-        Alcotest.test_case "adaptive ledger JSONL identical in both modes"
-          `Slow test_adaptive_ledger;
-        Alcotest.test_case "campaign aggregates shard-count invariant" `Slow
-          test_campaign_shards;
-        Alcotest.test_case "adaptive campaign shard-count invariant" `Slow
-          test_campaign_shards_adaptive;
-      ] );
+      per_mode
+      @ [
+          Alcotest.test_case "soa fast path (no tracer/ledger) = rescan" `Slow
+            test_static_fast_path;
+          qcheck_batch_equals_fold;
+          Alcotest.test_case "campaign aggregates shard-count invariant" `Slow
+            test_campaign_shards;
+          Alcotest.test_case "adaptive campaign shard-count invariant" `Slow
+            test_campaign_shards_adaptive;
+        ] );
   ]
