@@ -692,6 +692,34 @@ let run_obs_profile config ~total_seconds =
     (List.length (Trace.exemplars tr))
     roundtrip
     (Agrid_obs.Window.total w ~now:7.5 "completed");
+  (* Multi-tenant traffic profile: a fixed two-tenant spec (one
+     high-priority stream, one quota-capped stream) through the traffic
+     engine, in its own gated section. The engine records only
+     counters/gauges derived from the deterministic run — nothing
+     wall-clock-dependent — so the gate compares the tenant/* counters
+     exactly and the tec/reserved/fairness gauges ride along ungated
+     (only slrh/-prefixed gauges are compared). *)
+  let tenant_sink = Agrid_obs.Sink.create ~stride:8 () in
+  let module Traffic = Agrid_tenant.Traffic in
+  let module Tenant = Agrid_tenant.Tenant in
+  let traffic_spec =
+    Traffic.make_spec ~seed:2004 ~horizon:2000
+      [
+        {
+          Traffic.ts_tenant = Tenant.make ~priority:Tenant.High "gold";
+          ts_process = Agrid_tenant.Arrivals.Poisson 0.002;
+        };
+        {
+          Traffic.ts_tenant =
+            Tenant.make ~priority:Tenant.Low ~energy_quota:200. "bronze";
+          ts_process = Agrid_tenant.Arrivals.Poisson 0.002;
+        };
+      ]
+  in
+  let to_ = Traffic.run ~obs:tenant_sink traffic_spec in
+  Fmt.pr "tenant: %d apps, %d steps, %d rounds, fairness gap %.3f@."
+    (List.length to_.Traffic.apps) to_.Traffic.total_steps to_.Traffic.rounds
+    to_.Traffic.fairness_gap;
   let oc = open_out "BENCH_obs.json" in
   output_string oc
     (Agrid_obs.Export.summary_json ~total_seconds
@@ -702,10 +730,11 @@ let run_obs_profile config ~total_seconds =
            ("serve", serve_sink);
            ("fleet", fleet_sink);
            ("trace", trace_sink);
+           ("tenant", tenant_sink);
          ]
        sink);
   close_out oc;
-  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics; lagrange section: %d metrics; serve section: %d metrics; fleet section: %d metrics; trace section: %d metrics)@."
+  Fmt.pr "wrote BENCH_obs.json (%d spans, %d metrics; campaign section: %d spans, %d metrics; lagrange section: %d metrics; serve section: %d metrics; fleet section: %d metrics; trace section: %d metrics; tenant section: %d metrics)@."
     (Agrid_obs.Sink.n_spans sink) (Agrid_obs.Sink.n_metrics sink)
     (Agrid_obs.Sink.n_spans campaign_sink)
     (Agrid_obs.Sink.n_metrics campaign_sink)
@@ -713,6 +742,7 @@ let run_obs_profile config ~total_seconds =
     (Agrid_obs.Sink.n_metrics serve_sink)
     (Agrid_obs.Sink.n_metrics fleet_sink)
     (Agrid_obs.Sink.n_metrics trace_sink)
+    (Agrid_obs.Sink.n_metrics tenant_sink)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

@@ -4,6 +4,7 @@
      agrid tune      — (alpha, beta) weight search on one scenario
      agrid dynamic   — machine loss mid-run with on-the-fly rescheduling
      agrid churn     — scripted churn traces / Monte Carlo survivability
+     agrid traffic   — continuous multi-tenant traffic: arrivals, quotas, DRR fairness
      agrid serve     — queued scheduling-job daemon (agrid-job/1 over stdin or a socket)
      agrid top       — live dashboard over a daemon's agrid-stats/1 endpoint
      agrid prof      — profile the SLRH hot paths (spans, metrics, snapshots)
@@ -1196,7 +1197,30 @@ let trace_out_t ~daemon =
 
 let serve_cmd =
   let module Server = Agrid_serve.Server in
-  let action workers queue socket obs_file trace_out =
+  let parse_tenant_caps raw =
+    (* each --tenant-cap is NAME=N; collect them in order, reject dupes *)
+    List.fold_left
+      (fun acc item ->
+        Result.bind acc (fun caps ->
+            match String.index_opt item '=' with
+            | None -> Error (Fmt.str "--tenant-cap %S: expected NAME=N" item)
+            | Some i -> (
+                let name = String.sub item 0 i in
+                let num = String.sub item (i + 1) (String.length item - i - 1) in
+                match int_of_string_opt num with
+                | None | Some 0 ->
+                    Error (Fmt.str "--tenant-cap %S: cap must be a positive integer" item)
+                | Some n when n < 0 ->
+                    Error (Fmt.str "--tenant-cap %S: cap must be a positive integer" item)
+                | Some n ->
+                    if name = "" then
+                      Error (Fmt.str "--tenant-cap %S: empty tenant name" item)
+                    else if List.mem_assoc name caps then
+                      Error (Fmt.str "--tenant-cap %S: duplicate tenant" item)
+                    else Ok (caps @ [ (name, n) ]))))
+      (Ok []) raw
+  in
+  let action workers queue socket tenant_caps_raw obs_file trace_out =
     if workers <= 0 then begin
       Fmt.epr "agrid serve: --workers must be positive@.";
       2
@@ -1206,10 +1230,18 @@ let serve_cmd =
       2
     end
     else begin
+      let tenant_caps =
+        match parse_tenant_caps tenant_caps_raw with
+        | Ok caps -> caps
+        | Error msg ->
+            Fmt.epr "agrid serve: %s@." msg;
+            exit 2
+      in
       let sink = sink_for obs_file in
       let tracer = tracer_for ~nonce:0 trace_out in
       let server =
-        Server.create ~obs:sink ?trace:tracer ~workers ~queue_capacity:queue ()
+        Server.create ~obs:sink ?trace:tracer ~tenant_caps ~workers
+          ~queue_capacity:queue ()
       in
       Server.start server;
       (* A signal requests a hard stop: finish in-flight jobs, answer
@@ -1297,11 +1329,18 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:"Listen on a Unix-domain socket instead of stdin (one connection at a time; responses stream back on the same connection).")
   in
+  let tenant_caps_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "tenant-cap" ] ~docv:"NAME=N"
+          ~doc:"Cap tenant NAME at N outstanding (queued or running) jobs; a job carrying that tenant while the cap is reached is rejected with a typed tenant_quota response. Repeatable; unlisted tenants are never capped.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the scenario service: a long-lived daemon reading one agrid-job/1 JSON request per line (from stdin or a Unix-domain socket) and streaming one JSON result line per job from a persistent worker pool. SIGINT/SIGTERM finishes in-flight jobs and reports dropped queue entries; EOF drains the whole queue. Pool telemetry (serve/* counters, queue depth, per-job latency) lands in --obs; kind:\"stats\" requests are answered with live agrid-stats/1 snapshots (see `agrid top`).")
     Term.(
-      const action $ workers_t $ queue_t $ socket_t $ obs_t
+      const action $ workers_t $ queue_t $ socket_t $ tenant_caps_t $ obs_t
       $ trace_out_t
           ~daemon:"Relayed jobs keep the router-stamped trace id, so backend \
                    events correlate with the router's timeline.")
@@ -1486,6 +1525,141 @@ let router_cmd =
 
 (* ---- dot ---- *)
 
+(* ---- traffic ---- *)
+
+let traffic_cmd =
+  let module Traffic = Agrid_tenant.Traffic in
+  let module Tenant = Agrid_tenant.Tenant in
+  let load_spec raw =
+    (* --spec takes inline JSON or @FILE, like curl's data syntax *)
+    let text =
+      if String.length raw > 0 && raw.[0] = '@' then begin
+        let path = String.sub raw 1 (String.length raw - 1) in
+        match read_lines path with
+        | lines -> Ok (String.concat "\n" lines)
+        | exception Sys_error msg -> Error msg
+      end
+      else Ok raw
+    in
+    Result.bind text Traffic.spec_of_string
+  in
+  let run_local spec replicates obs_file =
+    let sink = sink_for obs_file in
+    if replicates = 1 then begin
+      let o = Traffic.run ~obs:sink spec in
+      Fmt.pr "%a@." Agrid_report.Table.pp (Traffic.rollup_table o);
+      Fmt.pr
+        "traffic: %d apps, %d scheduler steps, %d DRR rounds, final time %d, \
+         fairness gap %.3f@."
+        (List.length o.Traffic.apps) o.Traffic.total_steps o.Traffic.rounds
+        o.Traffic.final_time o.Traffic.fairness_gap
+    end
+    else begin
+      let s = Agrid_exper.Campaign.run_traffic ~obs:sink ~replicates spec in
+      Fmt.pr "%a@." Agrid_report.Table.pp (Agrid_exper.Campaign.traffic_table s)
+    end;
+    write_obs obs_file sink;
+    0
+  in
+  let run_connect spec path =
+    (* Stream the arrival plan as agrid-job/1 lines against a live daemon:
+       one one-shot request per application, tenant field attached, the
+       same derived workload seeds the in-process engine would use. *)
+    let module Transport = Agrid_serve.Transport in
+    let module Job = Agrid_serve.Job in
+    let module Codec = Agrid_serve.Codec in
+    let streams = Array.of_list spec.Traffic.tenants in
+    let arrivals =
+      Agrid_tenant.Arrivals.generate ~seed:spec.Traffic.seed
+        ~horizon:spec.Traffic.horizon
+        (List.map (fun ts -> ts.Traffic.ts_process) spec.Traffic.tenants)
+    in
+    let sent = ref 0 and ok = ref 0 and rejected = ref 0 and failed = ref 0 in
+    List.iter
+      (fun (a : Agrid_tenant.Arrivals.arrival) ->
+        let ts = streams.(a.Agrid_tenant.Arrivals.stream) in
+        let tenant = ts.Traffic.ts_tenant.Tenant.id in
+        let seq = a.Agrid_tenant.Arrivals.seq in
+        let job =
+          {
+            (Job.default
+               (Serialize.Generated
+                  {
+                    seed = Traffic.app_seed spec ~stream:a.Agrid_tenant.Arrivals.stream ~seq;
+                    scale = spec.Traffic.scale;
+                    etc_index = 0;
+                    dag_index = 0;
+                    case = spec.Traffic.case;
+                  }))
+            with
+            Job.tag = Some (Fmt.str "%s-%d" tenant seq);
+            tenant = Some tenant;
+          }
+        in
+        incr sent;
+        match
+          Transport.request ~path (Agrid_obs.Json.to_string (Codec.job_to_json job))
+        with
+        | Error msg ->
+            incr failed;
+            Fmt.epr "agrid traffic: %s@." msg
+        | Ok line -> (
+            match Codec.parse_response line with
+            | Ok { Codec.r_type = `Result; _ } -> incr ok
+            | Ok { Codec.r_type = `Rejected; _ } -> incr rejected
+            | Ok _ | Error _ -> incr failed))
+      arrivals;
+    Fmt.pr "traffic: sent %d, results %d, rejected %d, failed %d -> %s@." !sent
+      !ok !rejected !failed path;
+    if !failed = 0 then 0 else 1
+  in
+  let action spec_raw replicates connect obs_file =
+    match spec_raw with
+    | None ->
+        Fmt.epr "agrid traffic: need --spec JSON or --spec @FILE (schema %s)@."
+          Traffic.schema;
+        2
+    | Some raw -> (
+        match load_spec raw with
+        | Error msg ->
+            Fmt.epr "agrid traffic: %s@." msg;
+            2
+        | Ok spec ->
+            if replicates <= 0 then begin
+              Fmt.epr "agrid traffic: --replicates must be positive@.";
+              2
+            end
+            else (
+              match connect with
+              | None -> run_local spec replicates obs_file
+              | Some path -> run_connect spec path))
+  in
+  let spec_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"JSON|@FILE"
+          ~doc:"agrid-traffic/1 spec: seed, horizon, per-tenant arrival processes (Poisson rate or explicit trace), priority classes and quotas. Inline JSON, or @FILE to read it from a file.")
+  in
+  let replicates_t =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "replicates" ] ~docv:"N"
+          ~doc:"Rerun the spec N times under derived seeds and report per-tenant means (default 1: a single run with the full per-tenant rollup).")
+  in
+  let connect_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCKET"
+          ~doc:"Instead of the in-process engine, stream the arrival plan as agrid-job/1 lines (tenant field attached) against a daemon's Unix-domain socket.")
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:"Drive continuous multi-tenant traffic: deterministic per-tenant application arrivals (Poisson or trace), quota admission, and DRR fairness-weighted sharing of one commit loop. Default: run in process and print the per-tenant rollup; --connect streams the same plan against a live daemon.")
+    Term.(const action $ spec_t $ replicates_t $ connect_t $ obs_t)
+
 let dot_cmd =
   let action seed scale dag =
     let spec = spec_of ~seed ~scale in
@@ -1506,6 +1680,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; serve_cmd; router_cmd; top_cmd; prof_cmd; explain_cmd;
+          [ run_cmd; tune_cmd; dynamic_cmd; churn_cmd; traffic_cmd; serve_cmd; router_cmd; top_cmd; prof_cmd; explain_cmd;
             ledger_diff_cmd; trace_cmd; tables_cmd; figure2_cmd; ub_cmd; calibrate_cmd;
             export_cmd; import_cmd; dot_cmd ]))

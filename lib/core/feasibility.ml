@@ -270,3 +270,97 @@ let explain_rejections ?mode sched ~machine =
       | Error why -> rejected := (task, why) :: !rejected
   done;
   !rejected
+
+(* --- Tenant quotas (DESIGN.md section 14) ---------------------------------
+
+   Admission control for multi-application traffic: a whole application is
+   priced before it is scheduled, against the same conservative per-task
+   bound the pool filter uses, so an admitted application can never burn
+   more energy than the reservation charged to its tenant. *)
+
+type quota = { q_energy : float option; q_machines : int option }
+
+let no_quota = { q_energy = None; q_machines = None }
+
+let quota_to_string q =
+  let e = match q.q_energy with None -> "inf" | Some e -> Fmt.str "%g" e in
+  let m = match q.q_machines with None -> "all" | Some m -> string_of_int m in
+  Fmt.str "energy=%s machines=%s" e m
+
+let validate_quota q =
+  match (q.q_energy, q.q_machines) with
+  | Some e, _ when (not (Float.is_finite e)) || e <= 0. ->
+      Error (Fmt.str "energy quota must be finite and positive, got %g" e)
+  | _, Some m when m <= 0 ->
+      Error (Fmt.str "machine quota must be positive, got %d" m)
+  | _ -> Ok ()
+
+type quota_breach =
+  | Energy_quota of { needed : float; budget : float; used : float }
+  | Machine_quota of { allowed : int; required : int }
+
+let pp_quota_breach ppf = function
+  | Energy_quota { needed; budget; used } ->
+      Fmt.pf ppf "energy quota: reservation %.3f + reserved %.3f exceeds budget %.3f"
+        needed used budget
+  | Machine_quota { allowed; required } ->
+      Fmt.pf ppf "machine quota: %d machine(s) allowed, %d required" allowed required
+
+let quota_breach_to_string = function
+  | Energy_quota _ -> "energy_quota"
+  | Machine_quota _ -> "machine_quota"
+
+let quota_machines q ~n_machines =
+  match q.q_machines with None -> n_machines | Some m -> min m n_machines
+
+let quota_mask q ~n_machines =
+  match q.q_machines with
+  | None -> None
+  | Some m when m >= n_machines -> None
+  | Some m -> Some (Array.init n_machines (fun j -> j < m))
+
+(* Worst admissible price of one task over the allowed machines and both
+   versions. Any placement the scheduler can commit for the task costs
+   exec(t, m, v) plus actual transfer energy; the latter is bounded by the
+   worst-case child-communication bound priced here (conservative mode),
+   so the per-task max dominates whatever the scheduler chooses. *)
+let task_reservation ~mode wl ~machines ~task =
+  let worst = ref 0. in
+  for machine = 0 to machines - 1 do
+    List.iter
+      (fun version ->
+        let exec = Workload.exec_energy wl ~task ~machine ~version in
+        let comm = comm_bound ~mode wl ~task ~machine ~version in
+        let price = apply_margin ~mode (exec +. comm) in
+        if price > !worst then worst := price)
+      Version.all
+  done;
+  !worst
+
+let reservation ?(mode = Conservative) ?machines wl =
+  let n_machines = Workload.n_machines wl in
+  let machines =
+    match machines with
+    | None -> n_machines
+    | Some m ->
+        if m < 1 || m > n_machines then
+          invalid_arg "Feasibility.reservation: machine count out of range";
+        m
+  in
+  let total = ref 0. in
+  for task = 0 to Workload.n_tasks wl - 1 do
+    total := !total +. task_reservation ~mode wl ~machines ~task
+  done;
+  !total
+
+let admit_quota ?(mode = Conservative) q ~used wl =
+  let n_machines = Workload.n_machines wl in
+  let allowed = quota_machines q ~n_machines in
+  if allowed < 1 then Error (Machine_quota { allowed; required = 1 })
+  else
+    let needed = reservation ~mode ~machines:allowed wl in
+    match q.q_energy with
+    | None -> Ok needed
+    | Some budget ->
+        if used +. needed > budget then Error (Energy_quota { needed; budget; used })
+        else Ok needed

@@ -123,3 +123,67 @@ val explain_rejections :
 (** Every unmapped task the pool turned away for [machine], with its
     verdict, in task order. O(unmapped tasks) with energy pricing per
     task — meant for ledger-attached runs, not the hot path. *)
+
+(** {2 Tenant quotas}
+
+    Multi-tenant admission (DESIGN.md section 14): a tenant may cap the
+    total energy its applications can reserve and the number of grid
+    machines they may touch. Quota admission prices a whole application
+    {e before} it is scheduled, against the same conservative bound the
+    pool filter uses per task, so an admitted application can never burn
+    more than its reservation. *)
+
+type quota = {
+  q_energy : float option;
+      (** total reserved energy across the tenant's admitted
+          applications; [None] = unlimited *)
+  q_machines : int option;
+      (** the tenant's applications run on machines [0 .. q-1] only;
+          [None] = the whole grid *)
+}
+
+val no_quota : quota
+val quota_to_string : quota -> string
+
+val validate_quota : quota -> (unit, string) result
+(** Energy quotas must be finite and positive; machine quotas positive. *)
+
+type quota_breach =
+  | Energy_quota of { needed : float; budget : float; used : float }
+      (** admitting would push the tenant's reserved energy past its
+          budget: [used + needed > budget] *)
+  | Machine_quota of { allowed : int; required : int }
+      (** the machine-count quota leaves no machine (or fewer than the
+          grid can satisfy the application with) *)
+(** Why an application was refused admission — total: every quota
+    rejection carries exactly one of these. *)
+
+val pp_quota_breach : Format.formatter -> quota_breach -> unit
+
+val quota_breach_to_string : quota_breach -> string
+(** Short wire token: ["energy_quota"] / ["machine_quota"]. *)
+
+val quota_machines : quota -> n_machines:int -> int
+(** Machines the quota admits: [min q n_machines] (or [n_machines] when
+    unlimited). *)
+
+val quota_mask : quota -> n_machines:int -> bool array option
+(** The availability mask a machine-count quota induces (machines
+    [0 .. q-1] up, the rest down); [None] when the quota does not
+    restrict the grid. *)
+
+val reservation : ?mode:mode -> ?machines:int -> Workload.t -> float
+(** Upper bound on the energy one run of this workload can consume when
+    confined to machines [0 .. machines-1] (default: the whole grid):
+    per task, the worst admissible version/machine price
+    (execution energy + the mode's child-communication bound), summed.
+    Any schedule's actual TEC on those machines is bounded by it under
+    [Conservative] (each placement costs at most its per-task maximum;
+    actual transfers cost at most the worst-case bound). *)
+
+val admit_quota :
+  ?mode:mode -> quota -> used:float -> Workload.t -> (float, quota_breach) result
+(** Typed admission of one application against a tenant quota with
+    [used] energy already reserved: check the machine-count quota, price
+    {!reservation} on the allowed machines, charge it against
+    [q_energy -. used]. [Ok r] admits and reserves [r]. *)

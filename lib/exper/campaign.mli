@@ -69,3 +69,46 @@ val run :
 val table : level list -> Agrid_report.Table.t
 
 val pp_level : Format.formatter -> level -> unit
+
+(** {2 Multi-tenant traffic replicates}
+
+    The same replicate discipline applied to the continuous-traffic
+    engine ({!Agrid_tenant.Traffic}): each replicate reruns the spec
+    under a seed splitmix-derived from [(spec.seed, rep)], so a traffic
+    campaign is a pure function of the spec — byte-identical [?obs]
+    exports included (the traffic engine records nothing
+    wall-clock-dependent). *)
+
+type tenant_level = {
+  t_id : string;
+  t_priority : string;
+  t_replicates : int;
+  t_mean_arrivals : float;
+  t_mean_admitted : float;
+  t_mean_rejected : float;
+  t_mean_completed : float;
+  t_mean_t100 : float;
+  t_mean_tec : float;
+  t_mean_steps : float;
+}
+
+type traffic_summary = {
+  ts_tenants : tenant_level list;  (** spec tenant order *)
+  ts_replicates : int;
+  ts_mean_fairness_gap : float;
+  ts_max_fairness_gap : float;
+}
+
+val run_traffic :
+  ?obs:Agrid_obs.Sink.t ->
+  ?replicates:int ->
+  ?shards:int ->
+  Agrid_tenant.Traffic.spec ->
+  traffic_summary
+(** [replicates] defaults to 8; [shards] shards them over worker domains
+    exactly like {!run} (contiguous blocks, per-shard sinks folded into
+    [obs] after the join; aggregates are shard-count-invariant).
+    @raise Invalid_argument on a nonpositive replicate count,
+    [shards < 1], or a spec {!Agrid_tenant.Traffic.validate} rejects. *)
+
+val traffic_table : traffic_summary -> Agrid_report.Table.t

@@ -511,7 +511,8 @@ let handle_response t b (conn : conn) line =
                   obs_incr t "fleet/protocol_errors"
               | Some e -> (
                   match (r.Codec.r_type, r.Codec.r_reason) with
-                  | `Rejected, Some (`Queue_full | `Draining) | `Dropped, _ ->
+                  | `Rejected, Some (`Queue_full | `Draining | `Tenant_quota)
+                  | `Dropped, _ ->
                       (* the backend declares it did NOT run the job:
                          safe to try another backend *)
                       unassign t e;

@@ -33,11 +33,15 @@ type t = {
   name : string;
   workers : int;
   queue_capacity : int;
+  tenant_caps : (string * int) list;
   obs : Sink.t;
   refuse : bool Atomic.t;
   wedged : bool Atomic.t;
   mutable cur : incarnation option;
   mutable incarnations : int;
+  (* per-tenant admission high-water, folded over dead incarnations so
+     the soak can pin [tenant_high_water <= cap] across kills *)
+  mutable tenant_hwm : (string * int) list;
   lock : Mutex.t;
 }
 
@@ -45,16 +49,19 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let create ?(obs = Sink.noop) ?(workers = 2) ?(queue_capacity = 16) name =
+let create ?(obs = Sink.noop) ?(workers = 2) ?(queue_capacity = 16)
+    ?(tenant_caps = []) name =
   {
     name;
     workers;
     queue_capacity;
+    tenant_caps;
     obs;
     refuse = Atomic.make false;
     wedged = Atomic.make false;
     cur = None;
     incarnations = 0;
+    tenant_hwm = List.map (fun (name, _) -> (name, 0)) tenant_caps;
     lock = Mutex.create ();
   }
 
@@ -73,6 +80,12 @@ let reap t inc ~stop_in_background =
         end)
   in
   if mine then begin
+    with_lock t.lock (fun () ->
+        t.tenant_hwm <-
+          List.map
+            (fun (name, hwm) ->
+              (name, max hwm (Server.tenant_high_water inc.i_server name)))
+            t.tenant_hwm);
     (try Unix.shutdown inc.i_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close inc.i_fd with Unix.Unix_error _ -> ());
     let stop () = ignore (Server.stop inc.i_server) in
@@ -119,7 +132,7 @@ let connect t =
   let router_fd, sim_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let server =
     Server.create ~obs:t.obs ~workers:t.workers
-      ~queue_capacity:t.queue_capacity ()
+      ~queue_capacity:t.queue_capacity ~tenant_caps:t.tenant_caps ()
   in
   Server.start server;
   let inc = { i_server = server; i_fd = sim_fd; i_dead = false } in
@@ -145,4 +158,12 @@ let wedge t = Atomic.set t.wedged true
 let unwedge t = Atomic.set t.wedged false
 let refuse_connects t v = Atomic.set t.refuse v
 let incarnations t = with_lock t.lock (fun () -> t.incarnations)
+
+let tenant_high_water t name =
+  with_lock t.lock (fun () ->
+      let dead = try List.assoc name t.tenant_hwm with Not_found -> 0 in
+      match t.cur with
+      | Some inc -> max dead (Server.tenant_high_water inc.i_server name)
+      | None -> dead)
+
 let name t = t.name

@@ -9,11 +9,20 @@
 
 type t
 
-val create : ?obs:Agrid_obs.Sink.t -> ?workers:int -> ?queue_capacity:int -> string -> t
+val create :
+  ?obs:Agrid_obs.Sink.t ->
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?tenant_caps:(string * int) list ->
+  string ->
+  t
 (** A backend named [string] (the name the router reports in
     [maybe_executed] lines, health snapshots and stats). [obs] is handed
     to every incarnation's server — only safe to record when incarnations
-    cannot overlap (no kills), as in the bench setup. *)
+    cannot overlap (no kills), as in the bench setup. [tenant_caps]
+    (default none) is handed to every incarnation's server
+    ({!Agrid_serve.Server.create}): per-tenant admission caps, enforced
+    per incarnation. *)
 
 val spec : t -> Router.backend_spec
 (** The connect hook to hand to {!Router.create}. Raises [ECONNREFUSED]
@@ -42,5 +51,11 @@ val refuse_connects : t -> bool -> unit
 
 val incarnations : t -> int
 (** Connects accepted so far. *)
+
+val tenant_high_water : t -> string -> int
+(** Maximum of {!Agrid_serve.Server.tenant_high_water} for this tenant
+    across every incarnation so far, dead or alive — [0] for a tenant
+    not named in [?tenant_caps]. The fleet soak pins this at or below
+    the cap across kills and restarts. *)
 
 val name : t -> string

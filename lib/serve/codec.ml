@@ -76,6 +76,10 @@ let parse_job j =
     opt_field j "trace" (fun v -> Option.map Option.some (Json.to_string_value v))
       ~default:None
   in
+  let* tenant =
+    opt_field j "tenant" (fun v -> Option.map Option.some (Json.to_string_value v))
+      ~default:None
+  in
   let* scheduler = opt_field j "scheduler" Json.to_string_value ~default:"slrh" in
   let opt_float name =
     opt_field j name (fun v -> Option.map Option.some (Json.to_float v)) ~default:None
@@ -114,6 +118,7 @@ let parse_job j =
          {
            Job.tag;
            trace_id;
+           tenant;
            scenario;
            alpha;
            beta;
@@ -179,9 +184,15 @@ let job_to_json (s : Job.spec) =
     @
     (* like the adapt knobs: the trace id appears only when a tracing
        router stamped one, so untraced job lines stay byte-identical *)
-    match s.Job.trace_id with
+    (match s.Job.trace_id with
     | None -> []
     | Some tid -> [ ("trace", Json.Str tid) ])
+    @
+    (* same discipline for the tenant: untenanted job lines keep the
+       historical wire format byte for byte *)
+    match s.Job.tenant with
+    | None -> []
+    | Some ten -> [ ("tenant", Json.Str ten) ])
 
 (* ---- responses ---- *)
 
@@ -229,12 +240,14 @@ let reason_to_string = function
   | `Malformed -> "malformed"
   | `Draining -> "draining"
   | `All_backends_saturated -> "all_backends_saturated"
+  | `Tenant_quota -> "tenant_quota"
 
 let reason_of_string = function
   | "queue_full" -> Some `Queue_full
   | "malformed" -> Some `Malformed
   | "draining" -> Some `Draining
   | "all_backends_saturated" -> Some `All_backends_saturated
+  | "tenant_quota" -> Some `Tenant_quota
   | _ -> None
 
 (* [?tag]: queue_full/draining rejections echo the job's tag so a relaying
@@ -453,7 +466,7 @@ type response = {
   r_id : int;
   r_tag : string option;
   r_status : string option;
-  r_reason : [ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] option;
+  r_reason : [ `Queue_full | `Malformed | `Draining | `All_backends_saturated | `Tenant_quota ] option;
   r_json : Json.t;
 }
 

@@ -6,7 +6,8 @@
       {!Agrid_workload.Serialize.scenario_ref_of_json}) plus optional
       scheduler fields ([alpha], [beta], [heuristic], [delta_t],
       [horizon], [mode], [events] as an {!Agrid_churn.Event.parse_trace}
-      string, [deadline_ms], [tag]) defaulting to the CLI's defaults.
+      string, [deadline_ms], [tag], [tenant]) defaulting to the CLI's
+      defaults.
     - [kind:"health"] — answered synchronously, never queued.
     - [kind:"stats"] — answered synchronously with an [agrid-stats/1]
       snapshot line (rolling-window rates/quantiles, queue and trace-ring
@@ -15,8 +16,8 @@
     {b Responses} carry [{"schema":"agrid-job-result/1","type":...,"id":N}]
     where [id] is the server's monotone request id (every request gets
     one, malformed included): [type] is ["result"], ["rejected"] (reason
-    ["queue_full"], ["malformed"], ["draining"] or — from the fleet
-    router — ["all_backends_saturated"]), ["dropped"] (queued job
+    ["queue_full"], ["malformed"], ["draining"], ["tenant_quota"] or —
+    from the fleet router — ["all_backends_saturated"]), ["dropped"] (queued job
     discarded by a hard shutdown), ["maybe_executed"] (fleet router: the
     backend holding this in-flight job died, so under at-most-once
     semantics the job is not re-run) or ["health"].
@@ -55,7 +56,7 @@ val result_line : id:int -> tag:string option -> latency_s:float -> Job.result -
 val rejected_line :
   ?tag:string option ->
   id:int ->
-  reason:[ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] ->
+  reason:[ `Queue_full | `Malformed | `Draining | `All_backends_saturated | `Tenant_quota ] ->
   detail:string ->
   unit ->
   string
@@ -123,10 +124,10 @@ val parse_stats : string -> (stats_snapshot, string) result
     [null] and come back as NaN. *)
 
 val reason_to_string :
-  [ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] -> string
+  [ `Queue_full | `Malformed | `Draining | `All_backends_saturated | `Tenant_quota ] -> string
 
 val reason_of_string :
-  string -> [ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] option
+  string -> [ `Queue_full | `Malformed | `Draining | `All_backends_saturated | `Tenant_quota ] option
 
 (** {2 Response parsing} — the router's view of a backend's lines. *)
 
@@ -135,7 +136,7 @@ type response = {
   r_id : int;  (** the {e sender's} id — backend-local when relayed *)
   r_tag : string option;
   r_status : string option;  (** results: ["ok"] / ["deadline_missed"] / ["errored"] *)
-  r_reason : [ `Queue_full | `Malformed | `Draining | `All_backends_saturated ] option;
+  r_reason : [ `Queue_full | `Malformed | `Draining | `All_backends_saturated | `Tenant_quota ] option;
       (** present exactly when [r_type = `Rejected] *)
   r_json : Agrid_obs.Json.t;  (** the full parsed line, for relaying *)
 }

@@ -17,6 +17,7 @@ module Sink = Agrid_obs.Sink
 type spec = {
   tag : string option;
   trace_id : string option;  (* correlation id stamped by a relaying router *)
+  tenant : string option;  (* owning tenant, for per-tenant admission caps *)
   scenario : Serialize.scenario_ref;
   alpha : float;
   beta : float;
@@ -33,6 +34,7 @@ let default scenario =
   {
     tag = None;
     trace_id = None;
+    tenant = None;
     scenario;
     alpha = 0.4;
     beta = 0.3;

@@ -12,6 +12,9 @@ type spec = {
   trace_id : string option;
       (** distributed-tracing correlation id ({!Agrid_obs.Trace.id_of}),
           stamped by a relaying router; [None] = untraced *)
+  tenant : string option;
+      (** owning tenant id, checked against the server's per-tenant
+          admission caps; [None] = untenanted (never capped) *)
   scenario : Agrid_workload.Serialize.scenario_ref;
   alpha : float;
   beta : float;

@@ -24,11 +24,24 @@ type entry = {
   e_respond : string -> unit;
 }
 
+(* Per-tenant admission bookkeeping (guarded by t.lock): outstanding
+   jobs now queued or running, lifetime high-water of that count, and
+   lifetime quota rejections. *)
+type tenant_state = {
+  tn_cap : int;
+  mutable tn_outstanding : int;
+  mutable tn_high_water : int;
+  mutable tn_rejected : int;
+}
+
 type t = {
   workers : int;
   job_stride : int;
   obs : Sink.t;
   trace : Trace.t option;  (* request tracing, opt-in like the ledger *)
+  tenants : (string, tenant_state) Hashtbl.t;
+      (* admission caps from [?tenant_caps]; tenants not listed here are
+         never capped *)
   window : Window.t;  (* rolling last-60s stats, guarded by [lock] *)
   chan : entry Chan.t;
   lock : Mutex.t;
@@ -44,6 +57,7 @@ type t = {
   mutable queue_full : int;
   mutable malformed : int;
   mutable draining : int;
+  mutable tenant_quota : int;
   mutable dropped : int;
   mutable health : int;
   mutable stats_reqs : int;
@@ -58,18 +72,29 @@ let with_lock m f =
 
 let latency_bounds = [| 0.001; 0.005; 0.02; 0.1; 0.5; 2.; 10. |]
 
-let create ?(obs = Sink.noop) ?trace ?(job_stride = 8) ?workers
-    ?(queue_capacity = 64) () =
+let create ?(obs = Sink.noop) ?trace ?(tenant_caps = []) ?(job_stride = 8)
+    ?workers ?(queue_capacity = 64) () =
   let workers =
     match workers with Some w -> w | None -> Agrid_par.Parallel.default_domains ()
   in
   if workers < 1 then invalid_arg "Server.create: workers must be >= 1";
   if job_stride < 1 then invalid_arg "Server.create: job_stride must be >= 1";
+  let tenants = Hashtbl.create 8 in
+  List.iter
+    (fun (name, cap) ->
+      if name = "" then invalid_arg "Server.create: empty tenant id";
+      if cap < 1 then invalid_arg "Server.create: tenant cap must be >= 1";
+      if Hashtbl.mem tenants name then
+        invalid_arg ("Server.create: duplicate tenant cap for " ^ name);
+      Hashtbl.add tenants name
+        { tn_cap = cap; tn_outstanding = 0; tn_high_water = 0; tn_rejected = 0 })
+    tenant_caps;
   {
     workers;
     job_stride;
     obs;
     trace;
+    tenants;
     window = Window.create ();
     chan = Chan.create ~capacity:queue_capacity;
     lock = Mutex.create ();
@@ -85,6 +110,7 @@ let create ?(obs = Sink.noop) ?trace ?(job_stride = 8) ?workers
     queue_full = 0;
     malformed = 0;
     draining = 0;
+    tenant_quota = 0;
     dropped = 0;
     health = 0;
     stats_reqs = 0;
@@ -103,6 +129,17 @@ let send t respond line =
   if failed then with_lock t.lock (fun () -> t.respond_errors <- t.respond_errors + 1)
 
 let obs_incr t name = if Sink.enabled t.obs then Sink.incr t.obs name
+
+let tenant_of t (spec : Job.spec) =
+  match spec.Job.tenant with
+  | None -> None
+  | Some name -> Hashtbl.find_opt t.tenants name
+
+(* Release a capped tenant's admission slot (caller holds t.lock). *)
+let tenant_release t (spec : Job.spec) =
+  match tenant_of t spec with
+  | None -> ()
+  | Some ts -> ts.tn_outstanding <- ts.tn_outstanding - 1
 
 (* Record a trace event for an entry (caller holds t.lock). A relayed job
    carries the router's trace id; locally submitted jobs derive their
@@ -149,6 +186,7 @@ let run_entry t e =
         Sink.incr t.obs status_counter;
         Sink.observe t.obs "serve/latency_s" ~bounds:latency_bounds latency
       end;
+      tenant_release t e.e_spec;
       finish_one t)
 
 let rec worker_loop t =
@@ -233,41 +271,73 @@ let submit t ~respond line =
   | Ok Codec.Health -> send t respond (health_payload t ~id)
   | Ok Codec.Stats -> send t respond (stats_payload t ~id)
   | Ok (Codec.Submit spec) -> (
-      let e =
-        {
-          e_id = id;
-          e_tag = spec.Job.tag;
-          e_spec = spec;
-          e_submitted = Unix.gettimeofday ();
-          e_respond = respond;
-        }
+      (* Reserve the tenant's admission slot before touching the queue so
+         a capped tenant can never overshoot, even with racing producers;
+         a queue rejection below hands the slot back. *)
+      let quota_cap =
+        with_lock t.lock (fun () ->
+            match tenant_of t spec with
+            | None -> None
+            | Some ts ->
+                if ts.tn_outstanding >= ts.tn_cap then begin
+                  ts.tn_rejected <- ts.tn_rejected + 1;
+                  t.tenant_quota <- t.tenant_quota + 1;
+                  obs_incr t "serve/tenant_quota";
+                  Some ts.tn_cap
+                end
+                else begin
+                  ts.tn_outstanding <- ts.tn_outstanding + 1;
+                  if ts.tn_outstanding > ts.tn_high_water then
+                    ts.tn_high_water <- ts.tn_outstanding;
+                  None
+                end)
       in
-      match Chan.try_push t.chan e with
-      | `Accepted depth ->
-          with_lock t.lock (fun () ->
-              t.outstanding <- t.outstanding + 1;
-              t.accepted <- t.accepted + 1;
-              trace_ev t e Trace.Enqueue;
-              if Sink.enabled t.obs then begin
-                Sink.incr t.obs "serve/accepted";
-                Sink.max_gauge t.obs "serve/queue_depth" (float_of_int depth)
-              end)
-      | `Rejected `Full ->
-          with_lock t.lock (fun () ->
-              t.queue_full <- t.queue_full + 1;
-              obs_incr t "serve/queue_full");
+      match quota_cap with
+      | Some cap ->
           send t respond
-            (Codec.rejected_line ~tag:spec.Job.tag ~id ~reason:`Queue_full
+            (Codec.rejected_line ~tag:spec.Job.tag ~id ~reason:`Tenant_quota
                ~detail:
-                 (Fmt.str "queue at capacity (%d queued)" (Chan.length t.chan))
+                 (Fmt.str "tenant %S at its admission cap (%d outstanding)"
+                    (Option.value spec.Job.tenant ~default:"") cap)
                ())
-      | `Rejected `Closed ->
-          with_lock t.lock (fun () ->
-              t.draining <- t.draining + 1;
-              obs_incr t "serve/draining");
-          send t respond
-            (Codec.rejected_line ~tag:spec.Job.tag ~id ~reason:`Draining
-               ~detail:"server is shutting down" ()))
+      | None -> (
+          let e =
+            {
+              e_id = id;
+              e_tag = spec.Job.tag;
+              e_spec = spec;
+              e_submitted = Unix.gettimeofday ();
+              e_respond = respond;
+            }
+          in
+          match Chan.try_push t.chan e with
+          | `Accepted depth ->
+              with_lock t.lock (fun () ->
+                  t.outstanding <- t.outstanding + 1;
+                  t.accepted <- t.accepted + 1;
+                  trace_ev t e Trace.Enqueue;
+                  if Sink.enabled t.obs then begin
+                    Sink.incr t.obs "serve/accepted";
+                    Sink.max_gauge t.obs "serve/queue_depth" (float_of_int depth)
+                  end)
+          | `Rejected `Full ->
+              with_lock t.lock (fun () ->
+                  tenant_release t spec;
+                  t.queue_full <- t.queue_full + 1;
+                  obs_incr t "serve/queue_full");
+              send t respond
+                (Codec.rejected_line ~tag:spec.Job.tag ~id ~reason:`Queue_full
+                   ~detail:
+                     (Fmt.str "queue at capacity (%d queued)" (Chan.length t.chan))
+                   ())
+          | `Rejected `Closed ->
+              with_lock t.lock (fun () ->
+                  tenant_release t spec;
+                  t.draining <- t.draining + 1;
+                  obs_incr t "serve/draining");
+              send t respond
+                (Codec.rejected_line ~tag:spec.Job.tag ~id ~reason:`Draining
+                   ~detail:"server is shutting down" ())))
 
 let quiesce t =
   with_lock t.lock (fun () ->
@@ -300,6 +370,7 @@ let stop t =
           t.dropped <- t.dropped + 1;
           obs_incr t "serve/dropped";
           trace_ev t e (Trace.Respond { outcome = "dropped" });
+          tenant_release t e.e_spec;
           finish_one t);
       send t e.e_respond (Codec.dropped_line ~id:e.e_id ~tag:e.e_tag))
     abandoned;
@@ -316,6 +387,7 @@ type stats = {
   s_queue_full : int;
   s_malformed : int;
   s_draining : int;
+  s_tenant_quota : int;
   s_dropped : int;
   s_health : int;
   s_stats : int;
@@ -334,12 +406,22 @@ let stats t =
         s_queue_full = t.queue_full;
         s_malformed = t.malformed;
         s_draining = t.draining;
+        s_tenant_quota = t.tenant_quota;
         s_dropped = t.dropped;
         s_health = t.health;
         s_stats = t.stats_reqs;
         s_respond_errors = t.respond_errors;
         s_queue_high_water = Chan.high_water t.chan;
       })
+
+let tenant_lookup t name f =
+  with_lock t.lock (fun () ->
+      match Hashtbl.find_opt t.tenants name with None -> 0 | Some ts -> f ts)
+
+let tenant_outstanding t name = tenant_lookup t name (fun ts -> ts.tn_outstanding)
+let tenant_high_water t name = tenant_lookup t name (fun ts -> ts.tn_high_water)
+let tenant_rejected t name = tenant_lookup t name (fun ts -> ts.tn_rejected)
+let tenant_cap t name = tenant_lookup t name (fun ts -> ts.tn_cap)
 
 let queue_depth t = Chan.length t.chan
 let n_workers t = t.workers
@@ -349,8 +431,8 @@ let trace t = t.trace
 let pp_stats ppf s =
   Fmt.pf ppf
     "requests %d accepted %d completed %d (deadline_missed %d errored %d) \
-     rejected (full %d malformed %d draining %d) dropped %d health %d \
-     stats %d respond_errors %d queue_high_water %d"
+     rejected (full %d malformed %d draining %d tenant_quota %d) dropped %d \
+     health %d stats %d respond_errors %d queue_high_water %d"
     s.s_requests s.s_accepted s.s_completed s.s_deadline_missed s.s_errored
-    s.s_queue_full s.s_malformed s.s_draining s.s_dropped s.s_health
-    s.s_stats s.s_respond_errors s.s_queue_high_water
+    s.s_queue_full s.s_malformed s.s_draining s.s_tenant_quota s.s_dropped
+    s.s_health s.s_stats s.s_respond_errors s.s_queue_high_water

@@ -13,7 +13,8 @@
     Telemetry: each job runs against a private sink merged into the pool
     sink afterwards, alongside pool-level counters ([serve/accepted],
     [serve/completed], [serve/deadline_missed], [serve/errored],
-    [serve/queue_full], [serve/malformed], [serve/dropped],
+    [serve/queue_full], [serve/malformed], [serve/tenant_quota],
+    [serve/dropped],
     [serve/health], [serve/stats]), the queue-depth high-water gauge
     ([serve/queue_depth]) and a per-job latency histogram
     ([serve/latency_s]). With the default no-op sink all of it is
@@ -32,6 +33,7 @@ type t
 val create :
   ?obs:Agrid_obs.Sink.t ->
   ?trace:Agrid_obs.Trace.t ->
+  ?tenant_caps:(string * int) list ->
   ?job_stride:int ->
   ?workers:int ->
   ?queue_capacity:int ->
@@ -41,11 +43,18 @@ val create :
     starts lazily, which tests use to exercise deterministic overflow).
     [obs] is the pool sink (default: no-op — inert); [trace] (default:
     none — tracing off, zero cost) collects per-request trace events;
-    [job_stride] (default 8) is the snapshot stride of per-job sinks;
-    [workers] (default {!Agrid_par.Parallel.default_domains}) sizes the
-    domain pool; [queue_capacity] (default 64) bounds the queue.
+    [tenant_caps] (default none) bounds each listed tenant's outstanding
+    (queued or running) jobs — a job whose [tenant] is at its cap is
+    rejected with a typed [tenant_quota] line before it ever touches the
+    queue, and the slot is reserved atomically so racing producers can
+    never overshoot the cap; unlisted tenants and untenanted jobs are
+    never capped; [job_stride] (default 8) is the snapshot stride of
+    per-job sinks; [workers] (default
+    {!Agrid_par.Parallel.default_domains}) sizes the domain pool;
+    [queue_capacity] (default 64) bounds the queue.
     @raise Invalid_argument when [workers], [queue_capacity] or
-    [job_stride] is nonpositive. *)
+    [job_stride] is nonpositive, or [tenant_caps] names an empty or
+    duplicate tenant or a cap below 1. *)
 
 val start : t -> unit
 (** Spawn the worker pool (idempotent while running).
@@ -82,6 +91,7 @@ type stats = {
   s_queue_full : int;
   s_malformed : int;
   s_draining : int;
+  s_tenant_quota : int;  (** jobs rejected at a tenant's admission cap *)
   s_dropped : int;
   s_health : int;
   s_stats : int;  (** [kind:"stats"] snapshot requests answered *)
@@ -90,6 +100,23 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {2 Per-tenant admission counters} — all return [0] for a tenant not
+    named in [?tenant_caps] (unknown or uncapped alike). *)
+
+val tenant_outstanding : t -> string -> int
+(** Jobs queued or running for this tenant right now. *)
+
+val tenant_high_water : t -> string -> int
+(** Lifetime maximum of {!tenant_outstanding} — the soak harness pins
+    [tenant_high_water <= cap]. *)
+
+val tenant_rejected : t -> string -> int
+(** Lifetime [tenant_quota] rejections charged to this tenant. *)
+
+val tenant_cap : t -> string -> int
+(** The cap passed to {!create}. *)
+
 val queue_depth : t -> int
 val n_workers : t -> int
 val uptime_s : t -> float

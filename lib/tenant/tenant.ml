@@ -1,0 +1,49 @@
+type priority = High | Normal | Low
+
+let weight = function High -> 4 | Normal -> 2 | Low -> 1
+
+let priority_to_string = function
+  | High -> "high"
+  | Normal -> "normal"
+  | Low -> "low"
+
+let priority_of_string = function
+  | "high" -> Ok High
+  | "normal" -> Ok Normal
+  | "low" -> Ok Low
+  | s -> Error (Fmt.str "unknown priority %S (expected high|normal|low)" s)
+
+let pp_priority ppf p = Fmt.string ppf (priority_to_string p)
+
+type t = {
+  id : string;
+  priority : priority;
+  quota : Agrid_core.Feasibility.quota;
+}
+
+let make ?(priority = Normal) ?energy_quota ?machine_quota id =
+  {
+    id;
+    priority;
+    quota =
+      { Agrid_core.Feasibility.q_energy = energy_quota; q_machines = machine_quota };
+  }
+
+(* Ids end up in wire fields, metric names ("tenant/<id>/...") and CLI
+   tables, so the alphabet is restricted to characters safe in all
+   three. *)
+let id_char_ok c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-'
+
+let validate t =
+  if String.length t.id = 0 then Error "tenant id must be nonempty"
+  else if not (String.for_all id_char_ok t.id) then
+    Error (Fmt.str "tenant id %S: only [A-Za-z0-9_.-] allowed" t.id)
+  else Agrid_core.Feasibility.validate_quota t.quota
+
+let pp ppf t =
+  Fmt.pf ppf "%s (%a, %s)" t.id pp_priority t.priority
+    (Agrid_core.Feasibility.quota_to_string t.quota)

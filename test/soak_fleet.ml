@@ -21,6 +21,13 @@
    - the injected faults actually bit: at least one failover or
      maybe_executed across the run.
 
+   Every job request carries a tenant (gold or bronze, alternating) and
+   every backend caps bronze admissions: a backend at its bronze cap
+   rejects with the typed tenant_quota reason, which the router treats
+   as retry-safe and shops to a peer — clients only ever see result /
+   saturated / maybe_executed, and no backend's bronze high-water mark
+   exceeds the cap, across kills and restarts.
+
    Writes every response plus a summary as JSONL (--out) for the CI
    artifact. Exit 0 on success, 1 with diagnostics, 2 on watchdog
    timeout. *)
@@ -97,6 +104,7 @@ let make_request rng i =
         {
           (Job.default scenario) with
           Job.tag = Some (Fmt.str "fleet-%d" i);
+          tenant = Some (if i mod 2 = 0 then "gold" else "bronze");
           alpha = float_of_int (300 + Rng.next_int rng 200) /. 1000.;
           beta = float_of_int (100 + Rng.next_int rng 300) /. 1000.;
           variant = pick rng [| Agrid_core.Slrh.V1; Agrid_core.Slrh.V3 |];
@@ -137,8 +145,12 @@ let () =
     Mutex.unlock lock;
     c
   in
+  let bronze_cap = 2 in
   let sims =
-    List.init n_backends (fun i -> Sim.create ~workers:!workers (Fmt.str "b%d" i))
+    List.init n_backends (fun i ->
+        Sim.create ~workers:!workers
+          ~tenant_caps:[ ("bronze", bronze_cap) ]
+          (Fmt.str "b%d" i))
   in
   let sim_arr = Array.of_list sims in
   let config =
@@ -363,6 +375,15 @@ let () =
       "injected %d kill(s) against in-flight backends but saw no failover and \
        no maybe_executed"
       n_kills;
+  List.iter
+    (fun s ->
+      let hwm = Sim.tenant_high_water s "bronze" in
+      if hwm > bronze_cap then
+        fail "backend %s: bronze admission high water %d exceeds cap %d"
+          (Sim.name s) hwm bronze_cap)
+    sims;
+  if List.for_all (fun s -> Sim.tenant_high_water s "bronze" = 0) sims then
+    fail "no backend ever admitted a bronze job (cap check is vacuous)";
 
   (* ---- per-job trace timelines: every accepted job has a complete
      enqueue..respond history under its derived trace id, and ambiguous
@@ -482,6 +503,12 @@ let () =
         ( "incarnations",
           Json.Arr
             (List.map (fun s -> Json.Int (Sim.incarnations s)) sims) );
+        ("tenant_bronze_cap", Json.Int bronze_cap);
+        ( "tenant_bronze_high_water",
+          Json.Arr
+            (List.map
+               (fun s -> Json.Int (Sim.tenant_high_water s "bronze"))
+               sims) );
         ( "reconnects",
           Json.Arr
             (List.map

@@ -211,6 +211,132 @@ let () =
   if stats.Server.s_respond_errors <> 0 then
     fail "%d responses failed to deliver" stats.Server.s_respond_errors;
 
+  (* ---- two-tenant mixed traffic stream ------------------------------
+     A second, tenant-capped server run: gold (high-priority, uncapped)
+     and bronze (admission-capped) interleaved by the tenant layer's
+     deterministic Poisson arrival streams and submitted back to back, so
+     bronze overflows its cap while workers are busy. Invariants at
+     volume: zero lost responses; the response ids partition exactly into
+     each tenant's submissions; gold is never rejected; bronze resolves
+     as a result or a typed tenant_quota rejection, nothing else; and the
+     server-side high-water mark never overshoots the cap even with
+     submissions racing worker completions. *)
+  let bronze_cap = 2 in
+  let arrivals =
+    Agrid_tenant.Arrivals.generate ~seed:(!seed + 1) ~horizon:2000
+      [ Agrid_tenant.Arrivals.Poisson 0.02; Agrid_tenant.Arrivals.Poisson 0.02 ]
+  in
+  let tenant_of_stream s = if s = 0 then "gold" else "bronze" in
+  let trequests =
+    Array.of_list
+      (List.map
+         (fun (a : Agrid_tenant.Arrivals.arrival) ->
+           let tenant = tenant_of_stream a.Agrid_tenant.Arrivals.stream in
+           let scenario =
+             Serialize.Generated
+               {
+                 seed = Rng.next_int rng 10_000;
+                 scale = 0.03;
+                 etc_index = Rng.next_int rng 3;
+                 dag_index = Rng.next_int rng 3;
+                 case = pick rng [| Agrid_platform.Grid.A; Agrid_platform.Grid.B |];
+               }
+           in
+           let spec =
+             {
+               (Job.default scenario) with
+               Job.tag = Some (Fmt.str "%s-%d" tenant a.Agrid_tenant.Arrivals.seq);
+               tenant = Some tenant;
+             }
+           in
+           (tenant, Json.to_string (Codec.job_to_json spec)))
+         arrivals)
+  in
+  let m = Array.length trequests in
+  let tresponses = ref [] in
+  let trespond line =
+    Mutex.lock lock;
+    tresponses := line :: !tresponses;
+    Mutex.unlock lock
+  in
+  let tserver =
+    Server.create ~workers:!workers ~queue_capacity:(max 1 m)
+      ~tenant_caps:[ ("bronze", bronze_cap) ] ()
+  in
+  Server.start tserver;
+  Array.iter (fun (_, line) -> Server.submit tserver ~respond:trespond line) trequests;
+  Server.drain tserver;
+  let tresponses = List.rev !tresponses in
+  if List.length tresponses <> m then
+    fail "tenant stream: expected %d responses, got %d" m (List.length tresponses);
+  let tparsed =
+    List.filter_map
+      (fun line ->
+        match Json.parse line with
+        | j -> Some j
+        | exception Json.Parse_error msg ->
+            fail "tenant stream: unparseable response %S: %s" line msg;
+            None)
+      tresponses
+  in
+  let ids_of_tenant responses tenant =
+    List.sort compare
+      (List.filter_map
+         (fun j ->
+           match Json.get_int "id" j with
+           | Some id when id >= 0 && id < m && fst trequests.(id) = tenant ->
+               Some id
+           | _ -> None)
+         responses)
+  in
+  let submitted_ids tenant =
+    List.filter (fun id -> fst trequests.(id) = tenant) (List.init m Fun.id)
+  in
+  let n_quota = ref 0 in
+  List.iter
+    (fun j ->
+      match Json.get_int "id" j with
+      | None -> fail "tenant stream: response without id: %s" (Json.to_string j)
+      | Some id when id < 0 || id >= m ->
+          fail "tenant stream: out-of-range id %d" id
+      | Some id -> (
+          let tenant = fst trequests.(id) in
+          let ty = Option.value ~default:"?" (Json.get_string "type" j) in
+          let reason = Json.get_string "reason" j in
+          match (tenant, ty, reason) with
+          | _, "result", _ -> ()
+          | "bronze", "rejected", Some "tenant_quota" -> incr n_quota
+          | _ ->
+              fail "tenant stream: %s request %d resolved as %s (reason %a)"
+                tenant id ty
+                Fmt.(option string)
+                reason))
+    tparsed;
+  List.iter
+    (fun tenant ->
+      if ids_of_tenant tparsed tenant <> submitted_ids tenant then
+        fail "tenant stream: %s response ids do not match its submissions"
+          tenant)
+    [ "gold"; "bronze" ];
+  let tstats = Server.stats tserver in
+  let bronze_hwm = Server.tenant_high_water tserver "bronze" in
+  if bronze_hwm > bronze_cap then
+    fail "tenant stream: bronze high water %d exceeds cap %d" bronze_hwm
+      bronze_cap;
+  if bronze_hwm < 1 then fail "tenant stream: no bronze job was ever admitted";
+  if Server.tenant_outstanding tserver "bronze" <> 0 then
+    fail "tenant stream: %d bronze jobs still outstanding after drain"
+      (Server.tenant_outstanding tserver "bronze");
+  if Server.tenant_rejected tserver "bronze" <> !n_quota then
+    fail "tenant stream: server counts %d bronze quota rejections, responses %d"
+      (Server.tenant_rejected tserver "bronze")
+      !n_quota;
+  if tstats.Server.s_tenant_quota <> !n_quota then
+    fail "tenant stream: stats count %d quota rejections, responses %d"
+      tstats.Server.s_tenant_quota !n_quota;
+  if tstats.Server.s_dropped <> 0 then
+    fail "tenant stream: graceful drain dropped %d jobs" tstats.Server.s_dropped;
+
   let summary =
     Json.Obj
       [
@@ -227,6 +353,12 @@ let () =
         ("health", Json.Int stats.Server.s_health);
         ("replayed", Json.Int !n_replayed);
         ("queue_high_water", Json.Int stats.Server.s_queue_high_water);
+        ("tenant_jobs", Json.Int m);
+        ("tenant_gold_jobs", Json.Int (List.length (submitted_ids "gold")));
+        ("tenant_bronze_jobs", Json.Int (List.length (submitted_ids "bronze")));
+        ("tenant_bronze_cap", Json.Int bronze_cap);
+        ("tenant_bronze_high_water", Json.Int bronze_hwm);
+        ("tenant_quota_rejected", Json.Int !n_quota);
         ("wall_s", Json.Flt wall);
         ("failures", Json.Int (List.length !failures));
         ("ok", Json.Bool (!failures = []));
@@ -238,7 +370,7 @@ let () =
       (fun line ->
         output_string oc line;
         output_char oc '\n')
-      responses;
+      (responses @ tresponses);
     output_string oc (Json.to_string summary);
     output_char oc '\n';
     close_out oc
@@ -246,6 +378,13 @@ let () =
   Fmt.pr "soak: %d requests, %d replayed bit-identical, %d deadline_missed, %d errored, %.2fs over %d workers (queue high water %d)@."
     n !n_replayed !n_deadline !n_errored wall !workers
     stats.Server.s_queue_high_water;
+  Fmt.pr
+    "soak: tenant stream %d jobs (gold %d, bronze %d capped at %d): %d \
+     quota-rejected, bronze high water %d@."
+    m
+    (List.length (submitted_ids "gold"))
+    (List.length (submitted_ids "bronze"))
+    bronze_cap !n_quota bronze_hwm;
   match List.rev !failures with
   | [] ->
       Fmt.pr "soak: OK@.";

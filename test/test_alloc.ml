@@ -123,6 +123,69 @@ let () =
                 (bytes <= 65536.))
         per_variant)
     steady;
+  (* Single tenant under the tenant engine: the traffic fast path (one
+     live application, no pending arrivals or events) must delegate to a
+     single unchunked [Slrh.continue_run], so the tenant layer's
+     allocation is a per-run constant — arrivals list, queues, DRR state,
+     the outcome record — and its per-timestep overhead over a direct
+     [Slrh.run] of the same workload is EXACTLY zero. A/B over delta_t:
+     both runs are bit-identical to the direct run (pinned by
+     test_tenant), so the scheduler's own allocation cancels in the
+     traffic-minus-direct difference, and the remainder must not scale
+     with the step count. *)
+  let module Traffic = Agrid_tenant.Traffic in
+  let module Tenant = Agrid_tenant.Tenant in
+  let traffic_spec =
+    Traffic.make_spec ~scale:(48. /. 1024.) ~seed:11 ~horizon:10
+      [
+        {
+          Traffic.ts_tenant = Tenant.make "solo";
+          ts_process = Agrid_tenant.Arrivals.Trace [ 0 ];
+        };
+      ]
+  in
+  let solo_workload = Traffic.app_workload traffic_spec ~stream:0 ~seq:0 in
+  (* Unlike the commit-free windows above, these runs commit and allocate
+     megabytes, and on OCaml 5 the major/promoted counters behind
+     [Gc.allocated_bytes] lag the mutator until the next minor
+     collection — multi-MB windows read through that lag come out
+     nondeterministic by roughly a minor-heap's worth. Flushing with
+     [Gc.minor] before each read makes the window exact again. *)
+  let measured f =
+    Gc.minor ();
+    let before = Gc.allocated_bytes () in
+    let r = f () in
+    Gc.minor ();
+    (r, Gc.allocated_bytes () -. before)
+  in
+  let traffic_overhead ~delta_t =
+    let params =
+      { (Slrh.default_params weights) with Slrh.mode = `Soa; delta_t }
+    in
+    let params_for ~tenant:_ ~seq:_ = params in
+    ignore (Traffic.run ~params_for traffic_spec) (* warm-up *);
+    let o, traffic_bytes = measured (fun () -> Traffic.run ~params_for traffic_spec) in
+    ignore (Slrh.run params solo_workload) (* warm-up *);
+    let d, direct_bytes = measured (fun () -> Slrh.run params solo_workload) in
+    check
+      (Fmt.str "tenant fast path step count matches direct run (delta_t %d)"
+         delta_t)
+      (o.Traffic.total_steps = d.Slrh.stats.Slrh.clock_steps);
+    (traffic_bytes -. direct_bytes, o.Traffic.total_steps)
+  in
+  let ov_a, steps_a = traffic_overhead ~delta_t:10 in
+  let ov_b, steps_b = traffic_overhead ~delta_t:5 in
+  let per_step = (ov_b -. ov_a) /. float_of_int (max 1 (steps_b - steps_a)) in
+  Fmt.pr
+    "tenant-engine overhead: %g bytes/timestep (constant %+.0f bytes/run, %d \
+     vs %d steps)@."
+    per_step ov_a steps_a steps_b;
+  check "tenant A/B runs differ in step count (harness sanity)"
+    (steps_b > steps_a);
+  check
+    (Fmt.str "single-tenant soa fast path adds 0 bytes/timestep (got %g)"
+       per_step)
+    (per_step = 0.);
   (* Active scenario: total allocation over a committing run. *)
   Fmt.pr "whole-run bytes (active scenario, %d tasks):@."
     (Workload.n_tasks active_workload);

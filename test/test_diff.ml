@@ -489,6 +489,101 @@ let qcheck_batch_equals_fold =
       done;
       true)
 
+(* ---- multi-tenant traffic differential pairs ----
+
+   The traffic engine multiplexes several live applications over one
+   commit loop, each on its own pool state; the pool-maintenance mode of
+   every application's scheduler must remain invisible in the merged
+   outcome. Same oracle discipline as the single-run pairs: rescan is
+   the reference, each optimised mode must match bit for bit — arrival
+   admissions, per-app verdicts, TECs, per-tenant rollups, fairness
+   accounting — on static, churn and adaptive-lagrange traffic. *)
+
+module Traffic = Agrid_tenant.Traffic
+module Tenant = Agrid_tenant.Tenant
+
+let traffic_weights = Objective.make_weights ~alpha:0.4 ~beta:0.3
+
+let traffic_params ~mode ~adaptive ~tenant:_ ~seq:_ =
+  let p = { (Slrh.default_params traffic_weights) with Slrh.mode } in
+  (* a fresh controller per application: Adapt.t is mutable run state *)
+  if adaptive then with_adapt p else p
+
+let traffic_spec ~seed ~events =
+  Traffic.make_spec ~seed ~horizon:1600 ~events
+    [
+      {
+        Traffic.ts_tenant = Tenant.make ~priority:Tenant.High "gold";
+        (* two simultaneous arrivals force the chunked multi-app path *)
+        ts_process = Agrid_tenant.Arrivals.Trace [ 0; 0 ];
+      };
+      {
+        Traffic.ts_tenant =
+          Tenant.make ~priority:Tenant.Low ~energy_quota:400. "bronze";
+        ts_process = Agrid_tenant.Arrivals.Poisson 0.002;
+      };
+    ]
+
+let served_bits (o : Traffic.outcome) =
+  List.map
+    (fun (a : Traffic.app) ->
+      match a.Traffic.a_verdict with
+      | Traffic.Served s -> (bits s.Traffic.s_tec, bits s.Traffic.s_reservation)
+      | Traffic.Rejected _ -> (0L, 0L))
+    o.Traffic.apps
+
+let rollup_bits (o : Traffic.outcome) =
+  List.map
+    (fun (r : Traffic.rollup) -> (bits r.Traffic.r_tec, bits r.Traffic.r_reserved))
+    o.Traffic.rollups
+
+let check_traffic msg (a : Traffic.outcome) (b : Traffic.outcome) =
+  if a.Traffic.apps <> b.Traffic.apps then Alcotest.failf "%s: apps diverge" msg;
+  if a.Traffic.rollups <> b.Traffic.rollups then
+    Alcotest.failf "%s: rollups diverge" msg;
+  if served_bits a <> served_bits b then
+    Alcotest.failf "%s: per-app TEC/reservation diverges bitwise" msg;
+  if rollup_bits a <> rollup_bits b then
+    Alcotest.failf "%s: rollup TEC/reservation diverges bitwise" msg;
+  if bits a.Traffic.fairness_gap <> bits b.Traffic.fairness_gap then
+    Alcotest.failf "%s: fairness gap diverges bitwise" msg;
+  Alcotest.(check int) (msg ^ ": rounds") a.Traffic.rounds b.Traffic.rounds;
+  Alcotest.(check int)
+    (msg ^ ": total steps") a.Traffic.total_steps b.Traffic.total_steps;
+  Alcotest.(check int)
+    (msg ^ ": final time") a.Traffic.final_time b.Traffic.final_time
+
+let traffic_events_variants =
+  [
+    ("static", []);
+    ("churn", Agrid_churn.Event.parse_trace "leave@120:1,rejoin@1400:1");
+  ]
+
+let test_traffic ~adaptive mode () =
+  let admitted = ref 0 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (shape, events) ->
+          let spec = traffic_spec ~seed ~events in
+          let run m =
+            Traffic.run ~params_for:(traffic_params ~mode:m ~adaptive) spec
+          in
+          let a = run `Rescan and b = run mode in
+          check_traffic
+            (Fmt.str "traffic %s seed %d, rescan vs %s%s" shape seed
+               (mode_name mode)
+               (if adaptive then " (adaptive)" else ""))
+            a b;
+          List.iter
+            (fun (r : Traffic.rollup) -> admitted := !admitted + r.Traffic.r_admitted)
+            a.Traffic.rollups)
+        traffic_events_variants)
+    [ 3; 2004 ];
+  (* the pairs must exercise real admissions, not vacuously pass *)
+  if !admitted = 0 then
+    Alcotest.failf "traffic pairs admitted no application (%s)" (mode_name mode)
+
 let suites =
   let per_mode =
     List.concat_map
@@ -520,6 +615,14 @@ let suites =
             (Fmt.str "adaptive ledger JSONL identical, rescan vs %s" m)
             `Slow
             (test_adaptive_ledger mode);
+          Alcotest.test_case
+            (Fmt.str "rescan = %s on multi-tenant traffic (static + churn)" m)
+            `Slow
+            (test_traffic ~adaptive:false mode);
+          Alcotest.test_case
+            (Fmt.str "rescan = %s on adaptive-lagrange traffic" m)
+            `Slow
+            (test_traffic ~adaptive:true mode);
         ])
       fast_modes
   in

@@ -203,6 +203,10 @@ let random_job_spec rng =
       (if Rng.next_int rng 3 = 0 then
          Some (Agrid_obs.Trace.id_of ~nonce:(Rng.next_int rng 1000) ~job:(Rng.next_int rng 1000))
        else None);
+    tenant =
+      (if Rng.next_int rng 3 = 0 then
+         Some (pick rng [| "gold"; "bronze"; "t-0.9_x" |])
+       else None);
     alpha = float_of_int (Rng.next_int rng 500) /. 1000.;
     beta = float_of_int (Rng.next_int rng 400) /. 1000.;
     variant = pick rng [| Agrid_core.Slrh.V1; Agrid_core.Slrh.V2; Agrid_core.Slrh.V3 |];
@@ -328,6 +332,8 @@ let test_response_fuzz () =
         Codec.rejected_line ~tag:(Some "t6") ~id:6 ~reason:`All_backends_saturated
           ~detail:"5 attempts exhausted" ();
         Codec.rejected_line ~tag:None ~id:7 ~reason:`Draining ~detail:"shutting down" ();
+        Codec.rejected_line ~tag:(Some "t12") ~id:12 ~reason:`Tenant_quota
+          ~detail:"tenant \"bronze\" at its admission cap (2 outstanding)" ();
         Codec.dropped_line ~id:8 ~tag:None;
         Codec.maybe_executed_line ~id:9 ~tag:(Some "t9") ~backend:"b1"
           ~detail:"backend died with the job in flight";
@@ -454,6 +460,71 @@ let test_trace_fuzz () =
         Alcotest.failf "Trace.parse_line raised %s on %S" (Printexc.to_string e) s
   done
 
+(* agrid-traffic/1: the multi-tenant traffic spec ([Agrid_tenant.Traffic])
+   — the parser must be total under mutation and [spec_of_json ∘
+   spec_to_json] the identity on every well-formed spec (rates and
+   quotas are drawn from short-decimal grids so the %.9g spelling is
+   lossless) *)
+let test_traffic_spec_fuzz () =
+  let module Traffic = Agrid_tenant.Traffic in
+  let module Tenant = Agrid_tenant.Tenant in
+  let module Arrivals = Agrid_tenant.Arrivals in
+  let random_tenant rng i =
+    let id = Fmt.str "%s%d" (pick rng [| "gold"; "bronze"; "t_"; "x.y-" |]) i in
+    Tenant.make
+      ~priority:(pick rng [| Tenant.High; Tenant.Normal; Tenant.Low |])
+      ?energy_quota:
+        (if Rng.next_int rng 2 = 0 then None
+         else Some (pick rng [| 50.0; 200.0; 1024.5 |]))
+      ?machine_quota:
+        (if Rng.next_int rng 3 = 0 then Some (1 + Rng.next_int rng 8) else None)
+      id
+  in
+  let random_process rng =
+    if Rng.next_int rng 2 = 0 then
+      Arrivals.Poisson (pick rng [| 0.002; 0.01; 0.125 |])
+    else
+      Arrivals.Trace
+        (List.sort compare
+           (List.init (1 + Rng.next_int rng 4) (fun _ -> Rng.next_int rng 500)))
+  in
+  let random_spec rng =
+    Traffic.make_spec
+      ~scale:(pick rng [| 0.03; 0.0625; 0.125 |])
+      ~case:(pick rng [| Agrid_platform.Grid.A; Agrid_platform.Grid.B |])
+      ~chunk:(1 + Rng.next_int rng 8)
+      ~events:
+        (match Rng.next_int rng 3 with
+        | 0 -> []
+        | 1 -> Agrid_churn.Event.parse_trace "leave@40:1,rejoin@90:1"
+        | _ -> Agrid_churn.Event.parse_trace "leave@10:2")
+      ~seed:(Rng.next_int rng 100_000)
+      ~horizon:(100 + Rng.next_int rng 2000)
+      (List.init (1 + Rng.next_int rng 3) (fun i ->
+           { Traffic.ts_tenant = random_tenant rng i; ts_process = random_process rng }))
+  in
+  let rng = Rng.of_int 0xF00C in
+  let corpus =
+    Array.init 12 (fun _ ->
+        let spec = random_spec rng in
+        let line = Traffic.spec_to_string spec in
+        (* print/parse fixed point on every well-formed spec *)
+        (match Traffic.spec_of_string line with
+        | Ok spec' when spec' = spec -> ()
+        | Ok _ -> Alcotest.failf "traffic spec round trip diverges: %s" line
+        | Error msg -> Alcotest.failf "own traffic spec rejected: %s on %S" msg line);
+        line)
+  in
+  for _ = 1 to 1200 do
+    let base = corpus.(Rng.next_int rng (Array.length corpus)) in
+    let s = mutate_n rng (1 + Rng.next_int rng 4) base in
+    match Traffic.spec_of_string s with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "Traffic.spec_of_string raised %s on %S"
+          (Printexc.to_string e) s
+  done
+
 let suites =
   [
     ( "fuzz",
@@ -476,5 +547,7 @@ let suites =
           test_stats_fuzz;
         Alcotest.test_case "agrid-trace/1: mutation corpus" `Quick
           test_trace_fuzz;
+        Alcotest.test_case "agrid-traffic/1: mutation corpus" `Quick
+          test_traffic_spec_fuzz;
       ] );
   ]

@@ -43,5 +43,5 @@ let () =
       @ Test_dynamic.suites @ Test_churn.suites @ Test_lrnn.suites
       @ Test_report.suites @ Test_obs.suites @ Test_ledger.suites
       @ Test_sim.suites @ Test_serve.suites @ Test_fleet.suites
-      @ Test_lagrange.suites @ Test_props.suites @ Test_diff.suites
-      @ Test_fuzz.suites))
+      @ Test_lagrange.suites @ Test_tenant.suites @ Test_props.suites
+      @ Test_diff.suites @ Test_fuzz.suites))
